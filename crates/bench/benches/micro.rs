@@ -1,0 +1,90 @@
+//! Microbenchmarks of the simulator's hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eagletree_controller::{Controller, ControllerConfig, IoTags, RequestKind, SsdRequest};
+use eagletree_core::{EventQueue, SimRng, SimTime, Zipf};
+use eagletree_flash::{FlashArray, FlashCommand, Geometry, PhysicalAddr, TimingSpec};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 4096), i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.payload);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(100_000, 0.99);
+    let mut rng = SimRng::new(42);
+    c.bench_function("zipf_sample", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+}
+
+fn bench_flash_issue(c: &mut Criterion) {
+    c.bench_function("flash_program_page_cycle", |b| {
+        b.iter(|| {
+            let mut a = FlashArray::new(Geometry::tiny(), TimingSpec::slc());
+            let mut now = SimTime::ZERO;
+            for p in 0..16 {
+                let addr = PhysicalAddr {
+                    channel: 0,
+                    lun: 0,
+                    plane: 0,
+                    block: 0,
+                    page: p,
+                };
+                let out = a.issue(FlashCommand::Program(addr), now).unwrap();
+                now = out.lun_free_at;
+            }
+            black_box(now)
+        })
+    });
+}
+
+fn bench_full_sim(c: &mut Criterion) {
+    c.bench_function("controller_1k_random_writes", |b| {
+        b.iter(|| {
+            let mut ctrl = Controller::new(
+                Geometry::tiny(),
+                TimingSpec::slc(),
+                ControllerConfig::default(),
+            )
+            .unwrap();
+            let logical = ctrl.logical_pages();
+            let mut rng = SimRng::new(7);
+            let mut now = SimTime::ZERO;
+            for id in 0..1000u64 {
+                ctrl.submit(
+                    SsdRequest {
+                        id,
+                        kind: RequestKind::Write,
+                        lpn: rng.gen_range(logical),
+                        tags: IoTags::none(),
+                    },
+                    now,
+                );
+                if id % 16 == 15 {
+                    while let Some(t) = ctrl.next_event_time() {
+                        now = t;
+                        ctrl.advance(t);
+                    }
+                }
+            }
+            while let Some(t) = ctrl.next_event_time() {
+                now = t;
+                ctrl.advance(t);
+            }
+            black_box(now)
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_zipf, bench_flash_issue, bench_full_sim);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Experiment harness: regenerate the paper's figures/tables.
+//!
+//! ```text
+//! harness [IDS|all] [--scale smoke|demo|full] [--csv]
+//! ```
+//!
+//! Examples:
+//! * `harness all --scale demo` — every experiment at demo size.
+//! * `harness e3 e9 --scale full` — GC greediness and advanced commands.
+//! * `harness game --csv` — the scheduling game as CSV.
+
+use eagletree_experiments::{suite, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Demo;
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("demo") => Scale::Demo,
+                    Some("full") => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?} (smoke|demo|full)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                eprintln!("usage: harness [IDS|all] [--scale smoke|demo|full] [--csv]");
+                eprintln!("experiments:");
+                for e in suite::all() {
+                    eprintln!("  {:>4}  {} ({})", e.id, e.title, e.hook);
+                }
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() || ids.iter().any(|s| s == "all") {
+        ids = suite::all().iter().map(|e| e.id.to_string()).collect();
+    }
+    for id in &ids {
+        let id = if id.eq_ignore_ascii_case("game") {
+            "G1"
+        } else {
+            id
+        };
+        match suite::by_id(id) {
+            None => {
+                eprintln!("unknown experiment `{id}` — try --help");
+                std::process::exit(2);
+            }
+            Some(e) => {
+                eprintln!("running {} ({:?}) …", e.id, scale);
+                let started = std::time::Instant::now();
+                let table = e.run(scale);
+                eprintln!("  done in {:.1?}", started.elapsed());
+                if csv {
+                    println!("# {} — {}", table.id, table.title);
+                    print!("{}", table.to_csv());
+                } else {
+                    println!("{}", table.render());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Write allocation: which LUN, which block, which page.
+//!
+//! "For writes, the mapping scheme imposes constraints on which physical
+//! address a given IO might be bound to" (§2.2) — with page mapping the
+//! constraint is only NAND's sequential-program rule, so the allocator is
+//! free to choose *where* each write lands, and that choice is a scheduling
+//! decision. The allocator keeps, per LUN, a free-block list and one active
+//! (partially written) block per [`Stream`]; streams separate hot/cold data
+//! (dynamic wear leveling), GC migrations, DFTL translation pages, and
+//! open-interface update-locality groups.
+
+use std::collections::HashMap;
+
+use eagletree_flash::{BlockAddr, Geometry, PhysicalAddr};
+
+use crate::config::WriteAllocPolicy;
+
+/// A write stream: pages in one stream share active blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stream {
+    /// Default / hot application data.
+    Hot,
+    /// Cold application data (dynamic WL steers this to old blocks).
+    Cold,
+    /// GC migration destinations.
+    Gc,
+    /// DFTL translation pages.
+    Translation,
+    /// Open-interface update-locality group.
+    Locality(u32),
+}
+
+impl Stream {
+    /// Streams whose writes may consume the last free block of a LUN.
+    /// Application streams must leave headroom so GC can always make
+    /// progress.
+    pub fn is_internal(self) -> bool {
+        matches!(self, Stream::Gc | Stream::Translation)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveBlock {
+    addr: BlockAddr,
+    next_page: u32,
+}
+
+#[derive(Debug, Clone)]
+struct LunAlloc {
+    /// Free blocks with their erase counts (for age-aware allocation).
+    free: Vec<(BlockAddr, u32)>,
+    active: HashMap<Stream, ActiveBlock>,
+}
+
+/// Per-LUN free-space manager.
+pub struct Allocator {
+    geometry: Geometry,
+    luns: Vec<LunAlloc>,
+    policy: WriteAllocPolicy,
+    /// Dynamic wear leveling: hot streams take young blocks, cold old.
+    dynamic_wl: bool,
+    rr_cursor: usize,
+}
+
+impl Allocator {
+    /// All blocks start free with erase count zero.
+    pub fn new(geometry: Geometry, policy: WriteAllocPolicy, dynamic_wl: bool) -> Self {
+        let mut luns = vec![
+            LunAlloc {
+                free: Vec::new(),
+                active: HashMap::new(),
+            };
+            geometry.total_luns() as usize
+        ];
+        for b in geometry.blocks() {
+            luns[geometry.lun_index(b.channel, b.lun) as usize]
+                .free
+                .push((b, 0));
+        }
+        Allocator {
+            geometry,
+            luns,
+            policy,
+            dynamic_wl,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of wholly-free blocks on a LUN.
+    pub fn free_blocks(&self, lun: u32) -> usize {
+        self.luns[lun as usize].free.len()
+    }
+
+    /// Free pages on a LUN: whole free blocks plus room in active blocks.
+    pub fn free_pages(&self, lun: u32) -> u64 {
+        let l = &self.luns[lun as usize];
+        let ppb = self.geometry.pages_per_block as u64;
+        l.free.len() as u64 * ppb
+            + l.active
+                .values()
+                .map(|a| (self.geometry.pages_per_block - a.next_page) as u64)
+                .sum::<u64>()
+    }
+
+    /// True if `block` sits in a free list.
+    pub fn is_free(&self, block: BlockAddr) -> bool {
+        let lun = self.geometry.lun_index(block.channel, block.lun) as usize;
+        self.luns[lun].free.iter().any(|(b, _)| *b == block)
+    }
+
+    /// True if `block` is an active (partially written) allocation target.
+    pub fn is_active(&self, block: BlockAddr) -> bool {
+        let lun = self.geometry.lun_index(block.channel, block.lun) as usize;
+        self.luns[lun].active.values().any(|a| a.addr == block)
+    }
+
+    /// Whether a page could be allocated right now on `lun` for `stream`.
+    pub fn can_alloc(&self, lun: u32, stream: Stream) -> bool {
+        let l = &self.luns[lun as usize];
+        if let Some(a) = l.active.get(&stream) {
+            if a.next_page < self.geometry.pages_per_block {
+                return true;
+            }
+        }
+        if stream.is_internal() {
+            !l.free.is_empty()
+        } else {
+            // Application streams never take the last free block: it is
+            // reserved so GC can always allocate a migration destination.
+            l.free.len() > 1
+        }
+    }
+
+    /// The page the next `alloc(lun, stream)` would return *if* it comes
+    /// from the stream's current active block (`None` when a fresh block
+    /// would have to be opened). Used to probe for pipelined programs.
+    pub fn peek_active(&self, lun: u32, stream: Stream) -> Option<PhysicalAddr> {
+        let l = &self.luns[lun as usize];
+        let a = l.active.get(&stream)?;
+        if a.next_page < self.geometry.pages_per_block {
+            Some(a.addr.page(a.next_page))
+        } else {
+            None
+        }
+    }
+
+    /// Allocate the next page on `lun` for `stream`.
+    ///
+    /// Returns `None` when the LUN is out of space for this stream (callers
+    /// leave the op pending and retry after GC frees a block).
+    pub fn alloc(&mut self, lun: u32, stream: Stream) -> Option<PhysicalAddr> {
+        if !self.can_alloc(lun, stream) {
+            return None;
+        }
+        let ppb = self.geometry.pages_per_block;
+        let l = &mut self.luns[lun as usize];
+        if let Some(a) = l.active.get_mut(&stream) {
+            if a.next_page < ppb {
+                let addr = a.addr.page(a.next_page);
+                a.next_page += 1;
+                if a.next_page == ppb {
+                    l.active.remove(&stream);
+                }
+                return Some(addr);
+            }
+        }
+        let block = Self::pop_free(l, stream, self.dynamic_wl)?;
+        let addr = block.page(0);
+        if ppb > 1 {
+            l.active.insert(
+                stream,
+                ActiveBlock {
+                    addr: block,
+                    next_page: 1,
+                },
+            );
+        }
+        Some(addr)
+    }
+
+    /// Allocate a page in a *specific plane* of a LUN (copy-back targets).
+    pub fn alloc_in_plane(&mut self, lun: u32, plane: u32, stream: Stream) -> Option<PhysicalAddr> {
+        let ppb = self.geometry.pages_per_block;
+        let l = &mut self.luns[lun as usize];
+        if let Some(a) = l.active.get_mut(&stream) {
+            if a.addr.plane == plane && a.next_page < ppb {
+                let addr = a.addr.page(a.next_page);
+                a.next_page += 1;
+                if a.next_page == ppb {
+                    l.active.remove(&stream);
+                }
+                return Some(addr);
+            }
+        }
+        // Need a fresh block in this plane; only take it if the stream may
+        // (or a spare remains for internal streams).
+        let min_left = if stream.is_internal() { 0 } else { 1 };
+        if l.free.iter().filter(|(b, _)| b.plane == plane).count() == 0
+            || l.free.len() <= min_left
+        {
+            return None;
+        }
+        // Current active block (wrong plane) is abandoned for this stream:
+        // its remaining pages are left unwritten; GC reclaims them later.
+        let pos = Self::pick_free_in(l, stream, self.dynamic_wl, Some(plane))?;
+        let (block, _) = l.free.swap_remove(pos);
+        let addr = block.page(0);
+        if ppb > 1 {
+            l.active.insert(
+                stream,
+                ActiveBlock {
+                    addr: block,
+                    next_page: 1,
+                },
+            );
+        }
+        Some(addr)
+    }
+
+    fn pick_free_in(
+        l: &LunAlloc,
+        stream: Stream,
+        dynamic_wl: bool,
+        plane: Option<u32>,
+    ) -> Option<usize> {
+        let candidates = l
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, (b, _))| plane.is_none_or(|p| b.plane == p));
+        if dynamic_wl {
+            // Hot data → youngest block (lowest erase count) so young
+            // blocks age; cold data → oldest block so old blocks rest.
+            match stream {
+                Stream::Cold => candidates.max_by_key(|(_, (_, ec))| *ec).map(|(i, _)| i),
+                _ => candidates.min_by_key(|(_, (_, ec))| *ec).map(|(i, _)| i),
+            }
+        } else {
+            candidates.map(|(i, _)| i).next()
+        }
+    }
+
+    fn pop_free(l: &mut LunAlloc, stream: Stream, dynamic_wl: bool) -> Option<BlockAddr> {
+        let pos = Self::pick_free_in(l, stream, dynamic_wl, None)?;
+        Some(l.free.swap_remove(pos).0)
+    }
+
+    /// Return an erased block to its LUN's free list.
+    pub fn block_freed(&mut self, block: BlockAddr, erase_count: u32) {
+        let lun = self.geometry.lun_index(block.channel, block.lun) as usize;
+        debug_assert!(
+            !self.luns[lun].free.iter().any(|(b, _)| *b == block),
+            "double free of {block:?}"
+        );
+        self.luns[lun].free.push((block, erase_count));
+    }
+
+    /// Choose a LUN for an unbound write per the write-allocation policy,
+    /// considering only LUNs for which `usable` holds (resources free) and
+    /// allocation is possible.
+    pub fn choose_lun(
+        &mut self,
+        stream: Stream,
+        usable: impl Fn(u32) -> bool,
+    ) -> Option<u32> {
+        let n = self.geometry.total_luns();
+        match self.policy {
+            WriteAllocPolicy::RoundRobin => {
+                for off in 0..n {
+                    let lun = (self.rr_cursor as u32 + off) % n;
+                    if usable(lun) && self.can_alloc(lun, stream) {
+                        self.rr_cursor = (lun as usize + 1) % n as usize;
+                        return Some(lun);
+                    }
+                }
+                None
+            }
+            WriteAllocPolicy::LeastUtilized => (0..n)
+                .filter(|&l| usable(l) && self.can_alloc(l, stream))
+                .max_by_key(|&l| self.free_pages(l)),
+            // Striping binds the LUN from the LPN before ops are enqueued;
+            // an unbound chooser falls back to round-robin order.
+            WriteAllocPolicy::Striping => {
+                (0..n).find(|&l| usable(l) && self.can_alloc(l, stream))
+            }
+        }
+    }
+
+    /// The LUN a striped write of `lpn` is bound to.
+    pub fn striped_lun(&self, lpn: u64) -> u32 {
+        (lpn % self.geometry.total_luns() as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> Allocator {
+        Allocator::new(Geometry::tiny(), WriteAllocPolicy::RoundRobin, false)
+    }
+
+    #[test]
+    fn fresh_allocator_has_all_blocks_free() {
+        let a = alloc();
+        let g = Geometry::tiny();
+        for lun in 0..g.total_luns() {
+            assert_eq!(a.free_blocks(lun), g.blocks_per_lun() as usize);
+            assert_eq!(
+                a.free_pages(lun),
+                g.blocks_per_lun() as u64 * g.pages_per_block as u64
+            );
+        }
+    }
+
+    #[test]
+    fn allocations_are_sequential_within_block() {
+        let mut a = alloc();
+        let first = a.alloc(0, Stream::Hot).unwrap();
+        assert_eq!(first.page, 0);
+        let second = a.alloc(0, Stream::Hot).unwrap();
+        assert_eq!(second.block_addr(), first.block_addr());
+        assert_eq!(second.page, 1);
+    }
+
+    #[test]
+    fn streams_use_distinct_blocks() {
+        let mut a = alloc();
+        let hot = a.alloc(0, Stream::Hot).unwrap();
+        let gc = a.alloc(0, Stream::Gc).unwrap();
+        let loc = a.alloc(0, Stream::Locality(3)).unwrap();
+        assert_ne!(hot.block_addr(), gc.block_addr());
+        assert_ne!(hot.block_addr(), loc.block_addr());
+        assert_ne!(gc.block_addr(), loc.block_addr());
+    }
+
+    #[test]
+    fn full_block_rolls_to_next_free() {
+        let mut a = alloc();
+        let ppb = Geometry::tiny().pages_per_block;
+        let first_block = a.alloc(0, Stream::Hot).unwrap().block_addr();
+        for _ in 1..ppb {
+            a.alloc(0, Stream::Hot).unwrap();
+        }
+        let next = a.alloc(0, Stream::Hot).unwrap();
+        assert_ne!(next.block_addr(), first_block);
+        assert_eq!(next.page, 0);
+    }
+
+    #[test]
+    fn app_streams_cannot_take_last_free_block() {
+        let g = Geometry {
+            blocks_per_plane: 2,
+            ..Geometry::tiny()
+        };
+        let mut a = Allocator::new(g, WriteAllocPolicy::RoundRobin, false);
+        // Drain: app can open the first block (2 free), fill it…
+        for _ in 0..g.pages_per_block {
+            a.alloc(0, Stream::Hot).unwrap();
+        }
+        // …but not open the last block.
+        assert!(!a.can_alloc(0, Stream::Hot));
+        assert!(a.alloc(0, Stream::Hot).is_none());
+        // Internal streams can.
+        assert!(a.can_alloc(0, Stream::Gc));
+        assert!(a.alloc(0, Stream::Gc).is_some());
+    }
+
+    #[test]
+    fn block_freed_returns_to_pool() {
+        let g = Geometry {
+            blocks_per_plane: 2,
+            ..Geometry::tiny()
+        };
+        let mut a = Allocator::new(g, WriteAllocPolicy::RoundRobin, false);
+        let block = a.alloc(0, Stream::Gc).unwrap().block_addr();
+        for _ in 1..g.pages_per_block {
+            a.alloc(0, Stream::Gc).unwrap();
+        }
+        assert_eq!(a.free_blocks(0), 1);
+        a.block_freed(block, 1);
+        assert_eq!(a.free_blocks(0), 2);
+        assert!(a.is_free(block));
+    }
+
+    #[test]
+    fn dynamic_wl_steers_hot_to_young_cold_to_old() {
+        let g = Geometry {
+            blocks_per_plane: 4,
+            ..Geometry::tiny()
+        };
+        let mut a = Allocator::new(g, WriteAllocPolicy::RoundRobin, true);
+        // Rebuild lun 0's free list with distinct erase counts.
+        let blocks: Vec<BlockAddr> = (0..4)
+            .map(|i| BlockAddr {
+                channel: 0,
+                lun: 0,
+                plane: 0,
+                block: i,
+            })
+            .collect();
+        a.luns[0].free.clear();
+        for (i, b) in blocks.iter().enumerate() {
+            a.luns[0].free.push((*b, i as u32 * 10));
+        }
+        let hot = a.alloc(0, Stream::Hot).unwrap();
+        assert_eq!(hot.block_addr(), blocks[0], "hot should take youngest");
+        let cold = a.alloc(0, Stream::Cold).unwrap();
+        assert_eq!(cold.block_addr(), blocks[3], "cold should take oldest");
+    }
+
+    #[test]
+    fn alloc_in_plane_respects_plane() {
+        let g = Geometry {
+            planes_per_lun: 2,
+            ..Geometry::tiny()
+        };
+        let mut a = Allocator::new(g, WriteAllocPolicy::RoundRobin, false);
+        let p1 = a.alloc_in_plane(0, 1, Stream::Gc).unwrap();
+        assert_eq!(p1.plane, 1);
+        let p1b = a.alloc_in_plane(0, 1, Stream::Gc).unwrap();
+        assert_eq!(p1b.block_addr(), p1.block_addr());
+        assert_eq!(p1b.page, 1);
+    }
+
+    #[test]
+    fn choose_lun_round_robin_rotates() {
+        let mut a = alloc();
+        let l1 = a.choose_lun(Stream::Hot, |_| true).unwrap();
+        let l2 = a.choose_lun(Stream::Hot, |_| true).unwrap();
+        assert_ne!(l1, l2);
+        // Unusable LUNs are skipped.
+        let l3 = a.choose_lun(Stream::Hot, |l| l == 0).unwrap();
+        assert_eq!(l3, 0);
+        assert_eq!(a.choose_lun(Stream::Hot, |_| false), None);
+    }
+
+    #[test]
+    fn choose_lun_least_utilized_prefers_space() {
+        let mut a = Allocator::new(Geometry::tiny(), WriteAllocPolicy::LeastUtilized, false);
+        // Consume a block's worth on LUN 0.
+        for _ in 0..Geometry::tiny().pages_per_block {
+            a.alloc(0, Stream::Hot).unwrap();
+        }
+        let l = a.choose_lun(Stream::Hot, |_| true).unwrap();
+        assert_ne!(l, 0);
+    }
+
+    #[test]
+    fn striped_lun_is_modulo() {
+        let a = alloc();
+        let n = Geometry::tiny().total_luns() as u64;
+        assert_eq!(a.striped_lun(0), 0);
+        assert_eq!(a.striped_lun(n + 1), 1);
+    }
+
+    #[test]
+    fn is_active_tracks_open_blocks() {
+        let mut a = alloc();
+        let b = a.alloc(0, Stream::Hot).unwrap().block_addr();
+        assert!(a.is_active(b));
+        assert!(!a.is_free(b));
+    }
+}

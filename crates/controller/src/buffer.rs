@@ -1,0 +1,203 @@
+//! Battery-backed RAM write buffer.
+//!
+//! §2.2: "other modules can be added to the SSD controller, e.g., a
+//! write-buffering module that uses battery-backed RAM to temporarily
+//! store data before it is written on flash pages." Because the RAM is
+//! battery-backed, a buffered write is durable and completes immediately;
+//! repeated writes to the same logical page are *absorbed* (only the last
+//! version ever reaches flash), and reads of buffered pages are served
+//! from RAM.
+//!
+//! Entries carry a version so an in-flight flush can detect that its page
+//! was re-dirtied (or trimmed) while the program was in flight and discard
+//! the stale flash copy instead of publishing it.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::types::Lpn;
+
+/// FIFO write buffer with per-entry versions.
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    capacity: usize,
+    entries: HashMap<Lpn, u64>,
+    order: VecDeque<Lpn>,
+    next_version: u64,
+    /// Overwrites absorbed in RAM (writes that never cost a flash program).
+    pub absorbed: u64,
+    /// Reads served from the buffer.
+    pub read_hits: u64,
+    /// Flush programs started.
+    pub flushes_started: u64,
+}
+
+impl WriteBuffer {
+    /// A buffer holding up to `capacity` pages (> 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write buffer capacity must be positive");
+        WriteBuffer {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            next_version: 0,
+            absorbed: 0,
+            read_hits: 0,
+            flushes_started: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn contains(&self, lpn: Lpn) -> bool {
+        self.entries.contains_key(&lpn)
+    }
+
+    /// Buffer a write. Returns `true` when it absorbed an existing entry
+    /// (no growth), `false` when a new entry was added.
+    pub fn write(&mut self, lpn: Lpn) -> bool {
+        self.next_version += 1;
+        let v = self.next_version;
+        if self.entries.insert(lpn, v).is_some() {
+            self.absorbed += 1;
+            true
+        } else {
+            self.order.push_back(lpn);
+            false
+        }
+    }
+
+    /// Note a read served from the buffer.
+    pub fn note_read_hit(&mut self) {
+        self.read_hits += 1;
+    }
+
+    /// Drop an entry (trim).
+    pub fn remove(&mut self, lpn: Lpn) {
+        self.entries.remove(&lpn);
+        // `order` is lazily cleaned in `next_flush_candidates`.
+    }
+
+    /// Whether the buffer is at/over capacity and should flush.
+    pub fn needs_flush(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Oldest entries to flush, with their captured versions. Takes up to
+    /// `max(1, capacity/4)` entries (they stay buffered until the flush
+    /// completes; callers must not re-request while flushes are pending).
+    pub fn next_flush_candidates(&mut self) -> Vec<(Lpn, u64)> {
+        let want = (self.capacity / 4).max(1);
+        let mut out = Vec::with_capacity(want);
+        let mut requeue = VecDeque::new();
+        while out.len() < want {
+            let Some(lpn) = self.order.pop_front() else {
+                break;
+            };
+            // Entries trimmed since enqueueing drop out of `order` here.
+            if let Some(&v) = self.entries.get(&lpn) {
+                out.push((lpn, v));
+                requeue.push_back(lpn); // still buffered until done
+            }
+        }
+        // Flushing entries go to the back so a second flush round picks
+        // other pages first.
+        self.order.extend(requeue);
+        self.flushes_started += out.len() as u64;
+        out
+    }
+
+    /// Finish a flush: remove the entry if its version is unchanged.
+    /// Returns `true` when the flushed copy is current (publish it) and
+    /// `false` when it was superseded or trimmed mid-flight (discard).
+    pub fn flush_done(&mut self, lpn: Lpn, version: u64) -> bool {
+        match self.entries.get(&lpn) {
+            Some(&v) if v == version => {
+                self.entries.remove(&lpn);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_absorb_duplicates() {
+        let mut b = WriteBuffer::new(4);
+        assert!(!b.write(1));
+        assert!(b.write(1));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.absorbed, 1);
+    }
+
+    #[test]
+    fn needs_flush_at_capacity() {
+        let mut b = WriteBuffer::new(2);
+        b.write(1);
+        assert!(!b.needs_flush());
+        b.write(2);
+        assert!(b.needs_flush());
+    }
+
+    #[test]
+    fn flush_candidates_are_oldest_first() {
+        let mut b = WriteBuffer::new(8);
+        for lpn in 0..8 {
+            b.write(lpn);
+        }
+        let c = b.next_flush_candidates();
+        assert_eq!(c.len(), 2); // capacity/4
+        assert_eq!(c[0].0, 0);
+        assert_eq!(c[1].0, 1);
+        assert_eq!(b.flushes_started, 2);
+    }
+
+    #[test]
+    fn flush_done_checks_version() {
+        let mut b = WriteBuffer::new(4);
+        b.write(5);
+        let c = b.next_flush_candidates();
+        let (lpn, v) = c[0];
+        // Re-dirty before the flush lands.
+        b.write(5);
+        assert!(!b.flush_done(lpn, v), "stale flush must be discarded");
+        assert!(b.contains(5), "re-dirtied entry must stay");
+        // Second flush with the fresh version succeeds.
+        let c = b.next_flush_candidates();
+        assert!(b.flush_done(c[0].0, c[0].1));
+        assert!(!b.contains(5));
+    }
+
+    #[test]
+    fn trimmed_entries_never_flush() {
+        let mut b = WriteBuffer::new(4);
+        b.write(1);
+        b.write(2);
+        b.remove(1);
+        let c = b.next_flush_candidates();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].0, 2);
+    }
+
+    #[test]
+    fn flush_done_after_trim_is_stale() {
+        let mut b = WriteBuffer::new(4);
+        b.write(9);
+        let c = b.next_flush_candidates();
+        b.remove(9);
+        assert!(!b.flush_done(c[0].0, c[0].1));
+    }
+}

@@ -1,0 +1,245 @@
+//! Controller configuration: every §2.2 policy knob in one place.
+
+use crate::sched::SchedPolicy;
+use crate::types::OpClass;
+
+/// Which mapping scheme the FTL uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingKind {
+    /// Full page-level map held in controller RAM.
+    PageMap,
+    /// DFTL: demand-cached page map with flash-resident translation pages.
+    /// `cmt_entries` bounds the cached mapping table.
+    Dftl { cmt_entries: usize },
+}
+
+/// GC victim-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Fewest valid pages (min-effort).
+    Greedy,
+    /// Uniformly random among non-free, non-active blocks.
+    Random,
+    /// Classic cost-benefit: maximize `age · (1-u) / 2u`.
+    CostBenefit,
+}
+
+/// Garbage-collection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcConfig {
+    /// "GC Greediness": keep at least this many blocks free on each LUN
+    /// (§2.2). Higher = earlier GC = smoother latency but more migration.
+    pub greediness: u32,
+    /// Victim selection policy.
+    pub victim: VictimPolicy,
+    /// Use copy-back for intra-plane migration when the chip supports it.
+    pub use_copyback: bool,
+    /// Migrate victims' pages within the same LUN (true) or let the write
+    /// allocator spread them across LUNs (false).
+    pub migrate_same_lun: bool,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            greediness: 2,
+            victim: VictimPolicy::Greedy,
+            use_copyback: true,
+            migrate_same_lun: true,
+        }
+    }
+}
+
+/// Wear-leveling configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WlConfig {
+    /// Enable static wear leveling (migrate cold data off young blocks).
+    pub static_enabled: bool,
+    /// Evaluate static WL every this many erases.
+    pub check_every_erases: u32,
+    /// A block is "young" if its erase count trails the maximum by at
+    /// least this much.
+    pub young_delta: u32,
+    /// … and it has not been erased for `idle_factor ×` the fleet-average
+    /// inter-erase gap.
+    pub idle_factor: f64,
+    /// Enable dynamic wear leveling: allocate young blocks to hot data and
+    /// old blocks to cold data.
+    pub dynamic_enabled: bool,
+}
+
+impl Default for WlConfig {
+    fn default() -> Self {
+        WlConfig {
+            static_enabled: true,
+            check_every_erases: 64,
+            young_delta: 8,
+            idle_factor: 4.0,
+            dynamic_enabled: false,
+        }
+    }
+}
+
+/// Where unbound application writes go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAllocPolicy {
+    /// Rotate across LUNs per write.
+    RoundRobin,
+    /// Pick the free LUN with the most free pages.
+    LeastUtilized,
+    /// Bind LUN statically by `lpn % luns` (RAID-0-like striping).
+    Striping,
+}
+
+/// Temperature-detection source for dynamic WL and hot/cold separation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemperatureMode {
+    /// No detection; everything is one stream.
+    Off,
+    /// On-device multi-bloom-filter detector (Park & Du, MSST'11).
+    Detector,
+    /// Trust open-interface temperature tags; fall back to the detector
+    /// for untagged writes.
+    Hints,
+}
+
+/// Complete controller configuration.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Mapping scheme.
+    pub mapping: MappingKind,
+    /// Fraction of physical pages exported as logical space (the rest is
+    /// over-provisioning headroom for GC).
+    pub logical_capacity: f64,
+    /// GC knobs.
+    pub gc: GcConfig,
+    /// Wear-leveling knobs.
+    pub wl: WlConfig,
+    /// Controller IO scheduling policy.
+    pub sched: SchedPolicy,
+    /// Write-allocation policy for unbound application writes.
+    pub write_alloc: WriteAllocPolicy,
+    /// Temperature detection mode.
+    pub temperature: TemperatureMode,
+    /// Honor update-locality tags with per-group active blocks.
+    pub honor_locality: bool,
+    /// Allow channel interleaving across LUNs. When `false` the controller
+    /// serializes each channel (at most one LUN in flight per channel),
+    /// modelling a naive non-interleaving controller.
+    pub interleaving: bool,
+    /// Exploit cached (pipelined) programming when the chip supports it:
+    /// stream the next page's data into a LUN that is still programming
+    /// the previous page of the same block.
+    pub use_cached_program: bool,
+    /// Battery-backed write buffer size in pages (0 disables buffering).
+    /// Buffered writes complete on arrival; overwrites are absorbed in
+    /// RAM; dirty pages flush to flash in the background.
+    pub write_buffer_pages: u64,
+    /// Controller DRAM budget in bytes (mapping tables must fit).
+    pub ram_bytes: u64,
+    /// Battery-backed RAM budget in bytes (write buffer).
+    pub battery_ram_bytes: u64,
+    /// RNG seed for randomized policies (victim selection).
+    pub seed: u64,
+    /// Capture a per-IO visual trace of up to this many events
+    /// (0 disables tracing; see `Controller::trace`).
+    pub trace_events: usize,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            mapping: MappingKind::PageMap,
+            logical_capacity: 0.85,
+            gc: GcConfig::default(),
+            wl: WlConfig::default(),
+            sched: SchedPolicy::Fifo,
+            write_alloc: WriteAllocPolicy::RoundRobin,
+            temperature: TemperatureMode::Off,
+            honor_locality: false,
+            interleaving: true,
+            use_cached_program: true,
+            write_buffer_pages: 0,
+            ram_bytes: 64 << 20,
+            battery_ram_bytes: 1 << 20,
+            seed: 0xEA61E,
+            trace_events: 0,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Validate invariants that would otherwise wedge a simulation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.logical_capacity && self.logical_capacity < 1.0) {
+            return Err(format!(
+                "logical_capacity must be in (0,1), got {}",
+                self.logical_capacity
+            ));
+        }
+        if self.gc.greediness == 0 {
+            return Err("gc.greediness must be at least 1".into());
+        }
+        if let MappingKind::Dftl { cmt_entries } = self.mapping {
+            if cmt_entries == 0 {
+                return Err("DFTL cmt_entries must be non-zero".into());
+            }
+        }
+        if self.wl.static_enabled && self.wl.check_every_erases == 0 {
+            return Err("wl.check_every_erases must be non-zero".into());
+        }
+        Ok(())
+    }
+
+    /// Deadline class table used by the EDF scheduler when enabled.
+    pub fn default_deadlines_us() -> [(OpClass, u64); 9] {
+        [
+            (OpClass::AppRead, 500),
+            (OpClass::AppWrite, 2_000),
+            (OpClass::MappingRead, 400),
+            (OpClass::MappingWrite, 3_000),
+            (OpClass::GcRead, 5_000),
+            (OpClass::GcWrite, 5_000),
+            (OpClass::WlRead, 20_000),
+            (OpClass::WlWrite, 20_000),
+            (OpClass::Erase, 10_000),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ControllerConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = ControllerConfig::default();
+        c.logical_capacity = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ControllerConfig::default();
+        c.gc.greediness = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ControllerConfig::default();
+        c.mapping = MappingKind::Dftl { cmt_entries: 0 };
+        assert!(c.validate().is_err());
+
+        let mut c = ControllerConfig::default();
+        c.wl.check_every_erases = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn deadline_table_covers_all_classes() {
+        let table = ControllerConfig::default_deadlines_us();
+        for class in OpClass::ALL {
+            assert!(table.iter().any(|(c, _)| *c == class));
+        }
+    }
+}

@@ -1,0 +1,1342 @@
+//! The SSD controller: orchestration of mapping, GC, wear leveling and
+//! scheduling over the flash array.
+//!
+//! The controller owns an internal event agenda (flash completions and
+//! scheduler wake-ups) and exposes a pull interface to the OS layer:
+//! [`Controller::submit`] accepts requests, [`Controller::next_event_time`]
+//! reports when something internal happens next, and
+//! [`Controller::advance`] processes the agenda up to a virtual instant and
+//! returns request completions. All policy — *which* pending flash
+//! operation issues next and *where* unbound writes land — is delegated to
+//! the configured [`crate::sched::SchedPolicy`] and write allocator — precisely
+//! the design space the paper exposes.
+
+use std::collections::{HashMap, HashSet};
+
+use eagletree_core::{EventQueue, OnlineStats, SimRng, SimTime, TraceKind, TraceLog};
+use eagletree_flash::{
+    BlockAddr, FlashArray, FlashCommand, Geometry, MemoryKind, MemoryManager, PageState,
+    PhysicalAddr, TimingSpec,
+};
+
+use crate::alloc::{Allocator, Stream};
+use crate::buffer::WriteBuffer;
+use crate::config::{ControllerConfig, MappingKind, TemperatureMode};
+use crate::ftl::{Dftl, Ftl, FtlKind, MapLookup, PageMap, TranslationWriteback};
+use crate::gc::{pick_victim, ReclaimJob};
+use crate::sched::{class_index, ClassTable};
+use crate::temperature::MultiBloomDetector;
+use crate::types::{
+    Completion, IoSource, Lpn, OpClass, Ppn, RequestId, RequestKind, SsdRequest, Temperature,
+};
+use crate::wear::pick_wl_victim;
+
+/// Sort key the scheduler sees per issuable op: class, open-interface
+/// priority tag, enqueue time, arrival sequence.
+type SchedKey = (OpClass, Option<u8>, SimTime, u64);
+
+/// What a physical page holds (the controller's reverse map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageContent {
+    /// Application data for this logical page.
+    Data(Lpn),
+    /// A DFTL translation page.
+    Translation(u64),
+}
+
+/// Completion-event payloads: what finished and what to do next.
+#[derive(Debug, Clone, Copy)]
+enum DoneWhat {
+    AppReadArray { id: RequestId, addr: PhysicalAddr },
+    AppReadXfer { id: RequestId },
+    AppWriteDone { id: RequestId, lpn: Lpn, ppn: Ppn },
+    GcReadArray { job: usize, from: PhysicalAddr },
+    GcXfer { job: usize, from: PhysicalAddr },
+    GcWriteDone { job: usize, from_ppn: Ppn, content: PageContent, new: PhysicalAddr },
+    GcCopyBackDone { job: usize, from: PhysicalAddr, to: PhysicalAddr, content: PageContent },
+    EraseDone { job: usize, block: BlockAddr },
+    MapFetchRead { tvpn: u64, addr: PhysicalAddr },
+    MapFetchXfer { tvpn: u64 },
+    WbRead { wb: usize, addr: PhysicalAddr },
+    WbXfer { wb: usize },
+    WbWrite { wb: usize, new: PhysicalAddr },
+    FlushDone { lpn: Lpn, version: u64, ppn: Ppn },
+}
+
+enum CtrlEvent {
+    Wake,
+    Done(DoneWhat),
+}
+
+/// Payload of an unbound write op.
+#[derive(Debug, Clone, Copy)]
+enum WriteWhat {
+    App { id: RequestId, lpn: Lpn },
+    Gc { job: usize, from_ppn: Ppn, content: PageContent },
+    Translation { wb: usize },
+    /// Background flush of a buffered write.
+    Flush { lpn: Lpn, version: u64 },
+}
+
+/// A pending flash operation awaiting scheduling.
+#[derive(Debug, Clone, Copy)]
+enum PendKind {
+    /// Transfer previously read data out of a LUN register.
+    Transfer { addr: PhysicalAddr, done: DoneWhat },
+    /// Erase a reclaimed victim.
+    Erase { block: BlockAddr, job: usize },
+    /// Application read; physical target resolved at issue time.
+    AppRead { id: RequestId, lpn: Lpn },
+    /// DFTL translation-page fetch; location resolved at issue time.
+    MapFetchRead { tvpn: u64 },
+    /// Read-merge source of a translation writeback.
+    WbRead { wb: usize },
+    /// Program with destination chosen at issue time.
+    Write { lun: Option<u32>, stream: Stream, what: WriteWhat },
+    /// GC page migration (copy-back or read+program, decided at issue).
+    GcMove { job: usize, from: PhysicalAddr },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    seq: u64,
+    class: OpClass,
+    tag: Option<u8>,
+    enqueued_at: SimTime,
+    kind: PendKind,
+}
+
+struct AppIo {
+    req: SsdRequest,
+    pinned: bool,
+}
+
+/// Something parked on a translation-page fetch.
+#[derive(Debug, Clone, Copy)]
+enum Waiter {
+    Request(RequestId),
+    Flush { lpn: Lpn, version: u64 },
+}
+
+struct FetchJob {
+    waiting: Vec<Waiter>,
+}
+
+struct WbJob {
+    tvpn: u64,
+    old_ppn: Option<Ppn>,
+}
+
+/// Controller counters.
+#[derive(Debug, Clone, Default)]
+pub struct CtrlStats {
+    /// Flash operations issued, per class.
+    pub issued: ClassTable,
+    /// Per-class queue waiting time (µs).
+    pub wait_us: Vec<OnlineStats>,
+    pub app_reads_completed: u64,
+    pub app_writes_completed: u64,
+    pub trims_completed: u64,
+    /// GC page migrations finished.
+    pub gc_moves: u64,
+    /// Migrations dropped because the page was superseded mid-flight.
+    pub gc_stale: u64,
+    /// Victim pages already invalid at move time (free reclamation).
+    pub gc_skipped: u64,
+    pub gc_erases: u64,
+    pub wl_erases: u64,
+    pub wl_moves: u64,
+    pub mapping_fetches: u64,
+    pub mapping_writebacks: u64,
+    /// Blocks retired after exhausting erase endurance.
+    pub bad_blocks_retired: u64,
+}
+
+impl CtrlStats {
+    fn new() -> Self {
+        CtrlStats {
+            wait_us: vec![OnlineStats::new(); OpClass::ALL.len()],
+            ..Default::default()
+        }
+    }
+}
+
+/// The simulated SSD controller.
+pub struct Controller {
+    array: FlashArray,
+    ftl: FtlKind,
+    alloc: Allocator,
+    cfg: ControllerConfig,
+    mem: MemoryManager,
+    rng: SimRng,
+    detector: MultiBloomDetector,
+    events: EventQueue<CtrlEvent>,
+    pending: Vec<PendingOp>,
+    op_seq: u64,
+    app: HashMap<RequestId, AppIo>,
+    jobs: Vec<Option<ReclaimJob>>,
+    fetches: HashMap<u64, FetchJob>,
+    wb_jobs: Vec<Option<WbJob>>,
+    reverse: Vec<Option<PageContent>>,
+    victims: HashSet<BlockAddr>,
+    reclaim_active: Vec<u32>,
+    buffer: Option<WriteBuffer>,
+    flushes_inflight: u32,
+    tracer: Option<TraceLog>,
+    logical_pages: u64,
+    serviced: ClassTable,
+    stats: CtrlStats,
+    erases_since_wl: u32,
+    completions: Vec<Completion>,
+}
+
+impl Controller {
+    /// Build a controller over a fresh flash array.
+    pub fn new(
+        geometry: Geometry,
+        timing: TimingSpec,
+        cfg: ControllerConfig,
+    ) -> Result<Self, String> {
+        geometry.validate()?;
+        timing.validate()?;
+        cfg.validate()?;
+        let logical_pages =
+            ((geometry.total_pages() as f64) * cfg.logical_capacity).floor() as u64;
+        if logical_pages == 0 {
+            return Err("logical capacity rounds to zero pages".into());
+        }
+        let entries_per_tp = (geometry.page_size as u64 / 8).max(1);
+        let ftl = match cfg.mapping {
+            MappingKind::PageMap => FtlKind::PageMap(PageMap::new(logical_pages)),
+            MappingKind::Dftl { cmt_entries } => {
+                FtlKind::Dftl(Box::new(Dftl::new(logical_pages, cmt_entries, entries_per_tp)))
+            }
+        };
+        let mut mem = MemoryManager::new(cfg.ram_bytes, cfg.battery_ram_bytes);
+        mem.reserve(MemoryKind::Ram, "mapping", ftl.ram_bytes())?;
+        let buffer = if cfg.write_buffer_pages > 0 {
+            mem.reserve(
+                MemoryKind::BatteryBackedRam,
+                "write-buffer",
+                cfg.write_buffer_pages * geometry.page_size as u64,
+            )?;
+            Some(WriteBuffer::new(cfg.write_buffer_pages as usize))
+        } else {
+            None
+        };
+        let array = FlashArray::new(geometry, timing);
+        let alloc = Allocator::new(geometry, cfg.write_alloc, cfg.wl.dynamic_enabled);
+        let tracer = if cfg.trace_events > 0 {
+            Some(TraceLog::new(cfg.trace_events))
+        } else {
+            None
+        };
+        Ok(Controller {
+            reverse: vec![None; geometry.total_pages() as usize],
+            reclaim_active: vec![0; geometry.total_luns() as usize],
+            rng: SimRng::new(cfg.seed),
+            detector: MultiBloomDetector::default_detector(),
+            array,
+            ftl,
+            alloc,
+            cfg,
+            mem,
+            events: EventQueue::new(),
+            pending: Vec::new(),
+            op_seq: 0,
+            app: HashMap::new(),
+            jobs: Vec::new(),
+            fetches: HashMap::new(),
+            wb_jobs: Vec::new(),
+            victims: HashSet::new(),
+            buffer,
+            flushes_inflight: 0,
+            tracer,
+            logical_pages,
+            serviced: [0; 9],
+            stats: CtrlStats::new(),
+            erases_since_wl: 0,
+            completions: Vec::new(),
+        })
+    }
+
+    /// Number of logical pages the device exports.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// The underlying flash array (wear metrics, utilization, counters).
+    pub fn array(&self) -> &FlashArray {
+        &self.array
+    }
+
+    /// Controller counters.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// The memory manager (RAM budget introspection).
+    pub fn memory(&self) -> &MemoryManager {
+        &self.mem
+    }
+
+    /// DFTL cost-model counters, when DFTL is configured.
+    pub fn dftl_stats(&self) -> Option<crate::ftl::DftlStats> {
+        match &self.ftl {
+            FtlKind::Dftl(d) => Some(d.stats()),
+            FtlKind::PageMap(_) => None,
+        }
+    }
+
+    /// Write amplification: flash programs (including copy-backs and
+    /// translation traffic) per completed application write.
+    pub fn write_amplification(&self) -> f64 {
+        let c = self.array.counters();
+        if self.stats.app_writes_completed == 0 {
+            return 0.0;
+        }
+        (c.programs + c.copybacks) as f64 / self.stats.app_writes_completed as f64
+    }
+
+    /// Authoritative mapping of `lpn`, bypassing the DFTL cost model.
+    /// For tests and invariant checks.
+    pub fn peek_mapping(&self, lpn: Lpn) -> Option<Ppn> {
+        self.ftl.peek(lpn)
+    }
+
+    /// The write buffer, when configured.
+    pub fn write_buffer(&self) -> Option<&WriteBuffer> {
+        self.buffer.as_ref()
+    }
+
+    /// The visual trace, when `trace_events > 0` was configured.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.tracer.as_ref()
+    }
+
+    /// Whether `lpn`'s latest contents sit in the write buffer.
+    pub fn is_buffered(&self, lpn: Lpn) -> bool {
+        self.buffer.as_ref().is_some_and(|b| b.contains(lpn))
+    }
+
+    /// True when no work is pending, in flight, or scheduled.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty() && self.events.is_empty() && self.app.is_empty()
+    }
+
+    /// Earliest internal event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Submit a request. Completions (possibly instant) are collected by
+    /// the next [`Controller::advance`] call.
+    pub fn submit(&mut self, req: SsdRequest, now: SimTime) {
+        assert!(
+            req.lpn < self.logical_pages,
+            "lpn {} beyond logical capacity {}",
+            req.lpn,
+            self.logical_pages
+        );
+        match req.kind {
+            RequestKind::Trim => {
+                if let Some(b) = &mut self.buffer {
+                    b.remove(req.lpn);
+                }
+                if let Some(old) = self.ftl.trim(req.lpn) {
+                    self.invalidate_ppn(old);
+                }
+                self.stats.trims_completed += 1;
+                self.completions.push(Completion { id: req.id, at: now });
+            }
+            RequestKind::Write if self.buffer.is_some() => {
+                // Battery-backed buffering: durable on arrival.
+                self.detector.record_write(req.lpn);
+                self.buffer.as_mut().unwrap().write(req.lpn);
+                self.stats.app_writes_completed += 1;
+                self.completions.push(Completion { id: req.id, at: now });
+                self.maybe_flush(now);
+            }
+            RequestKind::Read
+                if self
+                    .buffer
+                    .as_ref()
+                    .is_some_and(|b| b.contains(req.lpn)) =>
+            {
+                // Served from the buffer: no flash IO.
+                self.buffer.as_mut().unwrap().note_read_hit();
+                self.stats.app_reads_completed += 1;
+                self.completions.push(Completion { id: req.id, at: now });
+            }
+            RequestKind::Read | RequestKind::Write => {
+                if req.kind == RequestKind::Write {
+                    self.detector.record_write(req.lpn);
+                }
+                let prev = self.app.insert(
+                    req.id,
+                    AppIo {
+                        req,
+                        pinned: false,
+                    },
+                );
+                assert!(prev.is_none(), "duplicate in-flight request id {}", req.id);
+                self.start_or_park(req.id, now);
+            }
+        }
+        self.drain_ftl_writebacks(now);
+        self.run_sched(now);
+    }
+
+    /// Process internal events up to and including `now`; return completed
+    /// requests.
+    pub fn advance(&mut self, now: SimTime) -> Vec<Completion> {
+        while let Some(t) = self.events.peek_time() {
+            if t > now {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked event");
+            match ev.payload {
+                CtrlEvent::Wake => {}
+                CtrlEvent::Done(d) => self.handle_done(d, ev.time),
+            }
+            self.run_sched(ev.time);
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    // ----- submission plumbing -------------------------------------------
+
+    /// Resolve the mapping for an application IO and enqueue its first
+    /// flash op, or park it on a translation fetch.
+    fn start_or_park(&mut self, id: RequestId, now: SimTime) {
+        let (lpn, kind, tags) = {
+            let io = &self.app[&id];
+            (io.req.lpn, io.req.kind, io.req.tags)
+        };
+        match self.ftl.lookup(lpn, true) {
+            MapLookup::Ready(ppn) => {
+                self.app.get_mut(&id).unwrap().pinned = true;
+                match kind {
+                    RequestKind::Read => {
+                        if ppn.is_none() {
+                            // Never written: zero-fill semantics, no flash IO.
+                            self.complete_app(id, now);
+                        } else {
+                            self.enqueue(
+                                OpClass::AppRead,
+                                tags.priority,
+                                now,
+                                PendKind::AppRead { id, lpn },
+                            );
+                        }
+                    }
+                    RequestKind::Write => {
+                        let stream = self.stream_for(lpn, tags);
+                        let lun = match self.cfg.write_alloc {
+                            crate::config::WriteAllocPolicy::Striping => {
+                                Some(self.alloc.striped_lun(lpn))
+                            }
+                            _ => None,
+                        };
+                        self.enqueue(
+                            OpClass::AppWrite,
+                            tags.priority,
+                            now,
+                            PendKind::Write {
+                                lun,
+                                stream,
+                                what: WriteWhat::App { id, lpn },
+                            },
+                        );
+                    }
+                    RequestKind::Trim => unreachable!("trims complete at submit"),
+                }
+            }
+            MapLookup::NeedsFetch(tvpn) => {
+                self.park_on_fetch(Waiter::Request(id), tvpn, now);
+            }
+        }
+    }
+
+    fn park_on_fetch(&mut self, waiter: Waiter, tvpn: u64, now: SimTime) {
+        self.stats.mapping_fetches += 1;
+        if let Some(f) = self.fetches.get_mut(&tvpn) {
+            f.waiting.push(waiter);
+        } else {
+            self.fetches.insert(
+                tvpn,
+                FetchJob {
+                    waiting: vec![waiter],
+                },
+            );
+            self.enqueue(
+                OpClass::MappingRead,
+                None,
+                now,
+                PendKind::MapFetchRead { tvpn },
+            );
+        }
+    }
+
+    /// Kick background flushes while the buffer is at capacity.
+    fn maybe_flush(&mut self, now: SimTime) {
+        let Some(b) = &mut self.buffer else { return };
+        if !b.needs_flush() || self.flushes_inflight > 0 {
+            return;
+        }
+        let candidates = b.next_flush_candidates();
+        for (lpn, version) in candidates {
+            self.start_flush(lpn, version, now);
+        }
+    }
+
+    /// Resolve the mapping for a buffered page and enqueue its program.
+    fn start_flush(&mut self, lpn: Lpn, version: u64, now: SimTime) {
+        match self.ftl.lookup(lpn, true) {
+            MapLookup::Ready(_) => {
+                self.flushes_inflight += 1;
+                let stream = self.stream_for(lpn, crate::types::IoTags::none());
+                self.enqueue(
+                    OpClass::AppWrite,
+                    None,
+                    now,
+                    PendKind::Write {
+                        lun: None,
+                        stream,
+                        what: WriteWhat::Flush { lpn, version },
+                    },
+                );
+            }
+            MapLookup::NeedsFetch(tvpn) => {
+                self.park_on_fetch(Waiter::Flush { lpn, version }, tvpn, now);
+            }
+        }
+    }
+
+    /// The write stream for an application write: open-interface locality
+    /// and temperature hints first, then the on-device detector.
+    fn stream_for(&self, lpn: Lpn, tags: crate::types::IoTags) -> Stream {
+        if self.cfg.honor_locality {
+            if let Some(g) = tags.locality_group {
+                return Stream::Locality(g);
+            }
+        }
+        let temp = match self.cfg.temperature {
+            TemperatureMode::Off => return Stream::Hot,
+            TemperatureMode::Detector => self.detector.classify(lpn),
+            TemperatureMode::Hints => tags
+                .temperature
+                .unwrap_or_else(|| self.detector.classify(lpn)),
+        };
+        match temp {
+            Temperature::Hot => Stream::Hot,
+            Temperature::Cold => Stream::Cold,
+        }
+    }
+
+    fn enqueue(&mut self, class: OpClass, tag: Option<u8>, now: SimTime, kind: PendKind) {
+        let seq = self.op_seq;
+        self.op_seq += 1;
+        if let Some(t) = &mut self.tracer {
+            t.record(now, seq, TraceKind::Enqueue { queue: class.name() });
+        }
+        self.pending.push(PendingOp {
+            seq,
+            class,
+            tag,
+            enqueued_at: now,
+            kind,
+        });
+    }
+
+    /// Issue a flash command whose resources the scheduler verified free,
+    /// recording it in the visual trace.
+    fn issue_cmd(
+        &mut self,
+        cmd: FlashCommand,
+        now: SimTime,
+        trace_id: u64,
+    ) -> eagletree_flash::IssueOutcome {
+        let out = self
+            .array
+            .issue(cmd, now)
+            .unwrap_or_else(|e| panic!("scheduler issued invalid command: {e}"));
+        if let Some(t) = &mut self.tracer {
+            t.record(
+                now,
+                trace_id,
+                TraceKind::FlashOp {
+                    op: cmd.mnemonic(),
+                    channel: cmd.channel(),
+                    lun: cmd.lun(),
+                    busy: out.lun_free_at.saturating_since(now),
+                },
+            );
+        }
+        out
+    }
+
+    fn complete_app(&mut self, id: RequestId, now: SimTime) {
+        if let Some(t) = &mut self.tracer {
+            t.record(now, id, TraceKind::Complete);
+        }
+        let io = self.app.remove(&id).expect("completing unknown request");
+        if io.pinned {
+            self.ftl.unpin(io.req.lpn);
+        }
+        match io.req.kind {
+            RequestKind::Read => self.stats.app_reads_completed += 1,
+            RequestKind::Write => self.stats.app_writes_completed += 1,
+            RequestKind::Trim => {}
+        }
+        self.completions.push(Completion { id, at: now });
+    }
+
+    fn invalidate_ppn(&mut self, ppn: Ppn) {
+        let addr = self.array.geometry().page_at(ppn);
+        self.array.invalidate(addr);
+        self.reverse[ppn as usize] = None;
+    }
+
+    // ----- garbage collection & wear leveling ----------------------------
+
+    fn reclaim_skip_set(&self) -> impl Fn(BlockAddr) -> bool + '_ {
+        move |b: BlockAddr| {
+            self.victims.contains(&b) || self.alloc.is_free(b) || self.alloc.is_active(b)
+        }
+    }
+
+    /// Effective GC trigger threshold: collect while `free < floor`.
+    ///
+    /// The floor is at least 2 regardless of the configured greediness:
+    /// the allocator reserves the last free block for internal streams, so
+    /// application writes need two free blocks to open a fresh one —
+    /// a floor of 1 would deadlock (GC never triggers, app never writes).
+    /// Strictly-below is essential: triggering at equality makes GC
+    /// repack the device forever once free blocks settle at the threshold.
+    fn gc_floor(&self) -> usize {
+        (self.cfg.gc.greediness as usize).max(2)
+    }
+
+    fn maybe_gc(&mut self, lun: u32, now: SimTime) {
+        while self.alloc.free_blocks(lun) < self.gc_floor()
+            && self.reclaim_active[lun as usize] == 0
+        {
+            let victim = {
+                let mut rng = self.rng.clone();
+                let skip = self.reclaim_skip_set();
+                let v = pick_victim(&self.array, lun, self.cfg.gc.victim, skip, &mut rng, now);
+                self.rng = rng;
+                v
+            };
+            let Some(victim) = victim else { break };
+            self.start_reclaim(victim, lun, IoSource::GarbageCollection, now);
+        }
+    }
+
+    fn maybe_wl(&mut self, now: SimTime) {
+        let victim = {
+            let skip = self.reclaim_skip_set();
+            pick_wl_victim(&self.array, now, &self.cfg.wl, skip)
+        };
+        if let Some(victim) = victim {
+            let lun = self.array.geometry().lun_index(victim.channel, victim.lun);
+            self.start_reclaim(victim, lun, IoSource::WearLeveling, now);
+        }
+    }
+
+    fn start_reclaim(&mut self, victim: BlockAddr, lun: u32, source: IoSource, now: SimTime) {
+        let valid = self.array.valid_pages_in(victim);
+        let job_id = self.jobs.len();
+        self.jobs
+            .push(Some(ReclaimJob::new(victim, lun, source, valid.len() as u32)));
+        self.victims.insert(victim);
+        self.reclaim_active[lun as usize] += 1;
+        if valid.is_empty() {
+            self.enqueue_erase(job_id, victim, now);
+        } else {
+            let class = match source {
+                IoSource::WearLeveling => OpClass::WlRead,
+                _ => OpClass::GcRead,
+            };
+            for from in valid {
+                self.enqueue(class, None, now, PendKind::GcMove { job: job_id, from });
+            }
+        }
+    }
+
+    fn enqueue_erase(&mut self, job: usize, block: BlockAddr, now: SimTime) {
+        self.jobs[job].as_mut().expect("live job").erase_enqueued = true;
+        self.enqueue(OpClass::Erase, None, now, PendKind::Erase { block, job });
+    }
+
+    /// Turn any translation writebacks queued inside the FTL into
+    /// mapping-source flash work. Called after every FTL mutation.
+    fn drain_ftl_writebacks(&mut self, now: SimTime) {
+        let wbs = self.ftl.take_writebacks();
+        if !wbs.is_empty() {
+            self.spawn_writebacks(wbs, now);
+        }
+    }
+
+    fn spawn_writebacks(&mut self, wbs: Vec<TranslationWriteback>, now: SimTime) {
+        for wb in wbs {
+            self.stats.mapping_writebacks += 1;
+            let id = self.wb_jobs.len();
+            self.wb_jobs.push(Some(WbJob {
+                tvpn: wb.tvpn,
+                old_ppn: wb.old_ppn,
+            }));
+            if wb.old_ppn.is_some() {
+                self.enqueue(OpClass::MappingRead, None, now, PendKind::WbRead { wb: id });
+            } else {
+                self.enqueue(
+                    OpClass::MappingWrite,
+                    None,
+                    now,
+                    PendKind::Write {
+                        lun: None,
+                        stream: Stream::Translation,
+                        what: WriteWhat::Translation { wb: id },
+                    },
+                );
+            }
+        }
+    }
+
+    // ----- the scheduler ---------------------------------------------------
+
+    /// Channel usable under the interleaving policy: with interleaving off
+    /// the controller keeps at most one LUN in flight per channel.
+    fn channel_ok(&self, channel: u32, lun_in_channel: u32, now: SimTime) -> bool {
+        if self.cfg.interleaving {
+            return true;
+        }
+        let g = self.array.geometry();
+        (0..g.luns_per_channel).all(|l| {
+            l == lun_in_channel
+                || (self.array.lun_free_at(channel, l) <= now
+                    && self.array.lun_holding(channel, l).is_none())
+        })
+    }
+
+    fn cmd_resources_free(&self, cmd: &FlashCommand, now: SimTime) -> bool {
+        self.array.can_issue(cmd, now) && self.channel_ok(cmd.channel(), cmd.lun(), now)
+    }
+
+    /// LUN (linear) free for a new program right now.
+    fn lun_free_for_program(&self, lun: u32, now: SimTime) -> bool {
+        let g = self.array.geometry();
+        let channel = lun / g.luns_per_channel;
+        let l = lun % g.luns_per_channel;
+        self.array.channel_free_at(channel) <= now
+            && self.array.lun_free_at(channel, l) <= now
+            && self.array.lun_holding(channel, l).is_none()
+            && self.channel_ok(channel, l, now)
+    }
+
+    /// A program for `stream` could start on `lun` right now: either the
+    /// LUN is idle, or (cached programming) the stream's next page extends
+    /// the block the LUN is currently programming.
+    fn can_program_on(&self, lun: u32, stream: Stream, now: SimTime) -> bool {
+        if !self.alloc.can_alloc(lun, stream) {
+            return false;
+        }
+        if self.lun_free_for_program(lun, now) {
+            return true;
+        }
+        if !self.cfg.use_cached_program {
+            return false;
+        }
+        let g = self.array.geometry();
+        let channel = lun / g.luns_per_channel;
+        let l = lun % g.luns_per_channel;
+        self.channel_ok(channel, l, now)
+            && self
+                .alloc
+                .peek_active(lun, stream)
+                .is_some_and(|addr| self.array.can_pipeline(addr, now))
+    }
+
+    /// Whether pending op `i` could issue (or be consumed) right now.
+    fn issuable(&self, i: usize, now: SimTime) -> bool {
+        let op = &self.pending[i];
+        match op.kind {
+            PendKind::Transfer { addr, .. } => {
+                self.cmd_resources_free(&FlashCommand::TransferOut(addr), now)
+            }
+            PendKind::Erase { block, .. } => {
+                self.cmd_resources_free(&FlashCommand::Erase(block), now)
+            }
+            PendKind::AppRead { id, .. } => {
+                let lpn = self.app[&id].req.lpn;
+                match self.ftl.peek(lpn) {
+                    None => true, // trimmed mid-flight: completes instantly
+                    Some(ppn) => {
+                        let addr = self.array.geometry().page_at(ppn);
+                        self.cmd_resources_free(&FlashCommand::ReadStart(addr), now)
+                    }
+                }
+            }
+            PendKind::MapFetchRead { tvpn } => match self.ftl.translation_location(tvpn) {
+                None => true, // resolvable from RAM: consumed instantly
+                Some(ppn) => {
+                    let addr = self.array.geometry().page_at(ppn);
+                    self.cmd_resources_free(&FlashCommand::ReadStart(addr), now)
+                }
+            },
+            PendKind::WbRead { wb } => {
+                let job = self.wb_jobs[wb].as_ref().expect("live wb job");
+                match job.old_ppn {
+                    None => true,
+                    Some(ppn) => {
+                        let addr = self.array.geometry().page_at(ppn);
+                        if self.array.page_state(addr) == PageState::Free {
+                            true // merge source erased: skip straight to program
+                        } else {
+                            self.cmd_resources_free(&FlashCommand::ReadStart(addr), now)
+                        }
+                    }
+                }
+            }
+            PendKind::Write { lun, stream, .. } => match lun {
+                Some(l) => self.can_program_on(l, stream, now),
+                None => {
+                    let g = self.array.geometry();
+                    (0..g.total_luns()).any(|l| self.can_program_on(l, stream, now))
+                }
+            },
+            PendKind::GcMove { from, .. } => {
+                if self.reverse[self.array.geometry().page_index(from) as usize].is_none() {
+                    return true; // superseded: consumed without flash IO
+                }
+                self.cmd_resources_free(&FlashCommand::ReadStart(from), now)
+            }
+        }
+    }
+
+    fn run_sched(&mut self, now: SimTime) {
+        // GC triggering is evaluated here so that every pathway that could
+        // change free-space (submissions, completions, erases) funnels
+        // through one place.
+        let nluns = self.array.geometry().total_luns();
+        for lun in 0..nluns {
+            if self.alloc.free_blocks(lun) < self.gc_floor() {
+                self.maybe_gc(lun, now);
+            }
+        }
+        loop {
+            // Hardware necessity: pending transfers hold LUN registers
+            // hostage, so they always go first.
+            if let Some(i) = (0..self.pending.len()).find(|&i| {
+                matches!(self.pending[i].kind, PendKind::Transfer { .. }) && self.issuable(i, now)
+            }) {
+                self.issue(i, now);
+                continue;
+            }
+            let candidates: Vec<(usize, SchedKey)> = (0..self
+                .pending
+                .len())
+                .filter(|&i| self.issuable(i, now))
+                .map(|i| {
+                    let op = &self.pending[i];
+                    (i, (op.class, op.tag, op.enqueued_at, op.seq))
+                })
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let keys: Vec<_> = candidates.iter().map(|&(_, k)| k).collect();
+            let chosen = self
+                .cfg
+                .sched
+                .select(&keys, &self.serviced)
+                .expect("non-empty candidates");
+            self.issue(candidates[chosen].0, now);
+        }
+    }
+
+    /// Issue (or consume) pending op `i`. Caller guarantees `issuable`.
+    fn issue(&mut self, i: usize, now: SimTime) {
+        let op = self.pending.swap_remove(i);
+        self.serviced[class_index(op.class)] += 1;
+        self.stats.wait_us[class_index(op.class)]
+            .record(now.saturating_since(op.enqueued_at).as_micros_f64());
+        match op.kind {
+            PendKind::Transfer { addr, done } => {
+                let out = self.issue_cmd(FlashCommand::TransferOut(addr), now, op.seq);
+                self.finish_issue(op.class, done, out);
+            }
+            PendKind::Erase { block, job } => {
+                let out = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
+                self.finish_issue(op.class, DoneWhat::EraseDone { job, block }, out);
+            }
+            PendKind::AppRead { id, lpn } => match self.ftl.peek(lpn) {
+                None => self.complete_app(id, now),
+                Some(ppn) => {
+                    let addr = self.array.geometry().page_at(ppn);
+                    let out = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                    self.finish_issue(op.class, DoneWhat::AppReadArray { id, addr }, out);
+                }
+            },
+            PendKind::MapFetchRead { tvpn } => match self.ftl.translation_location(tvpn) {
+                None => {
+                    // Entries live in RAM structures: resolve immediately.
+                    self.events
+                        .schedule(now, CtrlEvent::Done(DoneWhat::MapFetchXfer { tvpn }));
+                }
+                Some(ppn) => {
+                    let addr = self.array.geometry().page_at(ppn);
+                    let out = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                    self.finish_issue(op.class, DoneWhat::MapFetchRead { tvpn, addr }, out);
+                }
+            },
+            PendKind::WbRead { wb } => {
+                let old = self.wb_jobs[wb].as_ref().expect("live wb job").old_ppn;
+                let skip = match old {
+                    None => true,
+                    Some(ppn) => {
+                        let addr = self.array.geometry().page_at(ppn);
+                        self.array.page_state(addr) == PageState::Free
+                    }
+                };
+                if skip {
+                    self.enqueue(
+                        OpClass::MappingWrite,
+                        None,
+                        now,
+                        PendKind::Write {
+                            lun: None,
+                            stream: Stream::Translation,
+                            what: WriteWhat::Translation { wb },
+                        },
+                    );
+                } else {
+                    let addr = self.array.geometry().page_at(old.unwrap());
+                    let out = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                    self.finish_issue(op.class, DoneWhat::WbRead { wb, addr }, out);
+                }
+            }
+            PendKind::Write { lun, stream, what } => {
+                let lun = match lun {
+                    Some(l) => l,
+                    None => self
+                        .choose_write_lun(stream, now)
+                        .expect("write issuable implies a usable LUN"),
+                };
+                let addr = self.alloc.alloc(lun, stream).expect("issuable implies alloc");
+                let ppn = self.array.geometry().page_index(addr);
+                let content = match what {
+                    WriteWhat::App { lpn, .. } | WriteWhat::Flush { lpn, .. } => {
+                        PageContent::Data(lpn)
+                    }
+                    WriteWhat::Gc { content, .. } => content,
+                    WriteWhat::Translation { wb } => {
+                        PageContent::Translation(self.wb_jobs[wb].as_ref().unwrap().tvpn)
+                    }
+                };
+                self.reverse[ppn as usize] = Some(content);
+                let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                let done = match what {
+                    WriteWhat::App { id, lpn } => DoneWhat::AppWriteDone { id, lpn, ppn },
+                    WriteWhat::Gc { job, from_ppn, content } => DoneWhat::GcWriteDone {
+                        job,
+                        from_ppn,
+                        content,
+                        new: addr,
+                    },
+                    WriteWhat::Translation { wb } => DoneWhat::WbWrite { wb, new: addr },
+                    WriteWhat::Flush { lpn, version } => {
+                        DoneWhat::FlushDone { lpn, version, ppn }
+                    }
+                };
+                self.finish_issue(op.class, done, out);
+            }
+            PendKind::GcMove { job, from } => {
+                let from_ppn = self.array.geometry().page_index(from);
+                let Some(content) = self.reverse[from_ppn as usize] else {
+                    // Superseded while queued: space reclaims for free.
+                    self.stats.gc_skipped += 1;
+                    self.move_done(job, now);
+                    return;
+                };
+                let source = self.jobs[job].as_ref().expect("live job").source;
+                // Copy-back when permitted, supported, and a same-plane
+                // destination exists.
+                if self.cfg.gc.use_copyback
+                    && self.array.timing().copyback
+                    && self.cfg.gc.migrate_same_lun
+                {
+                    let lun = self.jobs[job].as_ref().unwrap().lun;
+                    if let Some(to) = self.alloc.alloc_in_plane(lun, from.plane, Stream::Gc) {
+                        self.reverse[self.array.geometry().page_index(to) as usize] =
+                            Some(content);
+                        let out = self.issue_cmd(FlashCommand::CopyBack { from, to }, now, op.seq);
+                        self.finish_issue(
+                            op.class,
+                            DoneWhat::GcCopyBackDone { job, from, to, content },
+                            out,
+                        );
+                        return;
+                    }
+                }
+                let out = self.issue_cmd(FlashCommand::ReadStart(from), now, op.seq);
+                let _ = source;
+                self.finish_issue(op.class, DoneWhat::GcReadArray { job, from }, out);
+            }
+        }
+    }
+
+    fn choose_write_lun(&mut self, stream: Stream, now: SimTime) -> Option<u32> {
+        let g = *self.array.geometry();
+        let free: Vec<bool> = (0..g.total_luns())
+            .map(|l| self.can_program_on(l, stream, now))
+            .collect();
+        self.alloc.choose_lun(stream, |l| free[l as usize])
+    }
+
+    fn finish_issue(
+        &mut self,
+        class: OpClass,
+        done: DoneWhat,
+        out: eagletree_flash::IssueOutcome,
+    ) {
+        self.stats.issued[class_index(class)] += 1;
+        self.events.schedule(out.done_at, CtrlEvent::Done(done));
+        if out.channel_free_at < out.done_at {
+            self.events.schedule(out.channel_free_at, CtrlEvent::Wake);
+        }
+        if out.lun_free_at < out.done_at {
+            self.events.schedule(out.lun_free_at, CtrlEvent::Wake);
+        }
+    }
+
+    // ----- completion handling -------------------------------------------
+
+    fn handle_done(&mut self, d: DoneWhat, now: SimTime) {
+        match d {
+            DoneWhat::AppReadArray { id, addr } => {
+                let tag = self.app[&id].req.tags.priority;
+                self.enqueue(
+                    OpClass::AppRead,
+                    tag,
+                    now,
+                    PendKind::Transfer {
+                        addr,
+                        done: DoneWhat::AppReadXfer { id },
+                    },
+                );
+            }
+            DoneWhat::AppReadXfer { id } => self.complete_app(id, now),
+            DoneWhat::AppWriteDone { id, lpn, ppn } => {
+                let old = self.ftl.update(lpn, ppn);
+                if let Some(old) = old {
+                    debug_assert_eq!(
+                        self.reverse[old as usize],
+                        Some(PageContent::Data(lpn)),
+                        "reverse map inconsistent at superseded page"
+                    );
+                    self.invalidate_ppn(old);
+                }
+                self.drain_ftl_writebacks(now);
+                self.complete_app(id, now);
+            }
+            DoneWhat::GcReadArray { job, from } => {
+                let class = self.job_class(job, true);
+                self.enqueue(
+                    class,
+                    None,
+                    now,
+                    PendKind::Transfer {
+                        addr: from,
+                        done: DoneWhat::GcXfer { job, from },
+                    },
+                );
+            }
+            DoneWhat::GcXfer { job, from } => {
+                let from_ppn = self.array.geometry().page_index(from);
+                match self.reverse[from_ppn as usize] {
+                    None => {
+                        // Invalidated between read and write: drop the move.
+                        self.stats.gc_stale += 1;
+                        self.move_done(job, now);
+                    }
+                    Some(content) => {
+                        let j = self.jobs[job].as_ref().expect("live job");
+                        let lun = if self.cfg.gc.migrate_same_lun {
+                            Some(j.lun)
+                        } else {
+                            None
+                        };
+                        let class = self.job_class(job, false);
+                        let stream = match (j.source, content) {
+                            (_, PageContent::Translation(_)) => Stream::Translation,
+                            // Static WL migrates presumed-cold data.
+                            (IoSource::WearLeveling, _) => Stream::Cold,
+                            _ => Stream::Gc,
+                        };
+                        self.enqueue(
+                            class,
+                            None,
+                            now,
+                            PendKind::Write {
+                                lun,
+                                stream,
+                                what: WriteWhat::Gc { job, from_ppn, content },
+                            },
+                        );
+                    }
+                }
+            }
+            DoneWhat::GcWriteDone { job, from_ppn, content, new } => {
+                self.finalize_move(job, from_ppn, content, new, now);
+            }
+            DoneWhat::GcCopyBackDone { job, from, to, content } => {
+                let from_ppn = self.array.geometry().page_index(from);
+                self.finalize_move(job, from_ppn, content, to, now);
+            }
+            DoneWhat::EraseDone { job, block } => {
+                let info = self.array.block_info(block);
+                if info.bad {
+                    // Endurance exhausted: mask the block — it never
+                    // returns to the free pool.
+                    self.stats.bad_blocks_retired += 1;
+                } else {
+                    self.alloc.block_freed(block, info.erase_count);
+                }
+                self.victims.remove(&block);
+                let j = self.jobs[job].take().expect("live job");
+                self.reclaim_active[j.lun as usize] -= 1;
+                match j.source {
+                    IoSource::WearLeveling => self.stats.wl_erases += 1,
+                    _ => self.stats.gc_erases += 1,
+                }
+                self.erases_since_wl += 1;
+                if self.cfg.wl.static_enabled
+                    && self.erases_since_wl >= self.cfg.wl.check_every_erases
+                {
+                    self.erases_since_wl = 0;
+                    self.maybe_wl(now);
+                }
+            }
+            DoneWhat::MapFetchRead { tvpn, addr } => {
+                self.enqueue(
+                    OpClass::MappingRead,
+                    None,
+                    now,
+                    PendKind::Transfer {
+                        addr,
+                        done: DoneWhat::MapFetchXfer { tvpn },
+                    },
+                );
+            }
+            DoneWhat::MapFetchXfer { tvpn } => {
+                let fetch = self.fetches.remove(&tvpn).expect("live fetch");
+                let lpns: Vec<Lpn> = fetch
+                    .waiting
+                    .iter()
+                    .map(|w| match w {
+                        Waiter::Request(id) => self.app[id].req.lpn,
+                        Waiter::Flush { lpn, .. } => *lpn,
+                    })
+                    .collect();
+                self.ftl.fetch_complete(tvpn, &lpns);
+                for w in fetch.waiting {
+                    match w {
+                        Waiter::Request(id) => self.start_or_park(id, now),
+                        Waiter::Flush { lpn, version } => self.start_flush(lpn, version, now),
+                    }
+                }
+                self.drain_ftl_writebacks(now);
+            }
+            DoneWhat::WbRead { wb, addr } => {
+                self.enqueue(
+                    OpClass::MappingWrite,
+                    None,
+                    now,
+                    PendKind::Transfer {
+                        addr,
+                        done: DoneWhat::WbXfer { wb },
+                    },
+                );
+            }
+            DoneWhat::WbXfer { wb } => {
+                self.enqueue(
+                    OpClass::MappingWrite,
+                    None,
+                    now,
+                    PendKind::Write {
+                        lun: None,
+                        stream: Stream::Translation,
+                        what: WriteWhat::Translation { wb },
+                    },
+                );
+            }
+            DoneWhat::WbWrite { wb, new } => {
+                let job = self.wb_jobs[wb].take().expect("live wb job");
+                let new_ppn = self.array.geometry().page_index(new);
+                let old = self.ftl.translation_written(job.tvpn, new_ppn);
+                if let Some(old) = old {
+                    if self.reverse[old as usize] == Some(PageContent::Translation(job.tvpn)) {
+                        self.invalidate_ppn(old);
+                    }
+                }
+            }
+            DoneWhat::FlushDone { lpn, version, ppn } => {
+                self.ftl.unpin(lpn);
+                self.flushes_inflight -= 1;
+                let current = self
+                    .buffer
+                    .as_mut()
+                    .expect("flush without buffer")
+                    .flush_done(lpn, version);
+                if current {
+                    let old = self.ftl.update(lpn, ppn);
+                    if let Some(old) = old {
+                        self.invalidate_ppn(old);
+                    }
+                    self.drain_ftl_writebacks(now);
+                } else {
+                    // Re-dirtied or trimmed mid-flight: discard the copy.
+                    self.invalidate_ppn(ppn);
+                }
+                self.maybe_flush(now);
+            }
+        }
+    }
+
+    fn job_class(&self, job: usize, read: bool) -> OpClass {
+        match self.jobs[job].as_ref().expect("live job").source {
+            IoSource::WearLeveling => {
+                if read {
+                    OpClass::WlRead
+                } else {
+                    OpClass::WlWrite
+                }
+            }
+            _ => {
+                if read {
+                    OpClass::GcRead
+                } else {
+                    OpClass::GcWrite
+                }
+            }
+        }
+    }
+
+    /// A migration landed at `new`; commit or discard it, then advance the
+    /// job toward its erase.
+    fn finalize_move(
+        &mut self,
+        job: usize,
+        from_ppn: Ppn,
+        content: PageContent,
+        new: PhysicalAddr,
+        now: SimTime,
+    ) {
+        let new_ppn = self.array.geometry().page_index(new);
+        let still_current = match content {
+            PageContent::Data(lpn) => self.ftl.peek(lpn) == Some(from_ppn),
+            PageContent::Translation(tvpn) => {
+                self.ftl.translation_location(tvpn) == Some(from_ppn)
+            }
+        };
+        if still_current {
+            match content {
+                PageContent::Data(lpn) => self.ftl.relocate(lpn, new_ppn),
+                PageContent::Translation(tvpn) => {
+                    self.ftl.translation_written(tvpn, new_ppn);
+                }
+            }
+            self.invalidate_ppn(from_ppn);
+            let j = self.jobs[job].as_ref().expect("live job");
+            match j.source {
+                IoSource::WearLeveling => self.stats.wl_moves += 1,
+                _ => self.stats.gc_moves += 1,
+            }
+        } else {
+            // A newer write superseded the page mid-migration; the fresh
+            // copy is garbage on arrival.
+            self.stats.gc_stale += 1;
+            self.invalidate_ppn(new_ppn);
+        }
+        self.move_done(job, now);
+    }
+
+    fn move_done(&mut self, job: usize, now: SimTime) {
+        let ready = {
+            let j = self.jobs[job].as_mut().expect("live job");
+            j.move_done() && !j.erase_enqueued
+        };
+        if ready {
+            let block = self.jobs[job].as_ref().unwrap().victim;
+            self.enqueue_erase(job, block, now);
+        }
+    }
+
+    // ----- test support ----------------------------------------------------
+
+    /// Verify cross-structure invariants. Intended for tests at quiescent
+    /// points (no in-flight operations).
+    pub fn check_invariants(&self) {
+        let g = *self.array.geometry();
+        // Every valid physical page has reverse content and vice versa.
+        for ppn in 0..g.total_pages() {
+            let addr = g.page_at(ppn);
+            let state = self.array.page_state(addr);
+            match self.reverse[ppn as usize] {
+                Some(PageContent::Data(lpn)) => {
+                    assert_eq!(state, PageState::Valid, "reverse points at non-valid page");
+                    assert_eq!(
+                        self.ftl.peek(lpn),
+                        Some(ppn),
+                        "forward map disagrees with reverse map for lpn {lpn}"
+                    );
+                }
+                Some(PageContent::Translation(tvpn)) => {
+                    assert_eq!(state, PageState::Valid);
+                    assert_eq!(
+                        self.ftl.translation_location(tvpn),
+                        Some(ppn),
+                        "GTD disagrees with reverse map for tvpn {tvpn}"
+                    );
+                }
+                None => {
+                    assert_ne!(state, PageState::Valid, "valid page without reverse content");
+                }
+            }
+        }
+        // Forward map targets are valid pages.
+        for lpn in 0..self.logical_pages {
+            if let Some(ppn) = self.ftl.peek(lpn) {
+                assert_eq!(
+                    self.reverse[ppn as usize],
+                    Some(PageContent::Data(lpn)),
+                    "lpn {lpn} maps to page not owned by it"
+                );
+            }
+        }
+        // Allocator free-block accounting matches the array.
+        for lun in 0..g.total_luns() {
+            let channel = lun / g.luns_per_channel;
+            let l = lun % g.luns_per_channel;
+            let free_in_alloc = self.alloc.free_blocks(lun);
+            let empty_blocks = (0..g.planes_per_lun)
+                .flat_map(|p| (0..g.blocks_per_plane).map(move |b| (p, b)))
+                .filter(|&(p, b)| {
+                    let info = self.array.block_info(BlockAddr {
+                        channel,
+                        lun: l,
+                        plane: p,
+                        block: b,
+                    });
+                    info.write_ptr == 0
+                })
+                .count();
+            assert!(
+                free_in_alloc <= empty_blocks,
+                "allocator believes more blocks free than are empty on lun {lun}"
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Flash translation layer: logical-to-physical mapping schemes.
+//!
+//! The paper considers "the most flexible schemes i.e., page-based
+//! mappings: the well-known DFTL and a page-based mapping scheme where the
+//! entire mapping is kept in RAM" (§2.2). Both implement [`Ftl`].
+//!
+//! Simulator note: each scheme keeps the *authoritative* logical→physical
+//! map in RAM for correctness bookkeeping; what differs is the **cost
+//! model** — which lookups and updates require flash IOs. For DFTL that is
+//! determined by the cached mapping table (CMT), the global translation
+//! directory (GTD), and the batched pending updates from GC relocation,
+//! exactly the mechanisms of the DFTL paper.
+
+mod dftl;
+mod lru;
+mod page_map;
+
+pub use dftl::{Dftl, DftlStats};
+pub use lru::LruCache;
+pub use page_map::PageMap;
+
+use crate::types::{Lpn, Ppn};
+
+/// Result of a mapping lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapLookup {
+    /// The entry is available now. `None` means the page was never written
+    /// (reads of it complete immediately with zero-fill semantics).
+    Ready(Option<Ppn>),
+    /// The translation page `tvpn` must be read from flash first; retry
+    /// after signalling `fetch_complete(tvpn)`.
+    NeedsFetch(u64),
+}
+
+/// A dirty translation page that must be written back to flash.
+///
+/// Produced when a CMT eviction (or explicit flush) needs persistence. The
+/// controller turns each into a mapping-source read (of `old_ppn`, when the
+/// page already exists on flash) followed by a program, then calls
+/// [`Ftl::translation_written`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslationWriteback {
+    /// Translation virtual page number.
+    pub tvpn: u64,
+    /// Current flash copy to read+merge (None on first persistence).
+    pub old_ppn: Option<Ppn>,
+}
+
+/// Common interface of mapping schemes.
+pub trait Ftl {
+    /// Look up the mapping entry for `lpn` (for a read, or before a write).
+    ///
+    /// `pin` prevents the entry from being evicted while an IO that depends
+    /// on it is in flight; pair every `pin=true` lookup that returns
+    /// `Ready` with an eventual [`Ftl::unpin`].
+    fn lookup(&mut self, lpn: Lpn, pin: bool) -> MapLookup;
+
+    /// Release a pin taken by `lookup(.., true)`.
+    fn unpin(&mut self, lpn: Lpn);
+
+    /// Record that `lpn` now lives at `ppn` (application write committed).
+    /// Returns the superseded physical page (to invalidate).
+    fn update(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Ppn>;
+
+    /// Record that GC moved `lpn`'s live copy to `new_ppn` without changing
+    /// its contents. Never stalls: schemes absorb the update in RAM
+    /// (CMT or the batched pending-update set).
+    fn relocate(&mut self, lpn: Lpn, new_ppn: Ppn);
+
+    /// Drop the mapping for `lpn` (trim). Returns the physical page to
+    /// invalidate, if one existed.
+    fn trim(&mut self, lpn: Lpn) -> Option<Ppn>;
+
+    /// A translation-page fetch issued for `NeedsFetch(tvpn)` finished;
+    /// entries of that page may now be inserted.
+    fn fetch_complete(&mut self, tvpn: u64, lpns: &[Lpn]);
+
+    /// Drain translation writebacks queued by any mutation since the last
+    /// drain. Every [`Ftl::lookup`], [`Ftl::update`], [`Ftl::trim`] or
+    /// [`Ftl::fetch_complete`] may evict dirty CMT entries; the controller
+    /// calls this after each batch of FTL activity and turns the results
+    /// into mapping-source flash IOs.
+    fn take_writebacks(&mut self) -> Vec<TranslationWriteback>;
+
+    /// Where translation page `tvpn` currently lives on flash.
+    fn translation_location(&self, tvpn: u64) -> Option<Ppn>;
+
+    /// A translation page was (re)programmed at `new_ppn` (writeback
+    /// completion or GC move). Returns the superseded flash copy.
+    fn translation_written(&mut self, tvpn: u64, new_ppn: Ppn) -> Option<Ppn>;
+
+    /// Translation virtual page covering `lpn` (DFTL); page-map returns 0.
+    fn tvpn_of(&self, lpn: Lpn) -> u64;
+
+    /// Current mapping-structure RAM footprint in bytes (for the memory
+    /// manager and RAM-budget experiments).
+    fn ram_bytes(&self) -> u64;
+
+    /// The authoritative location of `lpn`, bypassing the cost model.
+    /// For invariant checks and tests only.
+    fn peek(&self, lpn: Lpn) -> Option<Ppn>;
+}
+
+/// The two available schemes behind one concrete type.
+pub enum FtlKind {
+    PageMap(PageMap),
+    // Boxed: Dftl is an order of magnitude larger than PageMap's header.
+    Dftl(Box<Dftl>),
+}
+
+impl Ftl for FtlKind {
+    fn lookup(&mut self, lpn: Lpn, pin: bool) -> MapLookup {
+        match self {
+            FtlKind::PageMap(m) => m.lookup(lpn, pin),
+            FtlKind::Dftl(m) => m.lookup(lpn, pin),
+        }
+    }
+    fn unpin(&mut self, lpn: Lpn) {
+        match self {
+            FtlKind::PageMap(m) => m.unpin(lpn),
+            FtlKind::Dftl(m) => m.unpin(lpn),
+        }
+    }
+    fn update(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Ppn> {
+        match self {
+            FtlKind::PageMap(m) => m.update(lpn, ppn),
+            FtlKind::Dftl(m) => m.update(lpn, ppn),
+        }
+    }
+    fn relocate(&mut self, lpn: Lpn, new_ppn: Ppn) {
+        match self {
+            FtlKind::PageMap(m) => m.relocate(lpn, new_ppn),
+            FtlKind::Dftl(m) => m.relocate(lpn, new_ppn),
+        }
+    }
+    fn trim(&mut self, lpn: Lpn) -> Option<Ppn> {
+        match self {
+            FtlKind::PageMap(m) => m.trim(lpn),
+            FtlKind::Dftl(m) => m.trim(lpn),
+        }
+    }
+    fn fetch_complete(&mut self, tvpn: u64, lpns: &[Lpn]) {
+        match self {
+            FtlKind::PageMap(m) => m.fetch_complete(tvpn, lpns),
+            FtlKind::Dftl(m) => m.fetch_complete(tvpn, lpns),
+        }
+    }
+    fn take_writebacks(&mut self) -> Vec<TranslationWriteback> {
+        match self {
+            FtlKind::PageMap(m) => m.take_writebacks(),
+            FtlKind::Dftl(m) => m.take_writebacks(),
+        }
+    }
+    fn translation_location(&self, tvpn: u64) -> Option<Ppn> {
+        match self {
+            FtlKind::PageMap(m) => m.translation_location(tvpn),
+            FtlKind::Dftl(m) => m.translation_location(tvpn),
+        }
+    }
+    fn translation_written(&mut self, tvpn: u64, new_ppn: Ppn) -> Option<Ppn> {
+        match self {
+            FtlKind::PageMap(m) => m.translation_written(tvpn, new_ppn),
+            FtlKind::Dftl(m) => m.translation_written(tvpn, new_ppn),
+        }
+    }
+    fn tvpn_of(&self, lpn: Lpn) -> u64 {
+        match self {
+            FtlKind::PageMap(m) => m.tvpn_of(lpn),
+            FtlKind::Dftl(m) => m.tvpn_of(lpn),
+        }
+    }
+    fn ram_bytes(&self) -> u64 {
+        match self {
+            FtlKind::PageMap(m) => m.ram_bytes(),
+            FtlKind::Dftl(m) => m.ram_bytes(),
+        }
+    }
+    fn peek(&self, lpn: Lpn) -> Option<Ppn> {
+        match self {
+            FtlKind::PageMap(m) => m.peek(lpn),
+            FtlKind::Dftl(m) => m.peek(lpn),
+        }
+    }
+}

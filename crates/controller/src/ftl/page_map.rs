@@ -1,0 +1,133 @@
+//! Full in-RAM page-level mapping.
+//!
+//! The simplest flexible scheme: the whole logical→physical map lives in
+//! controller DRAM, so every lookup and update is free of flash IOs. Its
+//! cost is RAM: 8 bytes per logical page, reported via
+//! [`PageMap::ram_bytes`] so experiments can compare against DFTL budgets.
+
+use crate::ftl::{Ftl, MapLookup, TranslationWriteback};
+use crate::types::{Lpn, Ppn};
+
+/// Full page-level map held in RAM.
+pub struct PageMap {
+    map: Vec<Option<Ppn>>,
+}
+
+impl PageMap {
+    /// A map for `logical_pages` pages, all initially unmapped.
+    pub fn new(logical_pages: u64) -> Self {
+        PageMap {
+            map: vec![None; logical_pages as usize],
+        }
+    }
+
+    /// Number of mapped logical pages.
+    pub fn mapped_count(&self) -> u64 {
+        self.map.iter().filter(|m| m.is_some()).count() as u64
+    }
+}
+
+impl Ftl for PageMap {
+    fn lookup(&mut self, lpn: Lpn, _pin: bool) -> MapLookup {
+        MapLookup::Ready(self.map[lpn as usize])
+    }
+
+    fn unpin(&mut self, _lpn: Lpn) {}
+
+    fn update(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Ppn> {
+        self.map[lpn as usize].replace(ppn)
+    }
+
+    fn relocate(&mut self, lpn: Lpn, new_ppn: Ppn) {
+        debug_assert!(
+            self.map[lpn as usize].is_some(),
+            "relocate of unmapped lpn {lpn}"
+        );
+        self.map[lpn as usize] = Some(new_ppn);
+    }
+
+    fn trim(&mut self, lpn: Lpn) -> Option<Ppn> {
+        self.map[lpn as usize].take()
+    }
+
+    fn fetch_complete(&mut self, _tvpn: u64, _lpns: &[Lpn]) {}
+
+    fn take_writebacks(&mut self) -> Vec<TranslationWriteback> {
+        Vec::new()
+    }
+
+    fn translation_location(&self, _tvpn: u64) -> Option<Ppn> {
+        None
+    }
+
+    fn translation_written(&mut self, _tvpn: u64, _new_ppn: Ppn) -> Option<Ppn> {
+        None
+    }
+
+    fn tvpn_of(&self, _lpn: Lpn) -> u64 {
+        0
+    }
+
+    fn ram_bytes(&self) -> u64 {
+        self.map.len() as u64 * 8
+    }
+
+    fn peek(&self, lpn: Lpn) -> Option<Ppn> {
+        self.map[lpn as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_always_ready() {
+        let mut m = PageMap::new(10);
+        assert_eq!(m.lookup(3, false), MapLookup::Ready(None));
+        m.update(3, 77);
+        assert_eq!(m.lookup(3, true), MapLookup::Ready(Some(77)));
+        assert_eq!(m.peek(3), Some(77));
+    }
+
+    #[test]
+    fn update_returns_superseded_ppn() {
+        let mut m = PageMap::new(4);
+        assert_eq!(m.update(0, 5), None);
+        assert!(m.take_writebacks().is_empty());
+        assert_eq!(m.update(0, 9), Some(5));
+    }
+
+    #[test]
+    fn relocate_moves_without_history() {
+        let mut m = PageMap::new(4);
+        m.update(1, 10);
+        m.relocate(1, 20);
+        assert_eq!(m.peek(1), Some(20));
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut m = PageMap::new(4);
+        m.update(2, 8);
+        assert_eq!(m.trim(2), Some(8));
+        assert_eq!(m.trim(2), None);
+        assert_eq!(m.lookup(2, false), MapLookup::Ready(None));
+    }
+
+    #[test]
+    fn ram_cost_is_8_bytes_per_page() {
+        let m = PageMap::new(1000);
+        assert_eq!(m.ram_bytes(), 8000);
+    }
+
+    #[test]
+    fn mapped_count_tracks() {
+        let mut m = PageMap::new(4);
+        assert_eq!(m.mapped_count(), 0);
+        m.update(0, 1);
+        m.update(1, 2);
+        m.trim(0);
+        assert_eq!(m.mapped_count(), 1);
+    }
+}

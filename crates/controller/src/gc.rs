@@ -1,0 +1,252 @@
+//! Garbage-collection victim selection and job bookkeeping.
+//!
+//! The trigger policy lives in the controller ("keep `greediness` blocks
+//! free on each LUN", §2.2); this module answers *which block* to reclaim
+//! once triggered, under three classic policies, and tracks the per-victim
+//! migration state machine.
+
+use eagletree_core::{SimRng, SimTime};
+use eagletree_flash::{BlockAddr, FlashArray};
+
+use crate::config::VictimPolicy;
+use crate::types::IoSource;
+
+/// Pick a GC victim on `lun` (linear index), or `None` if no block is
+/// reclaimable. `skip` excludes free blocks, active allocation targets and
+/// blocks already being collected.
+pub fn pick_victim(
+    array: &FlashArray,
+    lun: u32,
+    policy: VictimPolicy,
+    skip: impl Fn(BlockAddr) -> bool,
+    rng: &mut SimRng,
+    now: SimTime,
+) -> Option<BlockAddr> {
+    let g = *array.geometry();
+    let channel = lun / g.luns_per_channel;
+    let lun_in_ch = lun % g.luns_per_channel;
+    let ppb = g.pages_per_block;
+
+    let candidates: Vec<(BlockAddr, u32)> = (0..g.planes_per_lun)
+        .flat_map(|plane| {
+            (0..g.blocks_per_plane).map(move |block| BlockAddr {
+                channel,
+                lun: lun_in_ch,
+                plane,
+                block,
+            })
+        })
+        .filter(|&b| !skip(b))
+        .filter_map(|b| {
+            let info = array.block_info(b);
+            // Reclaimable: not worn out, some pages written, and
+            // reclaiming gains space (live pages below a full block).
+            if !info.bad && info.write_ptr > 0 && info.live_pages < ppb {
+                Some((b, info.live_pages))
+            } else {
+                None
+            }
+        })
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+
+    match policy {
+        VictimPolicy::Greedy => candidates.into_iter().min_by_key(|&(b, live)| (live, b)),
+        VictimPolicy::Random => {
+            let i = rng.gen_range(candidates.len() as u64) as usize;
+            Some(candidates[i])
+        }
+        VictimPolicy::CostBenefit => candidates.into_iter().max_by(|&(ba, la), &(bb, lb)| {
+            let score = |b: BlockAddr, live: u32| {
+                let u = live as f64 / ppb as f64;
+                let age =
+                    now.saturating_since(array.block_info(b).last_erase).as_nanos() as f64;
+                if u == 0.0 {
+                    f64::INFINITY
+                } else {
+                    age * (1.0 - u) / (2.0 * u)
+                }
+            };
+            score(ba, la)
+                .partial_cmp(&score(bb, lb))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Deterministic tie-break on address.
+                .then_with(|| bb.cmp(&ba))
+        }),
+    }
+    .map(|(b, _)| b)
+}
+
+/// A reclamation job: migrate a victim's live pages, then erase it.
+///
+/// Shared by garbage collection and static wear leveling (which differ only
+/// in trigger and [`IoSource`]).
+#[derive(Debug, Clone)]
+pub struct ReclaimJob {
+    /// Block being reclaimed.
+    pub victim: BlockAddr,
+    /// Linear LUN index of the victim.
+    pub lun: u32,
+    /// GC or WL (controls the op classes of its flash traffic).
+    pub source: IoSource,
+    /// Page moves still outstanding (issued or queued).
+    pub moves_left: u32,
+    /// Set once the erase op has been enqueued.
+    pub erase_enqueued: bool,
+}
+
+impl ReclaimJob {
+    pub fn new(victim: BlockAddr, lun: u32, source: IoSource, moves: u32) -> Self {
+        ReclaimJob {
+            victim,
+            lun,
+            source,
+            moves_left: moves,
+            erase_enqueued: false,
+        }
+    }
+
+    /// Record a finished (or skipped) page move; true when the victim is
+    /// ready to erase.
+    pub fn move_done(&mut self) -> bool {
+        debug_assert!(self.moves_left > 0, "more moves completed than planned");
+        self.moves_left -= 1;
+        self.moves_left == 0
+    }
+
+    /// Ready to erase right away (victim had no live pages).
+    pub fn ready_to_erase(&self) -> bool {
+        self.moves_left == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagletree_core::SimTime;
+    use eagletree_flash::{FlashCommand, Geometry, PhysicalAddr, TimingSpec};
+
+    fn addr(block: u32, page: u32) -> PhysicalAddr {
+        PhysicalAddr {
+            channel: 0,
+            lun: 0,
+            plane: 0,
+            block,
+            page,
+        }
+    }
+
+    /// Fill `block` with `ppb` programs, then invalidate `kill` of them.
+    fn fill_block(a: &mut FlashArray, block: u32, kill: u32) -> SimTime {
+        let ppb = a.geometry().pages_per_block;
+        let mut now = a.lun_free_at(0, 0).max(a.channel_free_at(0));
+        for p in 0..ppb {
+            let out = a.issue(FlashCommand::Program(addr(block, p)), now).unwrap();
+            now = out.lun_free_at;
+        }
+        for p in 0..kill {
+            a.invalidate(addr(block, p));
+        }
+        now
+    }
+
+    #[test]
+    fn greedy_picks_fewest_live() {
+        let mut a = FlashArray::new(Geometry::tiny(), TimingSpec::slc());
+        fill_block(&mut a, 0, 2);
+        fill_block(&mut a, 1, 10);
+        let now = fill_block(&mut a, 2, 5);
+        let mut rng = SimRng::new(1);
+        let v = pick_victim(&a, 0, VictimPolicy::Greedy, |_| false, &mut rng, now).unwrap();
+        assert_eq!(v.block, 1);
+    }
+
+    #[test]
+    fn skip_excludes_blocks() {
+        let mut a = FlashArray::new(Geometry::tiny(), TimingSpec::slc());
+        fill_block(&mut a, 0, 2);
+        let now = fill_block(&mut a, 1, 10);
+        let mut rng = SimRng::new(1);
+        let v = pick_victim(
+            &a,
+            0,
+            VictimPolicy::Greedy,
+            |b| b.block == 1,
+            &mut rng,
+            now,
+        )
+        .unwrap();
+        assert_eq!(v.block, 0);
+    }
+
+    #[test]
+    fn no_candidates_returns_none() {
+        let a = FlashArray::new(Geometry::tiny(), TimingSpec::slc());
+        let mut rng = SimRng::new(1);
+        assert_eq!(
+            pick_victim(
+                &a,
+                0,
+                VictimPolicy::Greedy,
+                |_| false,
+                &mut rng,
+                SimTime::ZERO
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn fully_valid_blocks_are_not_victims() {
+        let mut a = FlashArray::new(Geometry::tiny(), TimingSpec::slc());
+        let now = fill_block(&mut a, 0, 0); // all 16 pages valid
+        let mut rng = SimRng::new(1);
+        assert_eq!(
+            pick_victim(&a, 0, VictimPolicy::Greedy, |_| false, &mut rng, now),
+            None
+        );
+    }
+
+    #[test]
+    fn random_always_picks_a_candidate() {
+        let mut a = FlashArray::new(Geometry::tiny(), TimingSpec::slc());
+        fill_block(&mut a, 0, 3);
+        let now = fill_block(&mut a, 1, 3);
+        let mut rng = SimRng::new(42);
+        for _ in 0..20 {
+            let v =
+                pick_victim(&a, 0, VictimPolicy::Random, |_| false, &mut rng, now).unwrap();
+            assert!(v.block == 0 || v.block == 1);
+        }
+    }
+
+    #[test]
+    fn cost_benefit_prefers_empty_then_age() {
+        let mut a = FlashArray::new(Geometry::tiny(), TimingSpec::slc());
+        let ppb = a.geometry().pages_per_block;
+        fill_block(&mut a, 0, ppb); // fully invalid → u = 0 → infinite score
+        let now = fill_block(&mut a, 1, 2);
+        let mut rng = SimRng::new(7);
+        let v =
+            pick_victim(&a, 0, VictimPolicy::CostBenefit, |_| false, &mut rng, now).unwrap();
+        assert_eq!(v.block, 0);
+    }
+
+    #[test]
+    fn reclaim_job_counts_down() {
+        let victim = BlockAddr {
+            channel: 0,
+            lun: 0,
+            plane: 0,
+            block: 0,
+        };
+        let mut j = ReclaimJob::new(victim, 0, IoSource::GarbageCollection, 3);
+        assert!(!j.ready_to_erase());
+        assert!(!j.move_done());
+        assert!(!j.move_done());
+        assert!(j.move_done());
+        assert!(j.ready_to_erase());
+    }
+}

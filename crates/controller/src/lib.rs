@@ -1,0 +1,44 @@
+//! # eagletree-controller
+//!
+//! The SSD-controller layer of EagleTree: everything behind the device
+//! interface. "The SSD controller is responsible for orchestrating mapping,
+//! garbage-collection, wear leveling modules and scheduling" (§2.2).
+//!
+//! * [`ftl`] — page-level mapping schemes: full in-RAM [`ftl::PageMap`] and
+//!   demand-cached [`ftl::Dftl`] with translation-page flash traffic.
+//! * [`alloc`] — write allocation: per-LUN free-block lists, per-stream
+//!   active blocks (hot/cold, GC, translation, update-locality groups).
+//! * [`gc`] — garbage collection: greediness trigger, greedy / random /
+//!   cost-benefit victim selection, migration via copy-back or
+//!   read+program.
+//! * [`wear`] — static wear leveling (young-idle-block detection); dynamic
+//!   wear leveling lives in the allocator's age-aware block selection.
+//! * [`temperature`] — multi-bloom-filter hot-data identification.
+//! * [`sched`] — the pluggable IO scheduling policies.
+//! * [`Controller`] — the orchestrator tying it all to the flash array.
+
+pub mod alloc;
+pub mod buffer;
+pub mod config;
+pub mod controller;
+pub mod ftl;
+pub mod gc;
+pub mod sched;
+pub mod temperature;
+pub mod types;
+pub mod wear;
+
+pub use alloc::{Allocator, Stream};
+pub use buffer::WriteBuffer;
+pub use config::{
+    ControllerConfig, GcConfig, MappingKind, TemperatureMode, VictimPolicy, WlConfig,
+    WriteAllocPolicy,
+};
+pub use controller::{Controller, CtrlStats, PageContent};
+pub use sched::{class_index, ClassTable, SchedPolicy};
+pub use temperature::MultiBloomDetector;
+pub use types::{
+    Completion, IoSource, IoTags, Lpn, OpClass, Ppn, RequestId, RequestKind, SsdRequest,
+    Temperature,
+};
+pub use wear::{wear_summary, WearSummary};

@@ -1,0 +1,290 @@
+//! Controller IO scheduling policies.
+//!
+//! "Given the state of the flash chip array and a queue of pending IOs from
+//! various sources …, of various types …, that have been waiting in the
+//! queue for different lengths of time, which IO should be executed next
+//! and where?" (§2.2). A [`SchedPolicy`] answers the *which*; the write
+//! allocator answers the *where*.
+//!
+//! Policies select among the currently *issuable* pending operations:
+//!
+//! * [`SchedPolicy::Fifo`] — strict arrival order.
+//! * [`SchedPolicy::ClassPriority`] — rank by operation class (e.g. reads
+//!   before writes, application before internal), FIFO within a rank.
+//! * [`SchedPolicy::Edf`] — earliest deadline first, deadlines assigned per
+//!   class at enqueue time; models latency-target scheduling and lets
+//!   overdue internal ops overtake fresh application IOs.
+//! * [`SchedPolicy::Fair`] — weighted fair sharing of *issue slots* across
+//!   classes, preventing starvation of any source.
+//! * [`SchedPolicy::TagPriority`] — honor open-interface priority tags,
+//!   FIFO among untagged.
+
+use eagletree_core::SimTime;
+
+use crate::types::OpClass;
+
+/// Index of an [`OpClass`] into the per-class tables.
+pub fn class_index(c: OpClass) -> usize {
+    OpClass::ALL.iter().position(|&x| x == c).expect("class in ALL")
+}
+
+/// Per-class `u64` table addressed by [`class_index`].
+pub type ClassTable = [u64; 9];
+
+/// A controller scheduling policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedPolicy {
+    /// First come, first served across all classes.
+    Fifo,
+    /// Rank classes; lower rank issues first, FIFO within a rank.
+    ClassPriority(ClassTable),
+    /// Earliest deadline first; per-class relative deadlines in µs.
+    Edf(ClassTable),
+    /// Weighted fair sharing of issue slots; per-class weights (0 = may
+    /// starve).
+    Fair(ClassTable),
+    /// Open-interface priority tags (0 = most urgent, untagged = 128).
+    TagPriority,
+}
+
+impl SchedPolicy {
+    /// Application reads overtake everything; internal ops last.
+    pub fn reads_first() -> Self {
+        let mut rank = [5u64; 9];
+        rank[class_index(OpClass::AppRead)] = 0;
+        rank[class_index(OpClass::MappingRead)] = 1;
+        rank[class_index(OpClass::AppWrite)] = 2;
+        rank[class_index(OpClass::MappingWrite)] = 3;
+        rank[class_index(OpClass::GcRead)] = 5;
+        rank[class_index(OpClass::GcWrite)] = 5;
+        rank[class_index(OpClass::Erase)] = 6;
+        rank[class_index(OpClass::WlRead)] = 7;
+        rank[class_index(OpClass::WlWrite)] = 7;
+        SchedPolicy::ClassPriority(rank)
+    }
+
+    /// Application writes overtake reads (write-burst absorption).
+    pub fn writes_first() -> Self {
+        let mut rank = [5u64; 9];
+        rank[class_index(OpClass::AppWrite)] = 0;
+        rank[class_index(OpClass::MappingWrite)] = 1;
+        rank[class_index(OpClass::AppRead)] = 2;
+        rank[class_index(OpClass::MappingRead)] = 3;
+        SchedPolicy::ClassPriority(rank)
+    }
+
+    /// All application IO before all internal IO.
+    pub fn app_first() -> Self {
+        let mut rank = [4u64; 9];
+        rank[class_index(OpClass::AppRead)] = 0;
+        rank[class_index(OpClass::AppWrite)] = 0;
+        rank[class_index(OpClass::MappingRead)] = 1;
+        rank[class_index(OpClass::MappingWrite)] = 1;
+        SchedPolicy::ClassPriority(rank)
+    }
+
+    /// Internal maintenance before application IO (aggressive GC).
+    pub fn internal_first() -> Self {
+        let mut rank = [0u64; 9];
+        rank[class_index(OpClass::AppRead)] = 4;
+        rank[class_index(OpClass::AppWrite)] = 4;
+        SchedPolicy::ClassPriority(rank)
+    }
+
+    /// EDF with the default deadline table.
+    pub fn edf_default() -> Self {
+        let mut d = [10_000u64; 9];
+        for (c, us) in crate::config::ControllerConfig::default_deadlines_us() {
+            d[class_index(c)] = us;
+        }
+        SchedPolicy::Edf(d)
+    }
+
+    /// Fair sharing with equal weights.
+    pub fn fair_equal() -> Self {
+        SchedPolicy::Fair([1; 9])
+    }
+
+    /// Select among issuable candidates.
+    ///
+    /// `candidates` supplies `(class, tag_priority, enqueued_at, seq)` per
+    /// issuable op; `serviced` counts issue slots already granted per class
+    /// (state for `Fair`). Returns the index *into `candidates`* of the op
+    /// to issue, or `None` if the list is empty.
+    pub fn select(
+        &self,
+        candidates: &[(OpClass, Option<u8>, SimTime, u64)],
+        serviced: &ClassTable,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let best = match self {
+            SchedPolicy::Fifo => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(_, _, _, seq))| seq),
+            SchedPolicy::ClassPriority(rank) => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(c, _, _, seq))| (rank[class_index(c)], seq)),
+            SchedPolicy::Edf(deadlines) => candidates.iter().enumerate().min_by_key(
+                |(_, &(c, _, enq, seq))| {
+                    let deadline = enq.as_nanos() + deadlines[class_index(c)] * 1_000;
+                    (deadline, seq)
+                },
+            ),
+            SchedPolicy::Fair(weights) => {
+                // Pick the least-served class (normalized by weight) that
+                // has an issuable candidate, then FIFO within it.
+                let mut best_class: Option<(u128, OpClass)> = None;
+                for &(c, _, _, _) in candidates {
+                    let w = weights[class_index(c)].max(1) as u128;
+                    // serviced/weight as a fraction, compared cross-
+                    // multiplied to stay in integers.
+                    let score = (serviced[class_index(c)] as u128) << 32;
+                    let norm = score / w;
+                    if best_class.is_none_or(|(b, _)| norm < b) {
+                        best_class = Some((norm, c));
+                    }
+                }
+                let (_, class) = best_class?;
+                candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(c, _, _, _))| c == class)
+                    .min_by_key(|(_, &(_, _, _, seq))| seq)
+            }
+            SchedPolicy::TagPriority => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(_, tag, _, seq))| (tag.unwrap_or(128), seq)),
+        };
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(
+        class: OpClass,
+        tag: Option<u8>,
+        enq_ns: u64,
+        seq: u64,
+    ) -> (OpClass, Option<u8>, SimTime, u64) {
+        (class, tag, SimTime::from_nanos(enq_ns), seq)
+    }
+
+    #[test]
+    fn fifo_picks_lowest_seq() {
+        let c = vec![
+            cand(OpClass::AppWrite, None, 10, 5),
+            cand(OpClass::AppRead, None, 20, 2),
+            cand(OpClass::GcRead, None, 0, 9),
+        ];
+        assert_eq!(SchedPolicy::Fifo.select(&c, &[0; 9]), Some(1));
+    }
+
+    #[test]
+    fn reads_first_prefers_app_reads() {
+        let c = vec![
+            cand(OpClass::AppWrite, None, 0, 0),
+            cand(OpClass::GcWrite, None, 0, 1),
+            cand(OpClass::AppRead, None, 100, 2),
+        ];
+        assert_eq!(SchedPolicy::reads_first().select(&c, &[0; 9]), Some(2));
+    }
+
+    #[test]
+    fn writes_first_prefers_app_writes() {
+        let c = vec![
+            cand(OpClass::AppRead, None, 0, 0),
+            cand(OpClass::AppWrite, None, 100, 1),
+        ];
+        assert_eq!(SchedPolicy::writes_first().select(&c, &[0; 9]), Some(1));
+    }
+
+    #[test]
+    fn app_first_defers_internal() {
+        let c = vec![
+            cand(OpClass::GcRead, None, 0, 0),
+            cand(OpClass::Erase, None, 0, 1),
+            cand(OpClass::AppWrite, None, 500, 2),
+        ];
+        assert_eq!(SchedPolicy::app_first().select(&c, &[0; 9]), Some(2));
+        assert_eq!(SchedPolicy::internal_first().select(&c, &[0; 9]), Some(0));
+    }
+
+    #[test]
+    fn edf_lets_old_internal_overtake() {
+        let p = SchedPolicy::edf_default();
+        // GC read enqueued at t=0 (deadline 5ms); app read enqueued at
+        // t=4.9ms (deadline 5.4ms) → GC wins.
+        let c = vec![
+            cand(OpClass::GcRead, None, 0, 0),
+            cand(OpClass::AppRead, None, 4_900_000, 1),
+        ];
+        assert_eq!(p.select(&c, &[0; 9]), Some(0));
+        // Fresh GC vs fresh app read: app read's 500µs deadline wins.
+        let c = vec![
+            cand(OpClass::GcRead, None, 0, 0),
+            cand(OpClass::AppRead, None, 0, 1),
+        ];
+        assert_eq!(p.select(&c, &[0; 9]), Some(1));
+    }
+
+    #[test]
+    fn fair_balances_classes() {
+        let p = SchedPolicy::fair_equal();
+        let c = vec![
+            cand(OpClass::AppRead, None, 0, 0),
+            cand(OpClass::AppWrite, None, 0, 1),
+        ];
+        let mut serviced = [0u64; 9];
+        serviced[class_index(OpClass::AppRead)] = 10;
+        // Writes are behind; they go first.
+        assert_eq!(p.select(&c, &serviced), Some(1));
+        serviced[class_index(OpClass::AppWrite)] = 20;
+        assert_eq!(p.select(&c, &serviced), Some(0));
+    }
+
+    #[test]
+    fn fair_weights_scale_shares() {
+        let mut w = [1u64; 9];
+        w[class_index(OpClass::AppRead)] = 3;
+        let p = SchedPolicy::Fair(w);
+        let c = vec![
+            cand(OpClass::AppRead, None, 0, 0),
+            cand(OpClass::AppWrite, None, 0, 1),
+        ];
+        let mut serviced = [0u64; 9];
+        serviced[class_index(OpClass::AppRead)] = 2;
+        serviced[class_index(OpClass::AppWrite)] = 1;
+        // reads: 2/3 < writes: 1/1 → reads issue.
+        assert_eq!(p.select(&c, &serviced), Some(0));
+    }
+
+    #[test]
+    fn tag_priority_honors_tags_then_fifo() {
+        let p = SchedPolicy::TagPriority;
+        let c = vec![
+            cand(OpClass::AppWrite, None, 0, 0),
+            cand(OpClass::AppRead, Some(3), 0, 1),
+            cand(OpClass::AppRead, Some(1), 0, 2),
+        ];
+        assert_eq!(p.select(&c, &[0; 9]), Some(2));
+        let c = vec![
+            cand(OpClass::AppWrite, None, 0, 4),
+            cand(OpClass::AppRead, None, 0, 7),
+        ];
+        assert_eq!(p.select(&c, &[0; 9]), Some(0));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert_eq!(SchedPolicy::Fifo.select(&[], &[0; 9]), None);
+        assert_eq!(SchedPolicy::fair_equal().select(&[], &[0; 9]), None);
+    }
+}

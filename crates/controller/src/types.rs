@@ -1,0 +1,198 @@
+//! Controller-level IO types.
+//!
+//! The controller receives [`SsdRequest`]s from the OS layer, decomposes
+//! them into flash operations, and reports [`Completion`]s. Every internal
+//! operation is tagged with its [`IoSource`] and classified into an
+//! [`OpClass`] so scheduling policies can discriminate between application
+//! IOs and GC / wear-leveling / mapping traffic — the interference the
+//! paper's §1 questions revolve around.
+
+use eagletree_core::SimTime;
+
+/// Logical page number, the unit of the exported address space.
+pub type Lpn = u64;
+
+/// Physical page number: a linear index into the flash array
+/// (see `Geometry::page_index`).
+pub type Ppn = u64;
+
+/// Identifier the OS uses to correlate completions with submissions.
+pub type RequestId = u64;
+
+/// What an application-visible request does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Read one logical page.
+    Read,
+    /// Write one logical page.
+    Write,
+    /// Discard one logical page (invalidate its mapping).
+    Trim,
+}
+
+/// Data-temperature hint, either detected on-device or supplied by the OS
+/// through the open interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Temperature {
+    /// Likely to be updated again soon.
+    Hot,
+    /// Unlikely to be updated soon.
+    Cold,
+}
+
+/// Open-interface metadata attached to a request.
+///
+/// The paper replaces the block-device interface with "an extensible
+/// messaging framework" (§2.2 "Open Interface"); these are the three hint
+/// types it sketches. `None` everywhere reproduces a plain block device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoTags {
+    /// Scheduling priority, 0 = most urgent. `None` = untagged.
+    pub priority: Option<u8>,
+    /// Declared data temperature (feeds allocation / wear leveling).
+    pub temperature: Option<Temperature>,
+    /// Update-locality group: pages sharing a group are co-located so they
+    /// invalidate together, minimizing subsequent garbage collection.
+    pub locality_group: Option<u32>,
+}
+
+impl IoTags {
+    /// No hints: the traditional closed block-device interface.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Tag with a scheduling priority.
+    pub fn with_priority(mut self, p: u8) -> Self {
+        self.priority = Some(p);
+        self
+    }
+
+    /// Tag with a temperature hint.
+    pub fn with_temperature(mut self, t: Temperature) -> Self {
+        self.temperature = Some(t);
+        self
+    }
+
+    /// Tag with an update-locality group.
+    pub fn with_locality(mut self, g: u32) -> Self {
+        self.locality_group = Some(g);
+        self
+    }
+}
+
+/// A request submitted by the OS to the SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsdRequest {
+    /// OS-assigned correlation id (unique among in-flight requests).
+    pub id: RequestId,
+    /// Operation.
+    pub kind: RequestKind,
+    /// Target logical page.
+    pub lpn: Lpn,
+    /// Open-interface hints.
+    pub tags: IoTags,
+}
+
+/// Completion notice returned to the OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Id of the completed request.
+    pub id: RequestId,
+    /// Virtual time of completion.
+    pub at: SimTime,
+}
+
+/// Who generated a flash operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoSource {
+    /// An application read/write/trim.
+    Application,
+    /// Garbage collection migrating or erasing.
+    GarbageCollection,
+    /// Wear leveling migrating or erasing.
+    WearLeveling,
+    /// DFTL translation-page traffic.
+    Mapping,
+}
+
+/// Scheduling class of a pending flash operation: source × direction.
+///
+/// Policies rank these classes; see `sched`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    AppRead,
+    AppWrite,
+    GcRead,
+    GcWrite,
+    WlRead,
+    WlWrite,
+    MappingRead,
+    MappingWrite,
+    Erase,
+}
+
+impl OpClass {
+    /// All classes, for iteration in fair schedulers and reports.
+    pub const ALL: [OpClass; 9] = [
+        OpClass::AppRead,
+        OpClass::AppWrite,
+        OpClass::GcRead,
+        OpClass::GcWrite,
+        OpClass::WlRead,
+        OpClass::WlWrite,
+        OpClass::MappingRead,
+        OpClass::MappingWrite,
+        OpClass::Erase,
+    ];
+
+    /// Stable display name (trace labels, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::AppRead => "AppRead",
+            OpClass::AppWrite => "AppWrite",
+            OpClass::GcRead => "GcRead",
+            OpClass::GcWrite => "GcWrite",
+            OpClass::WlRead => "WlRead",
+            OpClass::WlWrite => "WlWrite",
+            OpClass::MappingRead => "MappingRead",
+            OpClass::MappingWrite => "MappingWrite",
+            OpClass::Erase => "Erase",
+        }
+    }
+
+    /// True for application-visible classes.
+    pub fn is_application(self) -> bool {
+        matches!(self, OpClass::AppRead | OpClass::AppWrite)
+    }
+
+    /// True for classes generated inside the SSD.
+    pub fn is_internal(self) -> bool {
+        !self.is_application()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_builder_composes() {
+        let t = IoTags::none()
+            .with_priority(1)
+            .with_temperature(Temperature::Hot)
+            .with_locality(7);
+        assert_eq!(t.priority, Some(1));
+        assert_eq!(t.temperature, Some(Temperature::Hot));
+        assert_eq!(t.locality_group, Some(7));
+        assert_eq!(IoTags::none(), IoTags::default());
+    }
+
+    #[test]
+    fn op_class_partitions() {
+        let apps = OpClass::ALL.iter().filter(|c| c.is_application()).count();
+        let internals = OpClass::ALL.iter().filter(|c| c.is_internal()).count();
+        assert_eq!(apps, 2);
+        assert_eq!(apps + internals, OpClass::ALL.len());
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic event queue.
+//!
+//! The whole simulator is driven by one [`EventQueue`]: components schedule
+//! payloads at future instants and the main loop pops them in order.
+//! Timestamp ties are broken by insertion sequence number, which makes event
+//! delivery order — and therefore every simulation result — fully
+//! deterministic for a given configuration and seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event that has been scheduled on the queue.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// The instant at which the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion number; the tie-breaker for equal timestamps.
+    pub seq: u64,
+    /// The caller-supplied payload.
+    pub payload: E,
+}
+
+/// Internal heap entry ordered for a *min*-heap on `(time, seq)`.
+struct Entry<E>(ScheduledEvent<E>);
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest event first.
+        (other.0.time, other.0.seq).cmp(&(self.0.time, self.0.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// Events with equal timestamps pop in insertion order (FIFO), so the
+/// simulation is reproducible regardless of heap internals.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the last popped event
+    /// (zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` to fire at `time`.
+    ///
+    /// Panics in debug builds if `time` is in the past: the simulator never
+    /// rewinds.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduled an event in the past: {time:?} < {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(ScheduledEvent { time, seq, payload }));
+    }
+
+    /// Pop the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?.0;
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_timestamps_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_nanos(42), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), 1);
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, 1);
+        // Scheduling relative to now is typical usage.
+        q.schedule(q.now() + SimDuration::from_nanos(5), 2);
+        q.schedule(q.now() + SimDuration::from_nanos(1), 3);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled an event in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.pop();
+        q.schedule(SimTime::from_nanos(5), ());
+    }
+}

@@ -1,0 +1,34 @@
+//! # eagletree-core
+//!
+//! The discrete-event simulation kernel underpinning EagleTree.
+//!
+//! EagleTree simulates the whole SSD IO stack *in virtual time*: every layer
+//! (flash array, SSD controller, OS, application threads) advances by
+//! scheduling events on a single global [`EventQueue`]. This crate provides
+//! the domain-independent pieces:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
+//! * [`EventQueue`] — a deterministic priority queue of timestamped events,
+//! * [`SimRng`] — a reproducible, platform-independent PRNG plus the
+//!   distributions the workload generators need (uniform, [`Zipf`]),
+//! * [`stats`] — streaming statistics (mean/variance, log-bucketed latency
+//!   histograms with quantiles, time-series samplers) used by the
+//!   experimental suite.
+//!
+//! Determinism is a design goal: two simulations built from the same
+//! configuration and seed produce byte-identical results. The event queue
+//! breaks timestamp ties by insertion sequence number and the RNG is a
+//! self-contained SplitMix64, so no platform or `HashMap`-iteration-order
+//! effects can leak into results.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::{SimRng, Zipf};
+pub use stats::{Histogram, OnlineStats, TimeSeries};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceKind, TraceLog};

@@ -1,0 +1,230 @@
+//! Per-IO visual tracing.
+//!
+//! §2.3 promises "massive visual traces showing exactly how every IO was
+//! handled throughout the simulator components". [`TraceLog`] is the
+//! capture side: components append [`TraceEvent`]s (queue entries, flash
+//! command issues with their resource occupancy, completions), and
+//! [`TraceLog::render_gantt`] draws an ASCII occupancy chart per
+//! channel/LUN over a time window — the text-mode equivalent of the demo
+//! GUI's trace pane.
+
+use crate::time::{SimDuration, SimTime};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Something entered a queue (`queue` names it, e.g. an op class).
+    Enqueue { queue: &'static str },
+    /// A flash command was issued and occupies `(channel, lun)`; `busy`
+    /// is the LUN occupancy from issue.
+    FlashOp {
+        op: &'static str,
+        channel: u32,
+        lun: u32,
+        busy: SimDuration,
+    },
+    /// An application request completed.
+    Complete,
+}
+
+/// One trace record. `id` correlates records: the request id for
+/// application events, the internal op sequence number otherwise.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    pub time: SimTime,
+    pub id: u64,
+    pub kind: TraceKind,
+}
+
+/// Bounded in-memory trace capture.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// A log retaining up to `capacity` events (further events are counted
+    /// but dropped, keeping long runs bounded).
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event.
+    pub fn record(&mut self, time: SimTime, id: u64, kind: TraceKind) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { time, id, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All captured events, in record order (= time order, since the
+    /// simulator never rewinds).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render a plain listing of every event.
+    pub fn render_listing(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            match e.kind {
+                TraceKind::Enqueue { queue } => {
+                    out.push_str(&format!("{:>12}  #{:<6} enqueue {}\n", e.time, e.id, queue));
+                }
+                TraceKind::FlashOp { op, channel, lun, busy } => {
+                    out.push_str(&format!(
+                        "{:>12}  #{:<6} {:<5} c{}l{} busy {}\n",
+                        e.time, e.id, op, channel, lun, busy
+                    ));
+                }
+                TraceKind::Complete => {
+                    out.push_str(&format!("{:>12}  #{:<6} complete\n", e.time, e.id));
+                }
+            }
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("… {} further events dropped\n", self.dropped));
+        }
+        out
+    }
+
+    /// Render an ASCII Gantt chart of flash occupancy between `from` and
+    /// `to`, `width` columns wide. One row per (channel, LUN) observed;
+    /// cells show the first letter of the occupying command.
+    pub fn render_gantt(&self, from: SimTime, to: SimTime, width: usize) -> String {
+        assert!(to > from && width > 0);
+        let span = to.since(from).as_nanos();
+        let mut rows: Vec<((u32, u32), Vec<u8>)> = Vec::new();
+        for e in &self.events {
+            let TraceKind::FlashOp { op, channel, lun, busy } = e.kind else {
+                continue;
+            };
+            if e.time >= to || e.time + busy <= from {
+                continue;
+            }
+            let key = (channel, lun);
+            let row = match rows.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, r)) => r,
+                None => {
+                    rows.push((key, vec![b'.'; width]));
+                    rows.sort_by_key(|(k, _)| *k);
+                    &mut rows.iter_mut().find(|(k, _)| *k == key).unwrap().1
+                }
+            };
+            let start_ns = e.time.saturating_since(from).as_nanos();
+            let end_ns = (e.time + busy).saturating_since(from).as_nanos().min(span);
+            let a = (start_ns as u128 * width as u128 / span as u128) as usize;
+            let b = ((end_ns as u128 * width as u128).div_ceil(span as u128) as usize)
+                .min(width)
+                .max(a + 1);
+            let ch = op.as_bytes()[0];
+            for cell in &mut row[a..b] {
+                *cell = ch;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "flash occupancy {from} .. {to}  ({span} ns, {width} cols)\n",
+        ));
+        for ((c, l), row) in rows {
+            out.push_str(&format!("c{c}l{l} |{}|\n", String::from_utf8_lossy(&row)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flash(op: &'static str, channel: u32, lun: u32, at: u64, busy_us: u64) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(at),
+            id: 0,
+            kind: TraceKind::FlashOp {
+                op,
+                channel,
+                lun,
+                busy: SimDuration::from_micros(busy_us),
+            },
+        }
+    }
+
+    #[test]
+    fn record_and_capacity() {
+        let mut log = TraceLog::new(2);
+        for i in 0..5 {
+            log.record(SimTime::from_nanos(i), i, TraceKind::Complete);
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert!(log.render_listing().contains("dropped"));
+    }
+
+    #[test]
+    fn listing_includes_all_kinds() {
+        let mut log = TraceLog::new(16);
+        log.record(SimTime::ZERO, 1, TraceKind::Enqueue { queue: "AppRead" });
+        log.record(
+            SimTime::from_nanos(10),
+            1,
+            TraceKind::FlashOp {
+                op: "READ",
+                channel: 0,
+                lun: 1,
+                busy: SimDuration::from_micros(25),
+            },
+        );
+        log.record(SimTime::from_nanos(50), 1, TraceKind::Complete);
+        let s = log.render_listing();
+        assert!(s.contains("enqueue AppRead"));
+        assert!(s.contains("READ  c0l1"));
+        assert!(s.contains("complete"));
+    }
+
+    #[test]
+    fn gantt_places_ops_in_time() {
+        let mut log = TraceLog::new(16);
+        let e1 = flash("PROG", 0, 0, 0, 50);
+        let e2 = flash("READ", 0, 1, 50_000, 25);
+        log.record(e1.time, 0, e1.kind);
+        log.record(e2.time, 1, e2.kind);
+        let g = log.render_gantt(SimTime::ZERO, SimTime::from_nanos(100_000), 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("c0l0"));
+        // PROG occupies the first half of row c0l0.
+        assert!(lines[1].contains("PPPPP"));
+        // READ starts halfway through row c0l1.
+        let row2 = lines[2];
+        let bar = &row2[row2.find('|').unwrap() + 1..row2.rfind('|').unwrap()];
+        assert!(bar.starts_with("."), "READ must not start at t=0: {bar}");
+        assert!(bar.contains('R'));
+    }
+
+    #[test]
+    fn gantt_clips_to_window() {
+        let mut log = TraceLog::new(4);
+        let e = flash("ERASE", 1, 0, 0, 1_000);
+        log.record(e.time, 0, e.kind);
+        // Window entirely after the op: no rows.
+        let g = log.render_gantt(
+            SimTime::from_nanos(2_000_000),
+            SimTime::from_nanos(3_000_000),
+            10,
+        );
+        assert_eq!(g.lines().count(), 1);
+    }
+}

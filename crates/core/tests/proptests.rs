@@ -1,0 +1,135 @@
+//! Property-based tests of the simulation kernel's data structures.
+
+use proptest::prelude::*;
+
+use eagletree_core::{EventQueue, Histogram, OnlineStats, SimDuration, SimRng, SimTime, Zipf};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_total_order(times in prop::collection::vec(0u64..10_000, 1..500)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut prev: Option<(SimTime, u64)> = None;
+        let mut popped = 0;
+        while let Some(e) = q.pop() {
+            if let Some((pt, pseq)) = prev {
+                prop_assert!(e.time > pt || (e.time == pt && e.seq > pseq),
+                    "order violated: {:?} after {:?}", (e.time, e.seq), (pt, pseq));
+            }
+            prev = Some((e.time, e.seq));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn event_queue_fifo_within_timestamp(n in 1usize..200) {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(42);
+        for i in 0..n {
+            q.schedule(t, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_true_values(
+        mut samples in prop::collection::vec(1u64..100_000_000, 2..400),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        samples.sort_unstable();
+        let est = h.quantile(q).as_nanos();
+        // The log-bucketed estimate is a lower bound of its bucket and the
+        // bucket has ≤ 12.5% relative width: the estimate must sit within
+        // [min/1.125, max].
+        let lo = samples[0] as f64 / 1.125;
+        let hi = *samples.last().unwrap();
+        prop_assert!((est as f64) >= lo - 1.0, "quantile {est} below all samples");
+        prop_assert!(est <= hi, "quantile {est} above max {hi}");
+        // Monotonicity in q.
+        prop_assert!(h.quantile(0.0) <= h.quantile(q));
+        prop_assert!(h.quantile(q) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined(
+        a in prop::collection::vec(1u64..1_000_000, 0..100),
+        b in prop::collection::vec(1u64..1_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &x in &a { ha.record(SimDuration::from_nanos(x)); hall.record(SimDuration::from_nanos(x)); }
+        for &x in &b { hb.record(SimDuration::from_nanos(x)); hall.record(SimDuration::from_nanos(x)); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.mean().as_nanos(), hall.mean().as_nanos());
+        for qq in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(qq), hall.quantile(qq));
+        }
+    }
+
+    #[test]
+    fn online_stats_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-4 * var.abs().max(1.0));
+        prop_assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn rng_gen_range_always_below_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_shuffle_permutes(seed in any::<u64>(), n in 0usize..200) {
+        let mut rng = SimRng::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_pmf_is_decreasing_and_normalized(n in 1usize..200, theta in 0.0f64..2.0) {
+        let z = Zipf::new(n, theta);
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for i in 0..n {
+            let p = z.pmf(i);
+            prop_assert!(p <= prev + 1e-12, "pmf not decreasing at {i}");
+            prop_assert!(p >= 0.0);
+            prev = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_samples_in_range(seed in any::<u64>(), n in 1usize..500) {
+        let z = Zipf::new(n, 0.99);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}

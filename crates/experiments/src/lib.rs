@@ -1,0 +1,26 @@
+//! # eagletree-experiments
+//!
+//! The experimental suite (§2.3): "an experiment template takes (1) an SSD
+//! parameter or policy, (2) a strategy for how to vary it in an experiment,
+//! and (3) a workload definition. It runs an experiment and produces a
+//! comprehensive amount of … statistical output."
+//!
+//! * [`setup`] — the [`setup::Setup`] bundle (geometry + timing +
+//!   controller + OS config) and simulation construction.
+//! * [`metrics`] — per-run measurement extraction ([`metrics::Measured`])
+//!   and tabular output ([`metrics::Table`], aligned text and CSV).
+//! * [`experiment`] — the generic sweep template.
+//! * [`suite`] — the predefined experiments E1–E12 and the G1 "game"
+//!   (see DESIGN.md for the per-experiment index).
+
+pub mod experiment;
+pub mod metrics;
+pub mod setup;
+pub mod suite;
+
+pub use experiment::{Experiment, Scale};
+pub use metrics::{
+    downsample, measure, measure_since, snapshot, sparkline, CounterSnapshot, Measured, Row,
+    Table,
+};
+pub use setup::Setup;

@@ -1,0 +1,898 @@
+//! The predefined experiment suite: E1–E12 and the G1 game.
+//!
+//! Each experiment reproduces one question the paper poses (see the
+//! per-experiment index in DESIGN.md, and EXPERIMENTS.md for measured
+//! results). All experiments are deterministic for a fixed [`Scale`].
+
+use eagletree_controller::{
+    IoTags, MappingKind, SchedPolicy, TemperatureMode, WriteAllocPolicy,
+};
+use eagletree_core::SimTime;
+use eagletree_flash::{Geometry, TimingSpec};
+use eagletree_os::{Os, OsSchedPolicy, Workload};
+use eagletree_workloads::{
+    precondition::sequential_fill, GraceHashJoin, MixedGen, Pumped, RandReadGen, RandWriteGen,
+    Region, ZipfGen, ZipfKind,
+};
+
+use crate::experiment::{Experiment, Scale};
+use crate::metrics::{measure_since, snapshot, Row, Table};
+use crate::setup::Setup;
+
+/// All predefined experiments, in index order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment::new("E1", "SSD parallelism: channels × LUNs", "§1-Q1 / Fig 1 hardware design space", e1_parallelism),
+        Experiment::new("E2", "OS queue depth", "§2.1 'applications' IO queue size'", e2_queue_depth),
+        Experiment::new("E3", "GC greediness", "§2.2 GC trigger policy", e3_gc_greediness),
+        Experiment::new("E4", "Controller scheduling policies", "§3 'prioritizing reads vs writes is not always easy'", e4_ctrl_sched),
+        Experiment::new("E5", "Internal-op priority", "§1-Q2 GC/WL interference", e5_internal_priority),
+        Experiment::new("E6", "Mapping schemes: page map vs DFTL", "§2.2 mapping design space", e6_mapping),
+        Experiment::new("E7", "Wear leveling", "§2.2 WL strategies", e7_wear_leveling),
+        Experiment::new("E8", "Open interface hints", "§2.2 open interface / §3 appetizers", e8_open_interface),
+        Experiment::new("E9", "Advanced commands: copyback & interleaving", "§2.2 hardware advanced commands", e9_advanced_commands),
+        Experiment::new("E10", "Grace hash join layouts", "§2.2 application threads", e10_grace_join),
+        Experiment::new("E11", "OS scheduler fairness", "§2.2 OS scheduler", e11_os_fairness),
+        Experiment::new("E12", "SLC vs MLC chips", "§2.2 flash chip type", e12_chip_type),
+        Experiment::new("E13", "Battery-backed write buffer", "§2.2 'best usage for battery-backed RAM' / write-buffering module", e13_write_buffer),
+        Experiment::new("E14", "Over-provisioning", "§2.2 GC headroom vs exported capacity", e14_overprovisioning),
+        Experiment::new("E15", "GC victim selection", "§2.2 GC strategies", e15_victim_policy),
+        Experiment::new("E16", "Cached-program pipelining", "§2.2 advanced commands (pipelining)", e16_pipelining),
+        Experiment::new("G1", "The scheduling game", "§3 demonstration game", g1_game),
+    ]
+}
+
+/// Look up an experiment by id (case-insensitive).
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+// ---------------------------------------------------------------------
+// helpers
+
+/// Run `measured` workloads after sequentially filling the logical space;
+/// returns `(os, tids, rows-ready Measured)` with controller counters
+/// measured as deltas over the steady phase only.
+fn run_preconditioned(
+    setup: &Setup,
+    measured: Vec<Box<dyn Workload>>,
+) -> (Os, Vec<usize>) {
+    let mut os = setup.build();
+    os.add_thread(sequential_fill(32));
+    os.run();
+    let tids: Vec<usize> = measured.into_iter().map(|w| os.add_thread(w)).collect();
+    (os, tids)
+}
+
+fn finish_point(mut os: Os, tids: &[usize], label: String) -> Row {
+    let base = snapshot(&os);
+    os.run();
+    let m = measure_since(&os, tids, &base);
+    Row::new(label)
+        .push("iops", m.iops)
+        .push("read_us", m.read_mean_us)
+        .push("read_p99_us", m.read_p99_us)
+        .push("read_sd_us", m.read_stddev_us)
+        .push("write_us", m.write_mean_us)
+        .push("write_p99_us", m.write_p99_us)
+        .push("write_sd_us", m.write_stddev_us)
+        .push("WA", m.write_amplification)
+        .push("gc_erases", m.gc_erases as f64)
+}
+
+// ---------------------------------------------------------------------
+// E1 — parallelism
+
+fn e1_parallelism(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E1",
+        "Random-write IOPS vs channels × LUNs/channel",
+        "geometry",
+    );
+    let dims = scale.thin(&[1u32, 2, 4, 8]);
+    let ios = scale.ios(8192);
+    for &ch in &dims {
+        for &luns in &dims {
+            let mut setup = Setup::demo();
+            setup.geometry = Geometry {
+                channels: ch,
+                luns_per_channel: luns,
+                planes_per_lun: 1,
+                blocks_per_plane: 64,
+                pages_per_block: 32,
+                page_size: 4096,
+            };
+            setup.os.queue_depth = 128;
+            let mut os = setup.build();
+            let w = Pumped::new(RandWriteGen::new(Region::whole(), ios), 128, 0xE1)
+                .named("rand-writer");
+            let tid = os.add_thread(Box::new(w));
+            let base = snapshot(&os);
+            os.run();
+            let m = measure_since(&os, &[tid], &base);
+            t.rows.push(
+                Row::new(format!("{ch}x{luns}"))
+                    .push("luns_total", (ch * luns) as f64)
+                    .push("iops", m.iops)
+                    .push("write_us", m.write_mean_us),
+            );
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E2 — queue depth
+
+fn e2_queue_depth(scale: Scale) -> Table {
+    let mut t = Table::new("E2", "Random-read IOPS and latency vs OS queue depth", "qd");
+    let ios = scale.ios(8192);
+    for qd in scale.thin(&[1usize, 2, 4, 8, 16, 32, 64]) {
+        let mut setup = Setup::small();
+        setup.os.queue_depth = qd;
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(RandReadGen::new(Region::whole(), ios), 256, 0xE2).named("reader"),
+            )],
+        );
+        t.rows.push(finish_point(os, &tids, format!("{qd}")));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E3 — GC greediness
+
+fn e3_gc_greediness(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E3",
+        "Steady-state overwrite: throughput / WA / tails vs GC greediness",
+        "greediness",
+    );
+    for g in scale.thin(&[1u32, 2, 3, 4, 6, 8]) {
+        let mut setup = Setup::small();
+        setup.ctrl.gc.greediness = g;
+        setup.ctrl.wl.static_enabled = false;
+        let ios = scale.ios(setup.logical_pages() * 3);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(RandWriteGen::new(Region::whole(), ios), 32, 0xE3)
+                    .named("overwriter"),
+            )],
+        );
+        t.rows.push(finish_point(os, &tids, format!("{g}")));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E4 — controller scheduling policies
+
+fn policies() -> Vec<(&'static str, SchedPolicy)> {
+    vec![
+        ("fifo", SchedPolicy::Fifo),
+        ("reads_first", SchedPolicy::reads_first()),
+        ("writes_first", SchedPolicy::writes_first()),
+        ("edf", SchedPolicy::edf_default()),
+        ("fair", SchedPolicy::fair_equal()),
+    ]
+}
+
+fn e4_ctrl_sched(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E4",
+        "Mixed 50/50 read-write under controller scheduling policies",
+        "policy",
+    );
+    let pols = scale.thin(&policies());
+    for (name, pol) in pols {
+        let mut setup = Setup::small();
+        setup.ctrl.sched = pol;
+        setup.ctrl.wl.static_enabled = false;
+        setup.os.queue_depth = 64;
+        let ios = scale.ios(setup.logical_pages() * 2);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(MixedGen::new(Region::whole(), ios, 0.5), 64, 0xE4).named("mixed"),
+            )],
+        );
+        t.rows.push(finish_point(os, &tids, name.to_string()));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E5 — internal-op (GC) priority
+
+fn e5_internal_priority(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E5",
+        "Reader tail latency vs internal-op priority under overwrite load",
+        "gc_priority",
+    );
+    let variants: Vec<(&str, SchedPolicy)> = vec![
+        ("internal_low", SchedPolicy::app_first()),
+        ("equal_fifo", SchedPolicy::Fifo),
+        ("internal_high", SchedPolicy::internal_first()),
+    ];
+    for (name, pol) in scale.thin(&variants) {
+        let mut setup = Setup::small();
+        setup.ctrl.sched = pol;
+        setup.ctrl.wl.static_enabled = false;
+        setup.os.queue_depth = 32;
+        let logical = setup.logical_pages();
+        let w_ios = scale.ios(logical * 2);
+        let r_ios = scale.ios(logical);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![
+                Box::new(
+                    Pumped::new(RandWriteGen::new(Region::whole(), w_ios), 16, 0xE5)
+                        .named("overwriter"),
+                ),
+                Box::new(
+                    Pumped::new(RandReadGen::new(Region::whole(), r_ios), 4, 0x5E)
+                        .named("reader"),
+                ),
+            ],
+        );
+        // Report the reader's view (tids[1]) plus global WA.
+        let base = snapshot(&os);
+        let mut os = os;
+        os.run();
+        let m = measure_since(&os, &[tids[1]], &base);
+        let all = measure_since(&os, &tids, &base);
+        t.rows.push(
+            Row::new(name.to_string())
+                .push("read_us", m.read_mean_us)
+                .push("read_p99_us", m.read_p99_us)
+                .push("read_sd_us", m.read_stddev_us)
+                .push("total_iops", all.iops)
+                .push("WA", all.write_amplification),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E6 — mapping schemes
+
+fn e6_mapping(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E6",
+        "Zipf mixed workload: page map vs DFTL at CMT coverage",
+        "mapping",
+    );
+    let coverages = scale.thin(&[1u64, 5, 10, 25, 50, 100]);
+    let mut variants: Vec<(String, MappingKind)> =
+        vec![("page_map".into(), MappingKind::PageMap)];
+    let logical = Setup::small().logical_pages();
+    for c in coverages {
+        variants.push((
+            format!("dftl_{c}%"),
+            MappingKind::Dftl {
+                cmt_entries: ((logical * c) / 100).max(8) as usize,
+            },
+        ));
+    }
+    for (name, mapping) in variants {
+        let mut setup = Setup::small();
+        setup.ctrl.mapping = mapping;
+        setup.ctrl.wl.static_enabled = false;
+        let ios = scale.ios(logical * 2);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(
+                    ZipfGen::new(Region::whole(), ios, 0.99, ZipfKind::Mixed(50)),
+                    32,
+                    0xE6,
+                )
+                .named("zipf-mixed"),
+            )],
+        );
+        let base = snapshot(&os);
+        let mut os = os;
+        os.run();
+        let m = measure_since(&os, &tids, &base);
+        t.rows.push(
+            Row::new(name)
+                .push("iops", m.iops)
+                .push("read_us", m.read_mean_us)
+                .push("write_us", m.write_mean_us)
+                .push("map_fetches", m.mapping_fetches as f64)
+                .push("map_writebacks", m.mapping_writebacks as f64)
+                .push("WA", m.write_amplification),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E7 — wear leveling
+
+fn e7_wear_leveling(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E7",
+        "Skewed overwrite: wear distribution vs WL strategy",
+        "wl_mode",
+    );
+    let variants: Vec<(&str, bool, bool, TemperatureMode)> = vec![
+        ("off", false, false, TemperatureMode::Off),
+        ("static", true, false, TemperatureMode::Off),
+        ("static+dynamic", true, true, TemperatureMode::Detector),
+    ];
+    for (name, stat, dyn_, temp) in scale.thin(&variants) {
+        let mut setup = Setup::small();
+        setup.ctrl.wl.static_enabled = stat;
+        setup.ctrl.wl.dynamic_enabled = dyn_;
+        setup.ctrl.wl.check_every_erases = 16;
+        setup.ctrl.wl.young_delta = 4;
+        // The conservative default idle factor only fires on much longer
+        // runs; sweep with an eager setting so the experiment shows the
+        // static-WL trade-off at this scale.
+        setup.ctrl.wl.idle_factor = 0.5;
+        setup.ctrl.temperature = temp;
+        let logical = setup.logical_pages();
+        let ios = scale.ios(logical * 6);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(
+                    ZipfGen::new(Region::whole(), ios, 1.1, ZipfKind::Writes),
+                    32,
+                    0xE7,
+                )
+                .named("zipf-writer"),
+            )],
+        );
+        let base = snapshot(&os);
+        let mut os = os;
+        os.run();
+        let m = measure_since(&os, &tids, &base);
+        t.rows.push(
+            Row::new(name.to_string())
+                .push("iops", m.iops)
+                .push("WA", m.write_amplification)
+                .push("wear_sd", m.wear_stddev)
+                .push("wear_max", m.wear_max as f64)
+                .push("wl_erases", m.wl_erases as f64),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E8 — open interface
+
+fn e8_open_interface(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E8",
+        "Open-interface hints vs the locked block device",
+        "hints",
+    );
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Closed,
+        Priority,
+        Temperature,
+        Locality,
+    }
+    let variants = [
+        ("closed", Mode::Closed),
+        ("priority", Mode::Priority),
+        ("temperature", Mode::Temperature),
+        ("locality", Mode::Locality),
+    ];
+    for (name, mode) in scale.thin(&variants) {
+        let mut setup = Setup::small();
+        setup.ctrl.wl.static_enabled = false;
+        setup.os.queue_depth = 32;
+        setup.os.open_interface = mode != Mode::Closed;
+        match mode {
+            Mode::Priority => setup.ctrl.sched = SchedPolicy::TagPriority,
+            Mode::Temperature => setup.ctrl.temperature = TemperatureMode::Hints,
+            Mode::Locality => setup.ctrl.honor_locality = true,
+            Mode::Closed => {}
+        }
+        let logical = setup.logical_pages();
+        let w_ios = scale.ios(logical * 3);
+        let r_ios = scale.ios(logical / 2);
+        // Writer: skewed updates, hinted hot/cold + per-group locality.
+        let writer_gen = ZipfGen::new(Region::whole(), w_ios, 0.99, ZipfKind::Writes)
+            .with_temperature_hints(0.2);
+        let mut writer =
+            Pumped::new(writer_gen, 16, 0xE8).named("tenant-writer");
+        if mode == Mode::Locality {
+            writer = writer.tagged(IoTags::none().with_locality(1));
+        }
+        // Reader: latency sensitive, tagged urgent.
+        let reader = Pumped::new(RandReadGen::new(Region::whole(), r_ios), 4, 0x8E)
+            .named("urgent-reader")
+            .tagged(IoTags::none().with_priority(0));
+        let (os, tids) =
+            run_preconditioned(&setup, vec![Box::new(writer), Box::new(reader)]);
+        let base = snapshot(&os);
+        let mut os = os;
+        os.run();
+        let reader_m = measure_since(&os, &[tids[1]], &base);
+        let all = measure_since(&os, &tids, &base);
+        t.rows.push(
+            Row::new(name.to_string())
+                .push("total_iops", all.iops)
+                .push("WA", all.write_amplification)
+                .push("reader_p99_us", reader_m.read_p99_us)
+                .push("reader_us", reader_m.read_mean_us),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E9 — advanced commands
+
+fn e9_advanced_commands(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E9",
+        "GC-heavy overwrite: copy-back × channel interleaving",
+        "commands",
+    );
+    let variants = [
+        ("neither", false, false),
+        ("copyback", true, false),
+        ("interleave", false, true),
+        ("both", true, true),
+    ];
+    for (name, cb, il) in scale.thin(&variants) {
+        let mut setup = Setup::small();
+        setup.ctrl.gc.use_copyback = cb;
+        setup.ctrl.interleaving = il;
+        setup.ctrl.wl.static_enabled = false;
+        let ios = scale.ios(setup.logical_pages() * 3);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(RandWriteGen::new(Region::whole(), ios), 32, 0xE9)
+                    .named("overwriter"),
+            )],
+        );
+        t.rows.push(finish_point(os, &tids, name.to_string()));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E10 — Grace hash join
+
+fn e10_grace_join(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E10",
+        "Grace hash join phases vs write-allocation policy",
+        "alloc",
+    );
+    let variants = [
+        ("round_robin", WriteAllocPolicy::RoundRobin),
+        ("least_utilized", WriteAllocPolicy::LeastUtilized),
+        ("striping", WriteAllocPolicy::Striping),
+    ];
+    for (name, alloc) in scale.thin(&variants) {
+        let mut setup = Setup::small();
+        setup.ctrl.write_alloc = alloc;
+        setup.ctrl.wl.static_enabled = false;
+        setup.os.queue_depth = 64;
+        let logical = setup.logical_pages();
+        // Relations sized so inputs + 2x-slack partitions fit.
+        let r = (logical / 8).min(scale.ios(1024));
+        let s = r;
+        let mut os = setup.build();
+        let sink = std::rc::Rc::new(std::cell::RefCell::new((None, None)));
+        let region_r = Region::new(0, r);
+        let region_s = Region::new(r, s);
+        let out_len = ((r + s) * 2).div_ceil(8) * 8;
+        let region_out = Region::new(r + s, out_len);
+        // Pre-write the inputs.
+        os.add_thread(eagletree_workloads::precondition::region_fill(region_r, 32));
+        os.add_thread(eagletree_workloads::precondition::region_fill(region_s, 32));
+        os.run();
+        let join = GraceHashJoin::new(region_r, region_s, region_out, 8, 32)
+            .with_phase_sink(sink.clone());
+        let t0 = os.now();
+        let tid = os.add_thread(Box::new(join));
+        let base = snapshot(&os);
+        os.run();
+        let m = measure_since(&os, &[tid], &base);
+        let (part, probe) = *sink.borrow();
+        let part_ms = part.map_or(0.0, |p: SimTime| p.since(t0).as_millis_f64());
+        let probe_ms = probe.map_or(0.0, |p: SimTime| {
+            p.since(part.unwrap_or(t0)).as_millis_f64()
+        });
+        t.rows.push(
+            Row::new(name.to_string())
+                .push("partition_ms", part_ms)
+                .push("probe_ms", probe_ms)
+                .push("total_ms", m.makespan_s * 1000.0)
+                .push("iops", m.iops),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E11 — OS scheduler fairness
+
+fn e11_os_fairness(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E11",
+        "Three competing threads under OS dispatch policies",
+        "os_policy",
+    );
+    let variants: Vec<(&str, OsSchedPolicy)> = vec![
+        ("fifo", OsSchedPolicy::Fifo),
+        ("round_robin", OsSchedPolicy::RoundRobin),
+        ("priority_t2", OsSchedPolicy::ThreadPriority(vec![2, 2, 0, 1])),
+    ];
+    for (name, pol) in scale.thin(&variants) {
+        let mut setup = Setup::small();
+        setup.os.policy = pol;
+        setup.os.queue_depth = 8;
+        setup.ctrl.wl.static_enabled = false;
+        let logical = setup.logical_pages();
+        let ios = scale.ios(logical);
+        // Thread 1 (after fill): aggressive writer with a huge window;
+        // threads 2 and 3: modest readers.
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![
+                Box::new(
+                    Pumped::new(RandWriteGen::new(Region::whole(), ios), 128, 0xB1)
+                        .named("aggressive"),
+                ),
+                Box::new(
+                    Pumped::new(RandReadGen::new(Region::whole(), ios / 2), 4, 0xB2)
+                        .named("modest-a"),
+                ),
+                Box::new(
+                    Pumped::new(RandReadGen::new(Region::whole(), ios / 2), 4, 0xB3)
+                        .named("modest-b"),
+                ),
+            ],
+        );
+        let mut os = os;
+        os.run();
+        let th: Vec<f64> = tids
+            .iter()
+            .map(|&t| os.thread_stats(t).throughput_iops())
+            .collect();
+        // Jain fairness index over per-thread throughput.
+        let sum: f64 = th.iter().sum();
+        let sumsq: f64 = th.iter().map(|x| x * x).sum();
+        let jain = if sumsq == 0.0 {
+            0.0
+        } else {
+            sum * sum / (th.len() as f64 * sumsq)
+        };
+        t.rows.push(
+            Row::new(name.to_string())
+                .push("aggressive_iops", th[0])
+                .push("modest_a_iops", th[1])
+                .push("modest_b_iops", th[2])
+                .push("jain", jain),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E12 — chip type
+
+fn e12_chip_type(scale: Scale) -> Table {
+    let mut t = Table::new("E12", "Mixed workload on SLC vs MLC flash", "chip");
+    for (name, timing) in [("slc", TimingSpec::slc()), ("mlc", TimingSpec::mlc())] {
+        let mut setup = Setup::small();
+        setup.timing = timing;
+        setup.ctrl.wl.static_enabled = false;
+        let ios = scale.ios(setup.logical_pages() * 2);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(MixedGen::new(Region::whole(), ios, 0.5), 32, 0xE12).named("mixed"),
+            )],
+        );
+        t.rows.push(finish_point(os, &tids, name.to_string()));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E13 — write buffer
+
+fn e13_write_buffer(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E13",
+        "Skewed overwrite vs battery-backed write-buffer size",
+        "buffer_pages",
+    );
+    for pages in scale.thin(&[0u64, 16, 64, 256]) {
+        let mut setup = Setup::small();
+        setup.ctrl.write_buffer_pages = pages;
+        setup.ctrl.wl.static_enabled = false;
+        let ios = scale.ios(setup.logical_pages() * 3);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(
+                    ZipfGen::new(Region::whole(), ios, 0.99, ZipfKind::Writes),
+                    32,
+                    0xE13,
+                )
+                .named("zipf-writer"),
+            )],
+        );
+        // Buffered writes complete at RAM speed (zero virtual latency), so
+        // IOPS over the completion window is not meaningful; the makespan
+        // until the device drains and the flash-side WA are.
+        let base = snapshot(&os);
+        let mut os = os;
+        let t0 = os.now();
+        os.run();
+        let m = measure_since(&os, &tids, &base);
+        t.rows.push(
+            Row::new(format!("{pages}"))
+                .push("makespan_ms", os.now().since(t0).as_millis_f64())
+                .push("WA", m.write_amplification)
+                .push("gc_erases", m.gc_erases as f64)
+                .push("write_p99_us", m.write_p99_us),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E14 — over-provisioning
+
+fn e14_overprovisioning(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E14",
+        "Steady-state overwrite vs exported-capacity fraction",
+        "logical_frac",
+    );
+    for frac in scale.thin(&[0.70f64, 0.80, 0.85, 0.90, 0.95]) {
+        let mut setup = Setup::small();
+        setup.ctrl.logical_capacity = frac;
+        setup.ctrl.wl.static_enabled = false;
+        let ios = scale.ios(setup.logical_pages() * 3);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(RandWriteGen::new(Region::whole(), ios), 32, 0xE14)
+                    .named("overwriter"),
+            )],
+        );
+        t.rows.push(finish_point(os, &tids, format!("{frac:.2}")));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E15 — GC victim selection
+
+fn e15_victim_policy(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E15",
+        "Hot/cold overwrite under GC victim-selection policies",
+        "victim",
+    );
+    use eagletree_controller::VictimPolicy;
+    let variants = [
+        ("greedy", VictimPolicy::Greedy),
+        ("random", VictimPolicy::Random),
+        ("cost_benefit", VictimPolicy::CostBenefit),
+    ];
+    for (name, victim) in scale.thin(&variants) {
+        let mut setup = Setup::small();
+        setup.ctrl.gc.victim = victim;
+        setup.ctrl.wl.static_enabled = false;
+        let ios = scale.ios(setup.logical_pages() * 4);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(
+                    ZipfGen::new(Region::whole(), ios, 1.0, ZipfKind::Writes),
+                    32,
+                    0xE15,
+                )
+                .named("hotcold-writer"),
+            )],
+        );
+        t.rows.push(finish_point(os, &tids, name.to_string()));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E16 — cached-program pipelining
+
+fn e16_pipelining(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E16",
+        "Sequential write throughput with and without cached programming",
+        "pipelining",
+    );
+    for (name, on) in [("off", false), ("on", true)] {
+        let mut setup = Setup::small();
+        setup.ctrl.use_cached_program = on;
+        setup.ctrl.wl.static_enabled = false;
+        setup.os.queue_depth = 64;
+        let ios = scale.ios(setup.logical_pages());
+        let mut os = setup.build();
+        let w = Pumped::new(
+            eagletree_workloads::SeqWriteGen::new(Region::whole(), ios),
+            64,
+            0xE16,
+        )
+        .named("seq-writer");
+        let tid = os.add_thread(Box::new(w));
+        let base = snapshot(&os);
+        os.run();
+        let m = measure_since(&os, &[tid], &base);
+        t.rows.push(
+            Row::new(name.to_string())
+                .push("iops", m.iops)
+                .push("write_us", m.write_mean_us)
+                .push("makespan_ms", m.makespan_s * 1000.0),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// G1 — the game
+
+/// The demo game: grid-search scheduling-related knobs and score each
+/// combination by throughput balanced against latency imbalance and
+/// variability between reads and writes (§3). Rows are sorted best-first.
+fn g1_game(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "G1",
+        "Scheduling game: score = iops/1k − imbalance − variability",
+        "combo",
+    );
+    let pols: Vec<(&str, SchedPolicy)> = vec![
+        ("fifo", SchedPolicy::Fifo),
+        ("reads_first", SchedPolicy::reads_first()),
+        ("edf", SchedPolicy::edf_default()),
+        ("fair", SchedPolicy::fair_equal()),
+    ];
+    let pols = scale.thin(&pols);
+    let greeds = scale.thin(&[1u32, 4]);
+    let qds = scale.thin(&[8usize, 32]);
+    let mut rows = Vec::new();
+    for (pname, pol) in &pols {
+        for &g in &greeds {
+            for &qd in &qds {
+                let mut setup = Setup::small();
+                setup.ctrl.sched = pol.clone();
+                setup.ctrl.gc.greediness = g;
+                setup.ctrl.wl.static_enabled = false;
+                setup.os.queue_depth = qd;
+                let ios = scale.ios(setup.logical_pages() * 2);
+                let (os, tids) = run_preconditioned(
+                    &setup,
+                    vec![Box::new(
+                        Pumped::new(MixedGen::new(Region::whole(), ios, 0.5), 64, 0x61)
+                            .named("game"),
+                    )],
+                );
+                let base = snapshot(&os);
+                let mut os = os;
+                os.run();
+                let m = measure_since(&os, &tids, &base);
+                let imbalance = (m.read_mean_us - m.write_mean_us).abs() / 100.0;
+                let variability = (m.read_stddev_us + m.write_stddev_us) / 200.0;
+                let score = m.iops / 1000.0 - imbalance - variability;
+                rows.push(
+                    Row::new(format!("{pname}/g{g}/qd{qd}"))
+                        .push("score", score)
+                        .push("iops", m.iops)
+                        .push("read_us", m.read_mean_us)
+                        .push("write_us", m.write_mean_us)
+                        .push("read_sd_us", m.read_stddev_us)
+                        .push("write_sd_us", m.write_stddev_us),
+                );
+            }
+        }
+    }
+    rows.sort_by(|a, b| {
+        b.get("score")
+            .partial_cmp(&a.get("score"))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    t.rows = rows;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_complete_and_indexed() {
+        let s = all();
+        assert_eq!(s.len(), 17);
+        let ids: Vec<&str> = s.iter().map(|e| e.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+                "E13", "E14", "E15", "E16", "G1"
+            ]
+        );
+        assert!(by_id("e3").is_some());
+        assert!(by_id("G1").is_some());
+        assert!(by_id("E99").is_none());
+    }
+
+    #[test]
+    fn smoke_e16_pipelining_speeds_sequential_writes() {
+        let t = e16_pipelining(Scale::Smoke);
+        let off = t.rows[0].get("iops").unwrap();
+        let on = t.rows[1].get("iops").unwrap();
+        assert!(
+            on > off * 1.1,
+            "cached programming should lift sequential writes: on={on:.0} off={off:.0}"
+        );
+    }
+
+    #[test]
+    fn smoke_e13_buffer_absorbs_writes() {
+        let t = e13_write_buffer(Scale::Smoke);
+        let none = t.rows.first().unwrap().get("WA").unwrap();
+        let big = t.rows.last().unwrap().get("WA").unwrap();
+        assert!(
+            big < none,
+            "a 256-page buffer must cut WA under zipf: {big} !< {none}"
+        );
+    }
+
+    #[test]
+    fn smoke_e1_scales_with_parallelism() {
+        let t = e1_parallelism(Scale::Smoke);
+        assert!(t.rows.len() >= 2);
+        let first = t.rows.first().unwrap();
+        let last = t.rows.last().unwrap();
+        assert!(
+            last.get("iops").unwrap() > first.get("iops").unwrap() * 2.0,
+            "64 LUNs should far outrun 1 LUN: {t:?}",
+            t = t.render()
+        );
+    }
+
+    #[test]
+    fn smoke_e2_throughput_rises_with_qd() {
+        let t = e2_queue_depth(Scale::Smoke);
+        let qd1 = t.rows.first().unwrap().get("iops").unwrap();
+        let qd64 = t.rows.last().unwrap().get("iops").unwrap();
+        assert!(qd64 > qd1 * 2.0, "qd=64 ({qd64}) !> 2×qd=1 ({qd1})");
+    }
+
+    #[test]
+    fn smoke_e12_slc_beats_mlc() {
+        let t = e12_chip_type(Scale::Smoke);
+        let slc = t.rows[0].get("iops").unwrap();
+        let mlc = t.rows[1].get("iops").unwrap();
+        assert!(slc > mlc, "SLC {slc} should beat MLC {mlc}");
+    }
+
+    #[test]
+    fn smoke_g1_produces_sorted_leaderboard() {
+        let t = g1_game(Scale::Smoke);
+        assert!(t.rows.len() >= 4);
+        let scores: Vec<f64> = t.rows.iter().map(|r| r.get("score").unwrap()).collect();
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(scores, sorted, "leaderboard must be best-first");
+    }
+}

@@ -1,0 +1,905 @@
+//! The flash memory array: occupancy, page state, and wear tracking.
+//!
+//! [`FlashArray`] is the authoritative hardware model. The controller asks
+//! whether a command's channel and LUN are free *now*, then issues it; the
+//! array advances resource occupancy and page state and reports when the
+//! command completes. The array never queues anything — queueing, ordering
+//! and policy all live in the controller's scheduler, which is exactly the
+//! separation the paper's design space calls for.
+//!
+//! Hardware invariants enforced here (violations are controller bugs and
+//! return [`FlashError`]):
+//!
+//! * pages within a block are programmed strictly in order,
+//! * a block is erased only when it holds no live pages,
+//! * reads only target written pages; transfers only follow reads,
+//! * copy-back stays within one plane and requires chip support.
+
+use eagletree_core::{SimDuration, SimTime};
+
+use crate::address::{BlockAddr, Geometry, PhysicalAddr};
+use crate::command::FlashCommand;
+use crate::error::FlashError;
+use crate::timing::TimingSpec;
+
+/// Lifecycle of a physical page between erases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased, ready to program.
+    Free,
+    /// Holds the live copy of some logical page.
+    Valid,
+    /// Holds a superseded (garbage) copy.
+    Invalid,
+}
+
+/// Per-block bookkeeping consumed by GC and wear leveling.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockInfo {
+    /// Number of times this block has been erased.
+    pub erase_count: u32,
+    /// Virtual time of the last erase (zero if never erased).
+    pub last_erase: SimTime,
+    /// Next page to program (pages below this are written).
+    pub write_ptr: u32,
+    /// Number of valid pages.
+    pub live_pages: u32,
+    /// Worn out: the block reached the chip's erase endurance and must be
+    /// masked (never programmed or erased again).
+    pub bad: bool,
+}
+
+impl BlockInfo {
+    fn new() -> Self {
+        BlockInfo {
+            erase_count: 0,
+            last_erase: SimTime::ZERO,
+            write_ptr: 0,
+            live_pages: 0,
+            bad: false,
+        }
+    }
+}
+
+/// What a LUN is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LunStatus {
+    /// Free once `busy_until` passes.
+    Idle,
+    /// Array read finished (or will finish at `busy_until`); the page
+    /// register holds data that must be transferred out before the LUN can
+    /// accept any other command.
+    HoldingData(PhysicalAddr),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LunState {
+    busy_until: SimTime,
+    status: LunStatus,
+    busy_accum: SimDuration,
+    /// Set while the LUN's current operation is an array-program of this
+    /// block: a cached program of the block's next page may pipeline
+    /// behind it. Cleared by any other operation.
+    programming: Option<BlockAddr>,
+}
+
+/// Raw operation counters (all sources combined).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    pub reads: u64,
+    pub transfers: u64,
+    pub programs: u64,
+    pub erases: u64,
+    pub copybacks: u64,
+}
+
+/// Result of successfully issuing a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueOutcome {
+    /// When the command's effect is complete. For `ReadStart` this is when
+    /// data is ready in the LUN register (a `TransferOut` must follow).
+    pub done_at: SimTime,
+    /// When the channel becomes free again.
+    pub channel_free_at: SimTime,
+    /// When the LUN becomes free again (for `ReadStart`: when data is
+    /// ready — the LUN then *holds data* and only accepts `TransferOut`).
+    pub lun_free_at: SimTime,
+}
+
+/// The simulated flash memory array.
+pub struct FlashArray {
+    geometry: Geometry,
+    timing: TimingSpec,
+    channels: Vec<SimTime>,
+    channel_busy_accum: Vec<SimDuration>,
+    luns: Vec<LunState>,
+    page_state: Vec<PageState>,
+    blocks: Vec<BlockInfo>,
+    counters: OpCounters,
+}
+
+impl FlashArray {
+    /// A fresh (fully-erased) array.
+    pub fn new(geometry: Geometry, timing: TimingSpec) -> Self {
+        geometry.validate().expect("invalid geometry");
+        timing.validate().expect("invalid timing spec");
+        FlashArray {
+            geometry,
+            timing,
+            channels: vec![SimTime::ZERO; geometry.channels as usize],
+            channel_busy_accum: vec![SimDuration::ZERO; geometry.channels as usize],
+            luns: vec![
+                LunState {
+                    busy_until: SimTime::ZERO,
+                    status: LunStatus::Idle,
+                    busy_accum: SimDuration::ZERO,
+                    programming: None,
+                };
+                geometry.total_luns() as usize
+            ],
+            page_state: vec![PageState::Free; geometry.total_pages() as usize],
+            blocks: vec![BlockInfo::new(); geometry.total_blocks() as usize],
+            counters: OpCounters::default(),
+        }
+    }
+
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    pub fn timing(&self) -> &TimingSpec {
+        &self.timing
+    }
+
+    pub fn counters(&self) -> OpCounters {
+        self.counters
+    }
+
+    fn lun_slot(&self, channel: u32, lun: u32) -> usize {
+        self.geometry.lun_index(channel, lun) as usize
+    }
+
+    /// When the channel is next free.
+    pub fn channel_free_at(&self, channel: u32) -> SimTime {
+        self.channels[channel as usize]
+    }
+
+    /// When the LUN is next free (ignores a held data register).
+    pub fn lun_free_at(&self, channel: u32, lun: u32) -> SimTime {
+        self.luns[self.lun_slot(channel, lun)].busy_until
+    }
+
+    /// The address whose data sits in the LUN register, if any.
+    pub fn lun_holding(&self, channel: u32, lun: u32) -> Option<PhysicalAddr> {
+        match self.luns[self.lun_slot(channel, lun)].status {
+            LunStatus::HoldingData(a) => Some(a),
+            LunStatus::Idle => None,
+        }
+    }
+
+    /// Total busy time accumulated on a channel (utilization numerator).
+    pub fn channel_busy_time(&self, channel: u32) -> SimDuration {
+        self.channel_busy_accum[channel as usize]
+    }
+
+    /// Total busy time accumulated on a LUN.
+    pub fn lun_busy_time(&self, channel: u32, lun: u32) -> SimDuration {
+        self.luns[self.lun_slot(channel, lun)].busy_accum
+    }
+
+    /// Whether `cmd`'s channel and LUN are both free at `now`.
+    ///
+    /// This is the resource test only; state validity (sequential program,
+    /// live-erase, …) is checked at issue time.
+    pub fn can_issue(&self, cmd: &FlashCommand, now: SimTime) -> bool {
+        let ch = cmd.channel() as usize;
+        if ch >= self.channels.len() || self.channels[ch] > now {
+            return false;
+        }
+        let slot = self.lun_slot(cmd.channel(), cmd.lun());
+        let lun = &self.luns[slot];
+        if lun.busy_until > now {
+            // Only a cached program may join a busy LUN.
+            return match cmd {
+                FlashCommand::Program(a) => self.can_pipeline(*a, now),
+                _ => false,
+            };
+        }
+        match (lun.status, cmd) {
+            // A LUN holding data accepts only the matching transfer.
+            (LunStatus::HoldingData(held), FlashCommand::TransferOut(a)) => held == *a,
+            (LunStatus::HoldingData(_), _) => false,
+            (LunStatus::Idle, FlashCommand::TransferOut(_)) => false,
+            (LunStatus::Idle, _) => true,
+        }
+    }
+
+    /// Whether a program of `addr` may *pipeline* behind the LUN's current
+    /// array-program (cached programming): chip support, channel free, and
+    /// the LUN busy programming the same block.
+    pub fn can_pipeline(&self, addr: PhysicalAddr, now: SimTime) -> bool {
+        if !self.timing.cached_program {
+            return false;
+        }
+        if self.channels[addr.channel as usize] > now {
+            return false;
+        }
+        let lun = &self.luns[self.lun_slot(addr.channel, addr.lun)];
+        lun.busy_until > now
+            && lun.status == LunStatus::Idle
+            && lun.programming == Some(addr.block_addr())
+    }
+
+    /// The earliest time at or after `now` when `cmd`'s resources free up.
+    ///
+    /// A scheduler can use this to decide how long a candidate op would
+    /// have to wait. Returns `None` for a LUN stuck holding another page's
+    /// data (only the matching transfer can release it).
+    pub fn earliest_issue(&self, cmd: &FlashCommand, now: SimTime) -> Option<SimTime> {
+        let slot = self.lun_slot(cmd.channel(), cmd.lun());
+        let lun = &self.luns[slot];
+        match (lun.status, cmd) {
+            (LunStatus::HoldingData(held), FlashCommand::TransferOut(a)) if held == *a => {}
+            (LunStatus::Idle, FlashCommand::TransferOut(_)) => return None,
+            (LunStatus::HoldingData(_), _) => return None,
+            (LunStatus::Idle, _) => {}
+        }
+        Some(
+            self.channels[cmd.channel() as usize]
+                .max(lun.busy_until)
+                .max(now),
+        )
+    }
+
+    /// Issue a command whose resources are free at `now`.
+    pub fn issue(
+        &mut self,
+        cmd: FlashCommand,
+        now: SimTime,
+    ) -> Result<IssueOutcome, FlashError> {
+        self.check_range(&cmd)?;
+        let ch = cmd.channel() as usize;
+        if self.channels[ch] > now {
+            return Err(FlashError::ChannelBusy {
+                channel: cmd.channel(),
+            });
+        }
+        let slot = self.lun_slot(cmd.channel(), cmd.lun());
+        if self.luns[slot].busy_until > now {
+            let pipelined = matches!(cmd, FlashCommand::Program(a) if self.can_pipeline(a, now));
+            if !pipelined {
+                return Err(FlashError::LunBusy {
+                    channel: cmd.channel(),
+                    lun: cmd.lun(),
+                });
+            }
+        }
+        match (self.luns[slot].status, &cmd) {
+            (LunStatus::HoldingData(held), FlashCommand::TransferOut(a)) if held == *a => {}
+            (LunStatus::HoldingData(_), _) => {
+                return Err(FlashError::LunBusy {
+                    channel: cmd.channel(),
+                    lun: cmd.lun(),
+                })
+            }
+            (LunStatus::Idle, FlashCommand::TransferOut(_)) => {
+                return Err(FlashError::NoPendingData {
+                    channel: cmd.channel(),
+                    lun: cmd.lun(),
+                })
+            }
+            (LunStatus::Idle, _) => {}
+        }
+
+        let t = self.timing;
+        match cmd {
+            FlashCommand::ReadStart(addr) => {
+                if self.page_state(addr) == PageState::Free {
+                    return Err(FlashError::ReadUnwritten(addr));
+                }
+                let channel_free = now + t.read_channel_time();
+                let data_ready = now + t.read_lun_time();
+                self.occupy(ch, slot, channel_free, data_ready);
+                self.luns[slot].programming = None;
+                self.luns[slot].status = LunStatus::HoldingData(addr);
+                self.counters.reads += 1;
+                Ok(IssueOutcome {
+                    done_at: data_ready,
+                    channel_free_at: channel_free,
+                    lun_free_at: data_ready,
+                })
+            }
+            FlashCommand::TransferOut(_) => {
+                let done = now + t.t_xfer;
+                self.occupy(ch, slot, done, done);
+                self.luns[slot].programming = None;
+                self.luns[slot].status = LunStatus::Idle;
+                self.counters.transfers += 1;
+                Ok(IssueOutcome {
+                    done_at: done,
+                    channel_free_at: done,
+                    lun_free_at: done,
+                })
+            }
+            FlashCommand::Program(addr) => {
+                self.check_programmable(addr)?;
+                let channel_free = now + t.program_channel_time();
+                // Cached programming: the array phase starts once both the
+                // data transfer finishes and the previous program (if any)
+                // completes — transfers hide behind array time.
+                let array_start = self.luns[slot].busy_until.max(channel_free);
+                let done = array_start + t.t_prog;
+                self.occupy(ch, slot, channel_free, done);
+                self.luns[slot].programming = Some(addr.block_addr());
+                self.mark_programmed(addr);
+                self.counters.programs += 1;
+                Ok(IssueOutcome {
+                    done_at: done,
+                    channel_free_at: channel_free,
+                    lun_free_at: done,
+                })
+            }
+            FlashCommand::Erase(block) => {
+                let info = self.block_info(block);
+                if info.live_pages > 0 {
+                    return Err(FlashError::EraseLiveBlock {
+                        block,
+                        live: info.live_pages,
+                    });
+                }
+                let channel_free = now + t.erase_channel_time();
+                let done = now + t.erase_lun_time();
+                self.occupy(ch, slot, channel_free, done);
+                self.luns[slot].programming = None;
+                self.reset_block(block, done);
+                self.counters.erases += 1;
+                Ok(IssueOutcome {
+                    done_at: done,
+                    channel_free_at: channel_free,
+                    lun_free_at: done,
+                })
+            }
+            FlashCommand::CopyBack { from, to } => {
+                if !t.copyback {
+                    return Err(FlashError::InvalidCopyBack(
+                        "chip does not support copy-back".into(),
+                    ));
+                }
+                if !from.same_plane(to) {
+                    return Err(FlashError::InvalidCopyBack(format!(
+                        "{from:?} and {to:?} are in different planes"
+                    )));
+                }
+                if self.page_state(from) == PageState::Free {
+                    return Err(FlashError::ReadUnwritten(from));
+                }
+                self.check_programmable(to)?;
+                let channel_free = now + t.copyback_channel_time();
+                let done = now + t.copyback_lun_time();
+                self.occupy(ch, slot, channel_free, done);
+                self.luns[slot].programming = None;
+                self.mark_programmed(to);
+                self.counters.copybacks += 1;
+                Ok(IssueOutcome {
+                    done_at: done,
+                    channel_free_at: channel_free,
+                    lun_free_at: done,
+                })
+            }
+        }
+    }
+
+    fn occupy(&mut self, ch: usize, lun_slot: usize, channel_until: SimTime, lun_until: SimTime) {
+        let now_ch = self.channels[ch];
+        self.channel_busy_accum[ch] += channel_until.saturating_since(now_ch.max(SimTime::ZERO));
+        self.channels[ch] = channel_until;
+        let lun = &mut self.luns[lun_slot];
+        lun.busy_accum += lun_until.saturating_since(lun.busy_until);
+        lun.busy_until = lun_until;
+    }
+
+    fn check_range(&self, cmd: &FlashCommand) -> Result<(), FlashError> {
+        let g = &self.geometry;
+        let (b, page) = match cmd {
+            FlashCommand::ReadStart(a)
+            | FlashCommand::TransferOut(a)
+            | FlashCommand::Program(a) => (a.block_addr(), Some(a.page)),
+            FlashCommand::Erase(b) => (*b, None),
+            FlashCommand::CopyBack { from, to } => {
+                self.check_range(&FlashCommand::ReadStart(*from))?;
+                (to.block_addr(), Some(to.page))
+            }
+        };
+        if b.channel >= g.channels
+            || b.lun >= g.luns_per_channel
+            || b.plane >= g.planes_per_lun
+            || b.block >= g.blocks_per_plane
+            || page.is_some_and(|p| p >= g.pages_per_block)
+        {
+            return Err(FlashError::OutOfRange(format!("{cmd:?}")));
+        }
+        Ok(())
+    }
+
+    fn check_programmable(&self, addr: PhysicalAddr) -> Result<(), FlashError> {
+        let info = self.block_info(addr.block_addr());
+        if info.bad {
+            return Err(FlashError::BadBlock(addr.block_addr()));
+        }
+        if info.write_ptr != addr.page {
+            return Err(FlashError::NonSequentialProgram {
+                addr,
+                expected_page: info.write_ptr,
+            });
+        }
+        debug_assert_eq!(self.page_state(addr), PageState::Free);
+        Ok(())
+    }
+
+    fn mark_programmed(&mut self, addr: PhysicalAddr) {
+        let pi = self.geometry.page_index(addr) as usize;
+        self.page_state[pi] = PageState::Valid;
+        let bi = self.geometry.block_index(addr.block_addr()) as usize;
+        self.blocks[bi].write_ptr += 1;
+        self.blocks[bi].live_pages += 1;
+    }
+
+    fn reset_block(&mut self, block: BlockAddr, when: SimTime) {
+        let bi = self.geometry.block_index(block) as usize;
+        let endurance = self.timing.endurance;
+        let info = &mut self.blocks[bi];
+        info.erase_count += 1;
+        info.last_erase = when;
+        info.write_ptr = 0;
+        info.live_pages = 0;
+        // Endurance exhausted: the block wears out with this erase. The
+        // erase itself still succeeds (the controller learns from the
+        // status afterwards), but the block must be masked from further
+        // use — the "mask bad blocks" duty the paper assigns to WL.
+        if info.erase_count >= endurance {
+            info.bad = true;
+        }
+        let base = bi * self.geometry.pages_per_block as usize;
+        for s in &mut self.page_state[base..base + self.geometry.pages_per_block as usize] {
+            *s = PageState::Free;
+        }
+    }
+
+    /// State of one physical page.
+    pub fn page_state(&self, addr: PhysicalAddr) -> PageState {
+        self.page_state[self.geometry.page_index(addr) as usize]
+    }
+
+    /// Bookkeeping for one block.
+    pub fn block_info(&self, block: BlockAddr) -> BlockInfo {
+        self.blocks[self.geometry.block_index(block) as usize]
+    }
+
+    /// Mark a valid page invalid (the FTL superseded its contents).
+    ///
+    /// Panics if the page was not valid: double-invalidation means the FTL
+    /// lost track of the mapping.
+    pub fn invalidate(&mut self, addr: PhysicalAddr) {
+        let pi = self.geometry.page_index(addr) as usize;
+        assert_eq!(
+            self.page_state[pi],
+            PageState::Valid,
+            "invalidate of non-valid page {addr:?}"
+        );
+        self.page_state[pi] = PageState::Invalid;
+        let bi = self.geometry.block_index(addr.block_addr()) as usize;
+        debug_assert!(self.blocks[bi].live_pages > 0);
+        self.blocks[bi].live_pages -= 1;
+    }
+
+    /// Valid pages in a block (the pages GC must migrate).
+    pub fn valid_pages_in(&self, block: BlockAddr) -> Vec<PhysicalAddr> {
+        let ppb = self.geometry.pages_per_block;
+        (0..ppb)
+            .map(|p| block.page(p))
+            .filter(|&a| self.page_state(a) == PageState::Valid)
+            .collect()
+    }
+
+    /// Erase-count distribution over all blocks (wear histogram input).
+    pub fn erase_counts(&self) -> Vec<u32> {
+        self.blocks.iter().map(|b| b.erase_count).collect()
+    }
+
+    /// Number of blocks masked as bad (endurance exhausted).
+    pub fn bad_blocks(&self) -> u64 {
+        self.blocks.iter().filter(|b| b.bad).count() as u64
+    }
+
+    /// Sum of all erase counts.
+    pub fn total_erases(&self) -> u64 {
+        self.blocks.iter().map(|b| b.erase_count as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagletree_core::SimDuration;
+
+    fn array() -> FlashArray {
+        FlashArray::new(Geometry::tiny(), TimingSpec::slc())
+    }
+
+    fn addr(block: u32, page: u32) -> PhysicalAddr {
+        PhysicalAddr {
+            channel: 0,
+            lun: 0,
+            plane: 0,
+            block,
+            page,
+        }
+    }
+
+    #[test]
+    fn fresh_array_is_idle_and_free() {
+        let a = array();
+        assert_eq!(a.channel_free_at(0), SimTime::ZERO);
+        assert_eq!(a.lun_free_at(0, 0), SimTime::ZERO);
+        assert_eq!(a.page_state(addr(0, 0)), PageState::Free);
+        assert_eq!(a.counters(), OpCounters::default());
+    }
+
+    #[test]
+    fn program_then_read_then_transfer() {
+        let mut a = array();
+        let t = *a.timing();
+        let w = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        assert_eq!(w.lun_free_at, SimTime::ZERO + t.program_lun_time());
+        assert_eq!(w.channel_free_at, SimTime::ZERO + t.program_channel_time());
+        assert_eq!(a.page_state(addr(0, 0)), PageState::Valid);
+
+        let now = w.lun_free_at;
+        let r = a.issue(FlashCommand::ReadStart(addr(0, 0)), now).unwrap();
+        assert_eq!(r.done_at, now + t.read_lun_time());
+        // LUN now holds data: only the matching transfer may issue.
+        assert_eq!(a.lun_holding(0, 0), Some(addr(0, 0)));
+        assert!(!a.can_issue(&FlashCommand::Program(addr(0, 1)), r.done_at));
+        assert!(a.can_issue(&FlashCommand::TransferOut(addr(0, 0)), r.done_at));
+
+        let x = a.issue(FlashCommand::TransferOut(addr(0, 0)), r.done_at).unwrap();
+        assert_eq!(x.done_at, r.done_at + t.t_xfer);
+        assert_eq!(a.lun_holding(0, 0), None);
+        assert_eq!(a.counters().reads, 1);
+        assert_eq!(a.counters().transfers, 1);
+        assert_eq!(a.counters().programs, 1);
+    }
+
+    #[test]
+    fn programs_must_be_sequential_within_block() {
+        let mut a = array();
+        let err = a.issue(FlashCommand::Program(addr(0, 1)), SimTime::ZERO);
+        assert!(matches!(
+            err,
+            Err(FlashError::NonSequentialProgram {
+                expected_page: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn channel_frees_before_lun_on_program() {
+        let mut a = array();
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        assert!(out.channel_free_at < out.lun_free_at);
+        // Another LUN on the same channel can start once the channel frees.
+        let other = PhysicalAddr {
+            channel: 0,
+            lun: 1,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        assert!(!a.can_issue(&FlashCommand::Program(other), SimTime::ZERO));
+        assert!(a.can_issue(&FlashCommand::Program(other), out.channel_free_at));
+    }
+
+    #[test]
+    fn interleaving_two_luns_beats_serial() {
+        // Two programs on different LUNs of one channel overlap their
+        // array-program phases; two on the same LUN cannot.
+        let mut a = array();
+        let t = *a.timing();
+        let p0 = addr(0, 0);
+        let p1 = PhysicalAddr {
+            channel: 0,
+            lun: 1,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        let o0 = a.issue(FlashCommand::Program(p0), SimTime::ZERO).unwrap();
+        let o1 = a.issue(FlashCommand::Program(p1), o0.channel_free_at).unwrap();
+        let interleaved_makespan = o1.done_at;
+        let serial_makespan = SimTime::ZERO + t.program_lun_time() * 2;
+        assert!(
+            interleaved_makespan < serial_makespan,
+            "interleaving gained nothing: {interleaved_makespan:?} vs {serial_makespan:?}"
+        );
+    }
+
+    #[test]
+    fn erase_requires_dead_block_and_resets_it() {
+        let mut a = array();
+        let mut now = SimTime::ZERO;
+        for p in 0..4 {
+            let out = a.issue(FlashCommand::Program(addr(0, p)), now).unwrap();
+            now = out.lun_free_at;
+        }
+        let block = addr(0, 0).block_addr();
+        assert_eq!(a.block_info(block).live_pages, 4);
+        assert!(matches!(
+            a.issue(FlashCommand::Erase(block), now),
+            Err(FlashError::EraseLiveBlock { live: 4, .. })
+        ));
+        for p in 0..4 {
+            a.invalidate(addr(0, p));
+        }
+        let out = a.issue(FlashCommand::Erase(block), now).unwrap();
+        let info = a.block_info(block);
+        assert_eq!(info.erase_count, 1);
+        assert_eq!(info.write_ptr, 0);
+        assert_eq!(info.live_pages, 0);
+        assert_eq!(info.last_erase, out.done_at);
+        assert_eq!(a.page_state(addr(0, 0)), PageState::Free);
+        // Programming restarts from page 0.
+        a.issue(FlashCommand::Program(addr(0, 0)), out.done_at).unwrap();
+    }
+
+    #[test]
+    fn read_of_unwritten_page_fails() {
+        let mut a = array();
+        assert!(matches!(
+            a.issue(FlashCommand::ReadStart(addr(0, 0)), SimTime::ZERO),
+            Err(FlashError::ReadUnwritten(_))
+        ));
+    }
+
+    #[test]
+    fn transfer_without_read_fails() {
+        let mut a = array();
+        assert!(matches!(
+            a.issue(FlashCommand::TransferOut(addr(0, 0)), SimTime::ZERO),
+            Err(FlashError::NoPendingData { .. })
+        ));
+    }
+
+    #[test]
+    fn busy_resources_reject_and_can_issue_agrees() {
+        let mut a = array();
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        // A read cannot join the busy LUN at any point before it frees.
+        let read = FlashCommand::ReadStart(addr(0, 0));
+        assert!(!a.can_issue(&read, SimTime::ZERO));
+        assert!(matches!(
+            a.issue(read, SimTime::ZERO),
+            Err(FlashError::ChannelBusy { .. })
+        ));
+        assert!(matches!(
+            a.issue(read, out.channel_free_at),
+            Err(FlashError::LunBusy { .. })
+        ));
+        assert!(a.can_issue(&read, out.lun_free_at));
+        a.issue(read, out.lun_free_at).unwrap();
+    }
+
+    #[test]
+    fn cached_program_pipelines_within_block() {
+        let mut a = array();
+        let t = *a.timing();
+        let o0 = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        let next = FlashCommand::Program(addr(0, 1));
+        // Same block, channel free: pipelined issue allowed mid-program.
+        assert!(a.can_issue(&next, o0.channel_free_at));
+        let o1 = a.issue(next, o0.channel_free_at).unwrap();
+        // The second program's array phase starts when the first ends:
+        // back-to-back completions are t_prog apart, not a full cycle.
+        assert_eq!(o1.done_at, o0.done_at + t.t_prog);
+        assert!(o1.done_at < o0.done_at + t.program_lun_time());
+        // A different block may not pipeline.
+        let other = FlashCommand::Program(addr(1, 0));
+        assert!(!a.can_issue(&other, o1.channel_free_at));
+        assert!(matches!(
+            a.issue(other, o1.channel_free_at),
+            Err(FlashError::LunBusy { .. })
+        ));
+    }
+
+    #[test]
+    fn pipelining_disabled_without_chip_support() {
+        let mut spec = TimingSpec::slc();
+        spec.cached_program = false;
+        let mut a = FlashArray::new(Geometry::tiny(), spec);
+        let o0 = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        let next = FlashCommand::Program(addr(0, 1));
+        assert!(!a.can_issue(&next, o0.channel_free_at));
+        assert!(a.can_issue(&next, o0.lun_free_at));
+    }
+
+    #[test]
+    fn reads_break_the_program_pipeline() {
+        let mut a = array();
+        let o0 = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        let r = a
+            .issue(FlashCommand::ReadStart(addr(0, 0)), o0.lun_free_at)
+            .unwrap();
+        let x = a
+            .issue(FlashCommand::TransferOut(addr(0, 0)), r.done_at)
+            .unwrap();
+        // After the read, a new program cannot pipeline (no program in
+        // flight) — it needs the LUN idle, which it is.
+        let next = FlashCommand::Program(addr(0, 1));
+        assert!(!a.can_pipeline(addr(0, 1), x.done_at));
+        assert!(a.can_issue(&next, x.done_at));
+    }
+
+    #[test]
+    fn copyback_moves_within_plane_without_channel_data() {
+        let mut a = array();
+        let t = *a.timing();
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        let now = out.lun_free_at;
+        let dst = addr(1, 0);
+        let cb = a
+            .issue(FlashCommand::CopyBack { from: addr(0, 0), to: dst }, now)
+            .unwrap();
+        assert_eq!(cb.channel_free_at, now + t.copyback_channel_time());
+        assert!(cb.channel_free_at < cb.done_at);
+        assert_eq!(a.page_state(dst), PageState::Valid);
+        assert_eq!(a.counters().copybacks, 1);
+        // Source keeps its state; the FTL invalidates it after remapping.
+        assert_eq!(a.page_state(addr(0, 0)), PageState::Valid);
+    }
+
+    #[test]
+    fn copyback_rejects_cross_plane_and_unsupported_chips() {
+        let g = Geometry {
+            planes_per_lun: 2,
+            ..Geometry::tiny()
+        };
+        let mut a = FlashArray::new(g, TimingSpec::slc());
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        let cross = PhysicalAddr {
+            channel: 0,
+            lun: 0,
+            plane: 1,
+            block: 0,
+            page: 0,
+        };
+        assert!(matches!(
+            a.issue(
+                FlashCommand::CopyBack { from: addr(0, 0), to: cross },
+                out.lun_free_at
+            ),
+            Err(FlashError::InvalidCopyBack(_))
+        ));
+
+        let mut spec = TimingSpec::slc();
+        spec.copyback = false;
+        let mut b = FlashArray::new(Geometry::tiny(), spec);
+        let out = b.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        assert!(matches!(
+            b.issue(
+                FlashCommand::CopyBack { from: addr(0, 0), to: addr(1, 0) },
+                out.lun_free_at
+            ),
+            Err(FlashError::InvalidCopyBack(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_commands_rejected() {
+        let mut a = array();
+        let bad = PhysicalAddr {
+            channel: 0,
+            lun: 0,
+            plane: 0,
+            block: 999,
+            page: 0,
+        };
+        assert!(matches!(
+            a.issue(FlashCommand::Program(bad), SimTime::ZERO),
+            Err(FlashError::OutOfRange(_))
+        ));
+        let bad_page = addr(0, 999);
+        assert!(matches!(
+            a.issue(FlashCommand::Program(bad_page), SimTime::ZERO),
+            Err(FlashError::OutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn invalidate_tracks_live_counts() {
+        let mut a = array();
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        a.issue(FlashCommand::Program(addr(0, 1)), out.lun_free_at).unwrap();
+        assert_eq!(a.block_info(addr(0, 0).block_addr()).live_pages, 2);
+        a.invalidate(addr(0, 0));
+        assert_eq!(a.block_info(addr(0, 0).block_addr()).live_pages, 1);
+        assert_eq!(a.page_state(addr(0, 0)), PageState::Invalid);
+        assert_eq!(a.valid_pages_in(addr(0, 0).block_addr()), vec![addr(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalidate of non-valid page")]
+    fn double_invalidate_panics() {
+        let mut a = array();
+        a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        a.invalidate(addr(0, 0));
+        a.invalidate(addr(0, 0));
+    }
+
+    #[test]
+    fn earliest_issue_reports_wait() {
+        let mut a = array();
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        let next = FlashCommand::Program(addr(0, 1));
+        assert_eq!(a.earliest_issue(&next, SimTime::ZERO), Some(out.lun_free_at));
+        // Transfers on an idle LUN can never issue.
+        assert_eq!(
+            a.earliest_issue(&FlashCommand::TransferOut(addr(0, 0)), out.lun_free_at),
+            None
+        );
+    }
+
+    #[test]
+    fn utilization_accumulates() {
+        let mut a = array();
+        let t = *a.timing();
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        assert_eq!(a.channel_busy_time(0), t.program_channel_time());
+        assert_eq!(a.lun_busy_time(0, 0), t.program_lun_time());
+        a.issue(FlashCommand::Program(addr(0, 1)), out.lun_free_at).unwrap();
+        assert_eq!(a.lun_busy_time(0, 0), t.program_lun_time() * 2);
+    }
+
+    #[test]
+    fn reads_of_invalid_pages_are_allowed() {
+        // GC may still be moving a page that the FTL invalidated after
+        // remapping a newer write; the bits remain readable.
+        let mut a = array();
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        a.invalidate(addr(0, 0));
+        assert!(a
+            .issue(FlashCommand::ReadStart(addr(0, 0)), out.lun_free_at)
+            .is_ok());
+    }
+
+    #[test]
+    fn erase_counts_and_totals() {
+        let mut a = array();
+        assert_eq!(a.total_erases(), 0);
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        a.invalidate(addr(0, 0));
+        a.issue(FlashCommand::Erase(addr(0, 0).block_addr()), out.lun_free_at)
+            .unwrap();
+        assert_eq!(a.total_erases(), 1);
+        let counts = a.erase_counts();
+        assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 1);
+        assert_eq!(counts.len() as u64, a.geometry().total_blocks());
+    }
+
+    #[test]
+    fn different_channels_fully_parallel() {
+        let mut a = array();
+        let p0 = addr(0, 0);
+        let p1 = PhysicalAddr {
+            channel: 1,
+            lun: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        let o0 = a.issue(FlashCommand::Program(p0), SimTime::ZERO).unwrap();
+        let o1 = a.issue(FlashCommand::Program(p1), SimTime::ZERO).unwrap();
+        assert_eq!(o0.done_at, o1.done_at);
+        assert!(o1.done_at.as_nanos() > 0);
+        let _ = SimDuration::ZERO;
+    }
+}

@@ -1,0 +1,87 @@
+//! Flash-layer errors.
+
+use std::fmt;
+
+use crate::address::{BlockAddr, PhysicalAddr};
+
+/// Errors returned by the flash array on invalid commands.
+///
+/// These represent *controller bugs* (the FTL violating NAND constraints),
+/// not transient conditions, so integration code generally unwraps them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// Command addressed a channel/LUN/plane/block/page outside geometry.
+    OutOfRange(String),
+    /// The target channel is busy at issue time.
+    ChannelBusy { channel: u32 },
+    /// The target LUN is busy at issue time.
+    LunBusy { channel: u32, lun: u32 },
+    /// Program targeted a page that is not the block's next free page.
+    NonSequentialProgram {
+        addr: PhysicalAddr,
+        expected_page: u32,
+    },
+    /// Read targeted a page that holds no data.
+    ReadUnwritten(PhysicalAddr),
+    /// Transfer-out issued on a LUN whose register holds no data.
+    NoPendingData { channel: u32, lun: u32 },
+    /// Erase targeted a block that still holds live pages.
+    EraseLiveBlock { block: BlockAddr, live: u32 },
+    /// Copy-back crossed a plane boundary or chip lacks copy-back.
+    InvalidCopyBack(String),
+    /// Program or erase targeted a worn-out (masked) block.
+    BadBlock(BlockAddr),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::OutOfRange(s) => write!(f, "address out of range: {s}"),
+            FlashError::ChannelBusy { channel } => {
+                write!(f, "channel {channel} busy")
+            }
+            FlashError::LunBusy { channel, lun } => {
+                write!(f, "LUN c{channel}l{lun} busy")
+            }
+            FlashError::NonSequentialProgram {
+                addr,
+                expected_page,
+            } => write!(
+                f,
+                "non-sequential program at {addr:?}, expected page {expected_page}"
+            ),
+            FlashError::ReadUnwritten(a) => write!(f, "read of unwritten page {a:?}"),
+            FlashError::NoPendingData { channel, lun } => {
+                write!(f, "no pending data in register of LUN c{channel}l{lun}")
+            }
+            FlashError::EraseLiveBlock { block, live } => {
+                write!(f, "erase of block {block:?} holding {live} live pages")
+            }
+            FlashError::InvalidCopyBack(s) => write!(f, "invalid copy-back: {s}"),
+            FlashError::BadBlock(b) => write!(f, "operation on bad block {b:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlashError::LunBusy { channel: 1, lun: 2 };
+        assert_eq!(e.to_string(), "LUN c1l2 busy");
+        let e = FlashError::EraseLiveBlock {
+            block: BlockAddr {
+                channel: 0,
+                lun: 0,
+                plane: 0,
+                block: 3,
+            },
+            live: 4,
+        };
+        assert!(e.to_string().contains("4 live pages"));
+    }
+}

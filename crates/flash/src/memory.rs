@@ -1,0 +1,142 @@
+//! Controller memory manager.
+//!
+//! "EagleTree includes a memory manager used to track the amount of RAM and
+//! battery-backed RAM used for the controller's metadata and IO buffers"
+//! (§2.2). Modules such as DFTL's cached mapping table and the write buffer
+//! reserve their footprints here, so experiments can sweep RAM budgets and
+//! observe which policies still fit.
+
+use std::collections::BTreeMap;
+
+/// Which physical memory an allocation comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryKind {
+    /// Volatile controller DRAM (mapping tables, caches).
+    Ram,
+    /// Battery/capacitor-backed RAM that survives power loss (write
+    /// buffers, journals).
+    BatteryBackedRam,
+}
+
+/// Tracks RAM and battery-backed RAM budgets by named purpose.
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    ram_capacity: u64,
+    bb_capacity: u64,
+    allocations: BTreeMap<(MemoryKind, String), u64>,
+}
+
+impl MemoryManager {
+    /// A manager with the given capacities in bytes.
+    pub fn new(ram_bytes: u64, battery_backed_bytes: u64) -> Self {
+        MemoryManager {
+            ram_capacity: ram_bytes,
+            bb_capacity: battery_backed_bytes,
+            allocations: BTreeMap::new(),
+        }
+    }
+
+    /// Reserve `bytes` of `kind` memory under `purpose`.
+    ///
+    /// Fails (without side effects) if the reservation would exceed the
+    /// capacity of that memory kind. Re-reserving the same purpose replaces
+    /// the old reservation.
+    pub fn reserve(&mut self, kind: MemoryKind, purpose: &str, bytes: u64) -> Result<(), String> {
+        let key = (kind, purpose.to_string());
+        let existing = self.allocations.get(&key).copied().unwrap_or(0);
+        let used_other = self.used(kind) - existing;
+        let cap = self.capacity(kind);
+        if used_other + bytes > cap {
+            return Err(format!(
+                "cannot reserve {bytes} B of {kind:?} for `{purpose}`: {used_other} B of {cap} B already in use"
+            ));
+        }
+        self.allocations.insert(key, bytes);
+        Ok(())
+    }
+
+    /// Release the reservation for `purpose`, returning the freed bytes.
+    pub fn release(&mut self, kind: MemoryKind, purpose: &str) -> u64 {
+        self.allocations
+            .remove(&(kind, purpose.to_string()))
+            .unwrap_or(0)
+    }
+
+    /// Capacity of a memory kind.
+    pub fn capacity(&self, kind: MemoryKind) -> u64 {
+        match kind {
+            MemoryKind::Ram => self.ram_capacity,
+            MemoryKind::BatteryBackedRam => self.bb_capacity,
+        }
+    }
+
+    /// Bytes currently reserved from a memory kind.
+    pub fn used(&self, kind: MemoryKind) -> u64 {
+        self.allocations
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    /// Bytes still available in a memory kind.
+    pub fn available(&self, kind: MemoryKind) -> u64 {
+        self.capacity(kind) - self.used(kind)
+    }
+
+    /// Reservation for a specific purpose, if any.
+    pub fn reserved_for(&self, kind: MemoryKind, purpose: &str) -> Option<u64> {
+        self.allocations.get(&(kind, purpose.to_string())).copied()
+    }
+
+    /// Iterate `(kind, purpose, bytes)` over all reservations.
+    pub fn iter(&self) -> impl Iterator<Item = (MemoryKind, &str, u64)> + '_ {
+        self.allocations
+            .iter()
+            .map(|((k, p), &b)| (*k, p.as_str(), b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let mut m = MemoryManager::new(1024, 256);
+        m.reserve(MemoryKind::Ram, "cmt", 512).unwrap();
+        assert_eq!(m.used(MemoryKind::Ram), 512);
+        assert_eq!(m.available(MemoryKind::Ram), 512);
+        assert_eq!(m.reserved_for(MemoryKind::Ram, "cmt"), Some(512));
+        assert_eq!(m.release(MemoryKind::Ram, "cmt"), 512);
+        assert_eq!(m.used(MemoryKind::Ram), 0);
+        assert_eq!(m.release(MemoryKind::Ram, "cmt"), 0);
+    }
+
+    #[test]
+    fn over_reservation_fails_atomically() {
+        let mut m = MemoryManager::new(100, 0);
+        m.reserve(MemoryKind::Ram, "a", 80).unwrap();
+        assert!(m.reserve(MemoryKind::Ram, "b", 30).is_err());
+        assert_eq!(m.used(MemoryKind::Ram), 80);
+    }
+
+    #[test]
+    fn re_reserving_replaces() {
+        let mut m = MemoryManager::new(100, 0);
+        m.reserve(MemoryKind::Ram, "cmt", 80).unwrap();
+        // Shrinking the same purpose must succeed even though 80+40 > 100.
+        m.reserve(MemoryKind::Ram, "cmt", 40).unwrap();
+        assert_eq!(m.used(MemoryKind::Ram), 40);
+    }
+
+    #[test]
+    fn kinds_are_separate_pools() {
+        let mut m = MemoryManager::new(100, 100);
+        m.reserve(MemoryKind::Ram, "x", 100).unwrap();
+        m.reserve(MemoryKind::BatteryBackedRam, "x", 100).unwrap();
+        assert_eq!(m.available(MemoryKind::Ram), 0);
+        assert_eq!(m.available(MemoryKind::BatteryBackedRam), 0);
+        assert_eq!(m.iter().count(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: the flash array under random (but protocol-respecting)
+//! command sequences maintains its bookkeeping invariants.
+
+use proptest::prelude::*;
+
+use eagletree_core::{SimRng, SimTime};
+use eagletree_flash::{FlashArray, FlashCommand, Geometry, PageState, PhysicalAddr, TimingSpec};
+
+/// Model of one block: how many pages programmed / invalidated.
+#[derive(Clone, Copy, Default)]
+struct BlockModel {
+    programmed: u32,
+    invalidated: u32,
+    erases: u32,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Drive random program/invalidate/erase traffic against one LUN,
+    /// always at legal instants, and check page-state bookkeeping agrees
+    /// with an independent model.
+    #[test]
+    fn array_state_matches_model(seed in any::<u64>(), steps in 50usize..400) {
+        let g = Geometry::tiny();
+        let mut a = FlashArray::new(g, TimingSpec::slc());
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let nblocks = g.blocks_per_plane;
+        let mut model = vec![BlockModel::default(); nblocks as usize];
+
+        let addr = |block: u32, page: u32| PhysicalAddr {
+            channel: 0,
+            lun: 0,
+            plane: 0,
+            block,
+            page,
+        };
+
+        for _ in 0..steps {
+            let b = rng.gen_range(nblocks as u64) as u32;
+            let m = model[b as usize];
+            match rng.gen_range(3) {
+                0 => {
+                    // Program the next page if the block has room.
+                    if m.programmed < g.pages_per_block {
+                        let out = a.issue(FlashCommand::Program(addr(b, m.programmed)), now)
+                            .unwrap();
+                        now = out.lun_free_at.max(out.channel_free_at);
+                        model[b as usize].programmed += 1;
+                    }
+                }
+                1 => {
+                    // Invalidate a random still-valid page.
+                    if m.invalidated < m.programmed {
+                        // Find a valid page in the block.
+                        let candidates: Vec<u32> = (0..m.programmed)
+                            .filter(|&p| a.page_state(addr(b, p)) == PageState::Valid)
+                            .collect();
+                        if let Some(&p) = candidates.first() {
+                            a.invalidate(addr(b, p));
+                            model[b as usize].invalidated += 1;
+                        }
+                    }
+                }
+                _ => {
+                    // Erase when fully invalidated.
+                    if m.programmed > 0 && m.invalidated == m.programmed {
+                        let out = a.issue(FlashCommand::Erase(addr(b, 0).block_addr()), now)
+                            .unwrap();
+                        now = out.lun_free_at;
+                        model[b as usize] = BlockModel {
+                            erases: m.erases + 1,
+                            ..BlockModel::default()
+                        };
+                    }
+                }
+            }
+        }
+
+        // Model and array agree on every block.
+        for b in 0..nblocks {
+            let info = a.block_info(addr(b, 0).block_addr());
+            let m = model[b as usize];
+            prop_assert_eq!(info.write_ptr, m.programmed);
+            prop_assert_eq!(info.live_pages, m.programmed - m.invalidated);
+            prop_assert_eq!(info.erase_count, m.erases);
+            // Page-state census agrees.
+            let valid = (0..g.pages_per_block)
+                .filter(|&p| a.page_state(addr(b, p)) == PageState::Valid)
+                .count() as u32;
+            prop_assert_eq!(valid, info.live_pages);
+        }
+        prop_assert_eq!(
+            a.total_erases(),
+            model.iter().map(|m| m.erases as u64).sum::<u64>()
+        );
+    }
+
+    /// Resource occupancy never travels backwards, and `can_issue` is
+    /// consistent with `issue` for random commands at random instants.
+    #[test]
+    fn can_issue_agrees_with_issue(seed in any::<u64>(), steps in 20usize..200) {
+        let g = Geometry::tiny();
+        let mut a = FlashArray::new(g, TimingSpec::slc());
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let mut programmed: Vec<(u32, u32, u32)> = Vec::new(); // (lun, block, pages)
+
+        for _ in 0..steps {
+            // Random command attempt at a random time hop.
+            now = now + eagletree_core::SimDuration::from_nanos(rng.gen_range(500_000));
+            let lun = rng.gen_range(g.total_luns() as u64) as u32;
+            let channel = lun / g.luns_per_channel;
+            let l = lun % g.luns_per_channel;
+            let block = rng.gen_range(4) as u32;
+            let next = programmed
+                .iter()
+                .find(|&&(lu, b, _)| lu == lun && b == block)
+                .map(|&(_, _, p)| p)
+                .unwrap_or(0);
+            if next >= g.pages_per_block {
+                continue;
+            }
+            let cmd = FlashCommand::Program(PhysicalAddr {
+                channel,
+                lun: l,
+                plane: 0,
+                block,
+                page: next,
+            });
+            let can = a.can_issue(&cmd, now);
+            let result = a.issue(cmd, now);
+            // `can_issue` covers resources; `issue` may still reject on
+            // state grounds — but never the reverse.
+            if result.is_ok() {
+                prop_assert!(can, "issue succeeded where can_issue said no");
+                let out = result.unwrap();
+                prop_assert!(out.done_at >= now);
+                prop_assert!(out.channel_free_at >= now);
+                prop_assert!(out.lun_free_at >= now);
+                match programmed.iter_mut().find(|&&mut (lu, b, _)| lu == lun && b == block) {
+                    Some(e) => e.2 += 1,
+                    None => programmed.push((lun, block, next + 1)),
+                }
+            }
+        }
+    }
+}

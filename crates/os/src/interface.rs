@@ -1,0 +1,81 @@
+//! The open interface.
+//!
+//! "EagleTree takes a departure from the traditional block device interface
+//! by basing communication between the OS and the SSD on an extensible
+//! messaging framework that allows the operating system and SSD to
+//! communicate as peers" (§2.2). [`Message`]s are attached to IOs; when the
+//! interface is *locked* (the red padlock of the demo GUI,
+//! [`crate::OsConfig::open_interface`] = false) the OS strips them, exactly
+//! reproducing a traditional opaque block device.
+//!
+//! The three sketched hint types are first-class; `Custom` carries
+//! arbitrary user-defined protocol extensions (the SSD controller ignores
+//! codes it does not understand, as real extensible protocols must).
+
+use eagletree_controller::{IoTags, Temperature};
+
+/// A message accompanying an IO from OS to SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Message {
+    /// Scheduling priority for this IO (0 = most urgent).
+    Priority(u8),
+    /// Declared data temperature: feeds wear leveling and GC efficiency.
+    Temperature(Temperature),
+    /// Update-locality group: pages in one group are co-located so they
+    /// invalidate together, minimizing subsequent garbage collection.
+    UpdateLocality(u32),
+    /// User-defined extension: `(code, value)`. Unknown codes are ignored
+    /// by the default controller.
+    Custom(u32, u64),
+}
+
+/// Fold a message sequence into the [`IoTags`] the controller consumes.
+/// Later messages of the same kind override earlier ones; `Custom`
+/// messages do not map onto tags (they are available to custom controller
+/// modules).
+pub fn tags_from_messages(messages: &[Message]) -> IoTags {
+    let mut tags = IoTags::none();
+    for m in messages {
+        match *m {
+            Message::Priority(p) => tags.priority = Some(p),
+            Message::Temperature(t) => tags.temperature = Some(t),
+            Message::UpdateLocality(g) => tags.locality_group = Some(g),
+            Message::Custom(..) => {}
+        }
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_fold_into_tags() {
+        let tags = tags_from_messages(&[
+            Message::Priority(3),
+            Message::Temperature(Temperature::Hot),
+            Message::UpdateLocality(9),
+        ]);
+        assert_eq!(tags.priority, Some(3));
+        assert_eq!(tags.temperature, Some(Temperature::Hot));
+        assert_eq!(tags.locality_group, Some(9));
+    }
+
+    #[test]
+    fn later_messages_override() {
+        let tags = tags_from_messages(&[Message::Priority(3), Message::Priority(1)]);
+        assert_eq!(tags.priority, Some(1));
+    }
+
+    #[test]
+    fn custom_messages_are_transparent() {
+        let tags = tags_from_messages(&[Message::Custom(42, 7)]);
+        assert_eq!(tags, IoTags::none());
+    }
+
+    #[test]
+    fn empty_messages_give_no_tags() {
+        assert_eq!(tags_from_messages(&[]), IoTags::none());
+    }
+}

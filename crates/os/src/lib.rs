@@ -1,0 +1,28 @@
+//! # eagletree-os
+//!
+//! The operating-system layer of EagleTree. "The Operating System manages
+//! IO requests incoming from multiple simulated concurrent threads. It
+//! maintains a pool of pending IOs from each thread and decides, based on a
+//! customizable scheduling policy, which IOs to issue next to the SSD"
+//! (§2.2). On completion the SSD interrupts the OS, which activates the
+//! dispatching thread's callback; the thread may respond with further IOs.
+//!
+//! * [`Workload`] — the thread programming framework (`init` /
+//!   `call_back`), with inter-thread dependencies for preconditioning.
+//! * [`OsSchedPolicy`] — FIFO, fair round-robin, thread priorities, and a
+//!   deadline scheduler.
+//! * [`Os`] — the dispatcher: bounded outstanding-IO window
+//!   (`queue_depth`), per-thread queues and statistics, and the main
+//!   simulation loop.
+//! * [`interface`] — the open interface: an extensible message vocabulary
+//!   that travels with IOs when the block-device boundary is unlocked.
+
+pub mod interface;
+pub mod os;
+pub mod sched;
+pub mod thread;
+
+pub use interface::{tags_from_messages, Message};
+pub use os::{Os, OsConfig, ThreadStats};
+pub use sched::OsSchedPolicy;
+pub use thread::{CompletedIo, OsIo, ThreadCtx, ThreadId, Workload};

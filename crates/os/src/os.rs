@@ -1,0 +1,671 @@
+//! The OS dispatcher and main simulation loop.
+//!
+//! [`Os`] owns the [`Controller`] and the simulated threads. Threads hand
+//! IOs to per-thread queues; the OS dispatches up to
+//! [`OsConfig::queue_depth`] outstanding requests to the SSD, choosing the
+//! next one per [`OsSchedPolicy`]. When the SSD completes a request the OS
+//! "interrupts": it updates the dispatching thread's statistics and invokes
+//! its `call_back`, which may submit further IOs — the paper's reactive
+//! thread model.
+
+use std::collections::{HashMap, VecDeque};
+
+use eagletree_controller::{
+    Completion, Controller, IoTags, RequestId, RequestKind, SsdRequest,
+};
+use eagletree_core::{EventQueue, Histogram, OnlineStats, SimDuration, SimTime, TimeSeries};
+
+use crate::sched::{DispatchCandidate, OsSchedPolicy};
+use crate::thread::{CompletedIo, OsIo, ThreadCtx, ThreadId, Workload};
+
+/// OS-layer configuration.
+#[derive(Debug, Clone)]
+pub struct OsConfig {
+    /// Maximum requests outstanding at the SSD (the device queue).
+    pub queue_depth: usize,
+    /// Dispatch policy across thread queues.
+    pub policy: OsSchedPolicy,
+    /// Unlock the open interface: pass tags/messages through to the SSD.
+    /// When `false`, the OS strips all hints — a traditional block device.
+    pub open_interface: bool,
+    /// Capture per-thread completion timelines at this resolution
+    /// (`None` disables). Feeds the "metric vs. virtual time" plots of the
+    /// experimental suite (§2.3).
+    pub timeline_interval: Option<SimDuration>,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        OsConfig {
+            queue_depth: 32,
+            policy: OsSchedPolicy::Fifo,
+            open_interface: false,
+            timeline_interval: None,
+        }
+    }
+}
+
+/// Per-thread measurement: the "statistics gathering objects" attachable to
+/// individual threads (§2.3).
+#[derive(Debug, Clone)]
+pub struct ThreadStats {
+    pub reads_completed: u64,
+    pub writes_completed: u64,
+    pub trims_completed: u64,
+    /// End-to-end (enqueue → completion) read latencies.
+    pub read_latency: Histogram,
+    /// End-to-end write latencies.
+    pub write_latency: Histogram,
+    /// Read latency mean/stddev in µs (latency variability metric).
+    pub read_lat_us: OnlineStats,
+    /// Write latency mean/stddev in µs.
+    pub write_lat_us: OnlineStats,
+    /// Time spent in the OS queue before dispatch (µs).
+    pub queue_wait_us: OnlineStats,
+    /// First and last completion instants (throughput window).
+    pub first_completion: Option<SimTime>,
+    pub last_completion: Option<SimTime>,
+    /// Completions per interval over virtual time, when the OS was
+    /// configured with a `timeline_interval`.
+    pub timeline: Option<TimeSeries>,
+}
+
+impl ThreadStats {
+    fn new() -> Self {
+        ThreadStats {
+            reads_completed: 0,
+            writes_completed: 0,
+            trims_completed: 0,
+            read_latency: Histogram::new(),
+            write_latency: Histogram::new(),
+            read_lat_us: OnlineStats::new(),
+            write_lat_us: OnlineStats::new(),
+            queue_wait_us: OnlineStats::new(),
+            first_completion: None,
+            last_completion: None,
+            timeline: None,
+        }
+    }
+
+    /// Total completions.
+    pub fn completed(&self) -> u64 {
+        self.reads_completed + self.writes_completed + self.trims_completed
+    }
+
+    /// Completions per second over this thread's completion window.
+    pub fn throughput_iops(&self) -> f64 {
+        match (self.first_completion, self.last_completion) {
+            (Some(a), Some(b)) if b > a => {
+                self.completed() as f64 / b.since(a).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+struct QueuedIo {
+    io: OsIo,
+    enqueued_at: SimTime,
+    seq: u64,
+}
+
+struct ThreadState {
+    workload: Box<dyn Workload>,
+    queue: VecDeque<QueuedIo>,
+    deps: Vec<ThreadId>,
+    started: bool,
+    finished: bool,
+    stats: ThreadStats,
+}
+
+struct Inflight {
+    thread: ThreadId,
+    io: OsIo,
+    enqueued_at: SimTime,
+    dispatched_at: SimTime,
+}
+
+/// The simulated operating system.
+pub struct Os {
+    ctrl: Controller,
+    cfg: OsConfig,
+    threads: Vec<ThreadState>,
+    inflight: HashMap<RequestId, Inflight>,
+    timers: EventQueue<ThreadId>,
+    now: SimTime,
+    next_req_id: RequestId,
+    next_seq: u64,
+    last_served: ThreadId,
+}
+
+impl Os {
+    /// An OS over a controller.
+    pub fn new(ctrl: Controller, cfg: OsConfig) -> Self {
+        assert!(cfg.queue_depth > 0, "queue depth must be positive");
+        Os {
+            ctrl,
+            cfg,
+            threads: Vec::new(),
+            inflight: HashMap::new(),
+            timers: EventQueue::new(),
+            now: SimTime::ZERO,
+            next_req_id: 0,
+            next_seq: 0,
+            last_served: 0,
+        }
+    }
+
+    /// Register a thread that starts immediately.
+    pub fn add_thread(&mut self, workload: Box<dyn Workload>) -> ThreadId {
+        self.add_thread_after(workload, Vec::new())
+    }
+
+    /// Register a thread that starts once all of `deps` have finished —
+    /// the preconditioning mechanism of §2.3.
+    pub fn add_thread_after(&mut self, workload: Box<dyn Workload>, deps: Vec<ThreadId>) -> ThreadId {
+        for &d in &deps {
+            assert!(d < self.threads.len(), "dependency on unknown thread {d}");
+        }
+        self.threads.push(ThreadState {
+            workload,
+            queue: VecDeque::new(),
+            deps,
+            started: false,
+            finished: false,
+            stats: ThreadStats::new(),
+        });
+        self.threads.len() - 1
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The controller (counters, wear metrics, write amplification …).
+    pub fn controller(&self) -> &Controller {
+        &self.ctrl
+    }
+
+    /// Statistics of one thread.
+    pub fn thread_stats(&self, t: ThreadId) -> &ThreadStats {
+        &self.threads[t].stats
+    }
+
+    /// Whether thread `t` has declared itself finished.
+    pub fn thread_finished(&self, t: ThreadId) -> bool {
+        self.threads[t].finished
+    }
+
+    /// Run until no further progress is possible (all queues empty, no
+    /// in-flight IOs, no timers, controller idle).
+    pub fn run(&mut self) {
+        self.run_inner(None);
+    }
+
+    /// Run until progress stops or virtual time would pass `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.run_inner(Some(horizon));
+    }
+
+    fn run_inner(&mut self, horizon: Option<SimTime>) {
+        self.try_start_threads();
+        self.pump();
+        loop {
+            let next = match (self.ctrl.next_event_time(), self.timers.peek_time()) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if let Some(h) = horizon {
+                if next > h {
+                    self.now = h;
+                    break;
+                }
+            }
+            self.now = next;
+            let completions = self.ctrl.advance(next);
+            for c in completions {
+                self.handle_completion(c);
+            }
+            while self.timers.peek_time() == Some(next) {
+                let tid = self.timers.pop().expect("peeked timer").payload;
+                self.call_workload(tid, |w, ctx| w.on_timer(ctx));
+            }
+            self.pump();
+        }
+    }
+
+    /// Dispatch + drain instant completions until a fixpoint.
+    fn pump(&mut self) {
+        loop {
+            self.dispatch();
+            let completions = self.ctrl.advance(self.now);
+            if completions.is_empty() {
+                break;
+            }
+            for c in completions {
+                self.handle_completion(c);
+            }
+        }
+    }
+
+    /// Move queued IOs to the SSD while device-queue slots are free.
+    fn dispatch(&mut self) {
+        while self.inflight.len() < self.cfg.queue_depth {
+            let heads: Vec<DispatchCandidate> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(tid, t)| {
+                    t.queue.front().map(|q| DispatchCandidate {
+                        thread: tid,
+                        kind: q.io.kind,
+                        enqueued_at: q.enqueued_at,
+                        seq: q.seq,
+                    })
+                })
+                .collect();
+            let Some(pick) = self.cfg.policy.select(&heads, self.last_served) else {
+                break;
+            };
+            let tid = heads[pick].thread;
+            let q = self.threads[tid].queue.pop_front().expect("head exists");
+            self.last_served = tid;
+            let id = self.next_req_id;
+            self.next_req_id += 1;
+            let tags = if self.cfg.open_interface {
+                q.io.tags
+            } else {
+                IoTags::none()
+            };
+            self.threads[tid]
+                .stats
+                .queue_wait_us
+                .record(self.now.saturating_since(q.enqueued_at).as_micros_f64());
+            self.inflight.insert(
+                id,
+                Inflight {
+                    thread: tid,
+                    io: q.io,
+                    enqueued_at: q.enqueued_at,
+                    dispatched_at: self.now,
+                },
+            );
+            self.ctrl.submit(
+                SsdRequest {
+                    id,
+                    kind: q.io.kind,
+                    lpn: q.io.lpn,
+                    tags,
+                },
+                self.now,
+            );
+        }
+    }
+
+    fn handle_completion(&mut self, c: Completion) {
+        let inf = self
+            .inflight
+            .remove(&c.id)
+            .expect("completion for unknown request");
+        let done = CompletedIo {
+            io: inf.io,
+            enqueued_at: inf.enqueued_at,
+            dispatched_at: inf.dispatched_at,
+            completed_at: c.at,
+        };
+        {
+            let stats = &mut self.threads[inf.thread].stats;
+            match inf.io.kind {
+                RequestKind::Read => {
+                    stats.reads_completed += 1;
+                    stats.read_latency.record(done.latency());
+                    stats.read_lat_us.record(done.latency().as_micros_f64());
+                }
+                RequestKind::Write => {
+                    stats.writes_completed += 1;
+                    stats.write_latency.record(done.latency());
+                    stats.write_lat_us.record(done.latency().as_micros_f64());
+                }
+                RequestKind::Trim => stats.trims_completed += 1,
+            }
+            if stats.first_completion.is_none() {
+                stats.first_completion = Some(c.at);
+            }
+            stats.last_completion = Some(c.at);
+            if let Some(interval) = self.cfg.timeline_interval {
+                stats
+                    .timeline
+                    .get_or_insert_with(|| TimeSeries::new(interval))
+                    .observe(c.at, 1.0);
+            }
+        }
+        self.call_workload(inf.thread, |w, ctx| w.call_back(ctx, done));
+    }
+
+    /// Start every not-yet-started thread whose dependencies all finished.
+    fn try_start_threads(&mut self) {
+        loop {
+            let ready: Vec<ThreadId> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    !t.started && t.deps.iter().all(|&d| self.threads[d].finished)
+                })
+                .map(|(tid, _)| tid)
+                .collect();
+            if ready.is_empty() {
+                return;
+            }
+            for tid in ready {
+                self.threads[tid].started = true;
+                self.call_workload(tid, |w, ctx| w.init(ctx));
+            }
+        }
+    }
+
+    /// Invoke a workload callback with a fresh context, then apply the
+    /// buffered effects (submissions, timers, finish).
+    fn call_workload(&mut self, tid: ThreadId, f: impl FnOnce(&mut dyn Workload, &mut ThreadCtx)) {
+        let mut submissions = Vec::new();
+        let mut timer_delays = Vec::new();
+        let mut finished = self.threads[tid].finished;
+        {
+            let mut ctx = ThreadCtx {
+                now: self.now,
+                logical_pages: self.ctrl.logical_pages(),
+                submissions: &mut submissions,
+                timers: &mut timer_delays,
+                finished: &mut finished,
+            };
+            f(self.threads[tid].workload.as_mut(), &mut ctx);
+        }
+        for io in submissions {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.threads[tid].queue.push_back(QueuedIo {
+                io,
+                enqueued_at: self.now,
+                seq,
+            });
+        }
+        for d in timer_delays {
+            self.timers.schedule(self.now + d, tid);
+        }
+        let newly_finished = finished && !self.threads[tid].finished;
+        self.threads[tid].finished = finished;
+        if newly_finished {
+            self.try_start_threads();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagletree_controller::ControllerConfig;
+    use eagletree_core::SimDuration;
+    use eagletree_flash::{Geometry, TimingSpec};
+
+    /// Writes `count` sequential pages with `inflight` self-imposed
+    /// parallelism, then finishes.
+    struct SeqWriter {
+        next: u64,
+        count: u64,
+        inflight: u64,
+        outstanding: u64,
+    }
+
+    impl SeqWriter {
+        fn new(count: u64, inflight: u64) -> Self {
+            SeqWriter {
+                next: 0,
+                count,
+                inflight,
+                outstanding: 0,
+            }
+        }
+        fn feed(&mut self, ctx: &mut ThreadCtx) {
+            while self.outstanding < self.inflight && self.next < self.count {
+                ctx.submit(OsIo::write(self.next));
+                self.next += 1;
+                self.outstanding += 1;
+            }
+            if self.next == self.count && self.outstanding == 0 {
+                ctx.finish();
+            }
+        }
+    }
+
+    impl Workload for SeqWriter {
+        fn init(&mut self, ctx: &mut ThreadCtx) {
+            self.feed(ctx);
+        }
+        fn call_back(&mut self, ctx: &mut ThreadCtx, _done: CompletedIo) {
+            self.outstanding -= 1;
+            self.feed(ctx);
+        }
+        fn name(&self) -> &str {
+            "seq-writer"
+        }
+    }
+
+    fn os(cfg: OsConfig) -> Os {
+        let ctrl = Controller::new(
+            Geometry::tiny(),
+            TimingSpec::slc(),
+            ControllerConfig::default(),
+        )
+        .unwrap();
+        Os::new(ctrl, cfg)
+    }
+
+    #[test]
+    fn single_thread_completes_all_ios() {
+        let mut os = os(OsConfig::default());
+        let t = os.add_thread(Box::new(SeqWriter::new(100, 4)));
+        os.run();
+        assert_eq!(os.thread_stats(t).writes_completed, 100);
+        assert!(os.thread_finished(t));
+        assert!(os.thread_stats(t).throughput_iops() > 0.0);
+        assert!(os.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn queue_depth_bounds_outstanding() {
+        // qd=1 must serialize: makespan ≈ count × write path; much larger
+        // than qd=16 on a 4-LUN device.
+        let makespan = |qd: usize| {
+            let mut o = os(OsConfig {
+                queue_depth: qd,
+                ..OsConfig::default()
+            });
+            o.add_thread(Box::new(SeqWriter::new(200, 64)));
+            o.run();
+            o.now()
+        };
+        let serial = makespan(1);
+        let parallel = makespan(16);
+        assert!(
+            serial > parallel,
+            "qd=1 ({serial:?}) should be slower than qd=16 ({parallel:?})"
+        );
+    }
+
+    #[test]
+    fn dependencies_serialize_threads() {
+        struct Recorder {
+            target: std::rc::Rc<std::cell::RefCell<Vec<&'static str>>>,
+            label: &'static str,
+        }
+        impl Workload for Recorder {
+            fn init(&mut self, ctx: &mut ThreadCtx) {
+                self.target.borrow_mut().push(self.label);
+                ctx.submit(OsIo::write(0));
+            }
+            fn call_back(&mut self, ctx: &mut ThreadCtx, _d: CompletedIo) {
+                ctx.finish();
+            }
+        }
+        let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut o = os(OsConfig::default());
+        let a = o.add_thread(Box::new(Recorder {
+            target: order.clone(),
+            label: "a",
+        }));
+        let _b = o.add_thread_after(
+            Box::new(Recorder {
+                target: order.clone(),
+                label: "b",
+            }),
+            vec![a],
+        );
+        o.run();
+        assert_eq!(*order.borrow(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn round_robin_is_fairer_than_fifo_for_greedy_thread() {
+        // Thread 0 floods 600 IOs up front; thread 1 trickles with
+        // self-limited parallelism. Under round-robin, thread 1's queue
+        // wait should be far lower than under FIFO.
+        struct Flood {
+            n: u64,
+        }
+        impl Workload for Flood {
+            fn init(&mut self, ctx: &mut ThreadCtx) {
+                for i in 0..self.n {
+                    ctx.submit(OsIo::write(i % ctx.logical_pages()));
+                }
+            }
+            fn call_back(&mut self, ctx: &mut ThreadCtx, _d: CompletedIo) {
+                ctx.finish();
+            }
+        }
+        let wait = |policy: OsSchedPolicy| {
+            let mut o = os(OsConfig {
+                queue_depth: 8,
+                policy,
+                ..OsConfig::default()
+            });
+            let _flood = o.add_thread(Box::new(Flood { n: 600 }));
+            let victim = o.add_thread(Box::new(SeqWriter::new(50, 2)));
+            o.run();
+            o.thread_stats(victim).queue_wait_us.mean()
+        };
+        let fifo = wait(OsSchedPolicy::Fifo);
+        let rr = wait(OsSchedPolicy::RoundRobin);
+        assert!(
+            rr < fifo / 2.0,
+            "round-robin wait {rr:.0}us not clearly fairer than fifo {fifo:.0}us"
+        );
+    }
+
+    #[test]
+    fn timers_fire_and_resubmit() {
+        struct Ticker {
+            ticks: u32,
+        }
+        impl Workload for Ticker {
+            fn init(&mut self, ctx: &mut ThreadCtx) {
+                ctx.set_timer(SimDuration::from_micros(100));
+            }
+            fn call_back(&mut self, _ctx: &mut ThreadCtx, _d: CompletedIo) {}
+            fn on_timer(&mut self, ctx: &mut ThreadCtx) {
+                self.ticks += 1;
+                if self.ticks < 5 {
+                    ctx.set_timer(SimDuration::from_micros(100));
+                } else {
+                    ctx.finish();
+                }
+            }
+        }
+        let mut o = os(OsConfig::default());
+        let t = o.add_thread(Box::new(Ticker { ticks: 0 }));
+        o.run();
+        assert!(o.thread_finished(t));
+        assert_eq!(o.now(), SimTime::from_nanos(500_000));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut o = os(OsConfig::default());
+        o.add_thread(Box::new(SeqWriter::new(10_000, 8)));
+        let horizon = SimTime::from_nanos(1_000_000); // 1 ms
+        o.run_until(horizon);
+        assert!(o.now() <= horizon);
+        let done = o.thread_stats(0).writes_completed;
+        assert!(done > 0, "nothing completed within horizon");
+        assert!(done < 10_000, "horizon did not cut the run short");
+    }
+
+    #[test]
+    fn locked_interface_strips_tags() {
+        // With the interface locked, priority tags must not reach the
+        // controller; with it open, they must. Observable through the
+        // controller's TagPriority scheduler only as behavior, so here we
+        // assert the plumbing directly on dispatch by running twice and
+        // checking both complete (smoke) — detailed behavioral assertions
+        // live in the experiments crate.
+        for open in [false, true] {
+            let mut o = os(OsConfig {
+                open_interface: open,
+                ..OsConfig::default()
+            });
+            struct Tagged;
+            impl Workload for Tagged {
+                fn init(&mut self, ctx: &mut ThreadCtx) {
+                    ctx.submit(
+                        OsIo::write(1).tagged(IoTags::none().with_priority(0)),
+                    );
+                }
+                fn call_back(&mut self, ctx: &mut ThreadCtx, _d: CompletedIo) {
+                    ctx.finish();
+                }
+            }
+            let t = o.add_thread(Box::new(Tagged));
+            o.run();
+            assert!(o.thread_finished(t));
+        }
+    }
+
+    #[test]
+    fn per_thread_stats_are_isolated() {
+        let mut o = os(OsConfig::default());
+        let a = o.add_thread(Box::new(SeqWriter::new(30, 2)));
+        let b = o.add_thread(Box::new(SeqWriter::new(70, 2)));
+        o.run();
+        assert_eq!(o.thread_stats(a).writes_completed, 30);
+        assert_eq!(o.thread_stats(b).writes_completed, 70);
+        assert_eq!(o.thread_stats(a).read_latency.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency on unknown thread")]
+    fn bad_dependency_panics() {
+        let mut o = os(OsConfig::default());
+        o.add_thread_after(Box::new(SeqWriter::new(1, 1)), vec![5]);
+    }
+
+    #[test]
+    fn timeline_captures_completions_over_time() {
+        let mut o = os(OsConfig {
+            timeline_interval: Some(SimDuration::from_micros(500)),
+            ..OsConfig::default()
+        });
+        let t = o.add_thread(Box::new(SeqWriter::new(100, 4)));
+        o.run();
+        let tl = o.thread_stats(t).timeline.as_ref().expect("timeline on");
+        let total: f64 = tl.points().iter().sum();
+        assert_eq!(total, 100.0, "every completion lands in some interval");
+        assert!(tl.points().len() > 1, "run spans several intervals");
+        // Disabled by default.
+        let mut o2 = os(OsConfig::default());
+        let t2 = o2.add_thread(Box::new(SeqWriter::new(10, 2)));
+        o2.run();
+        assert!(o2.thread_stats(t2).timeline.is_none());
+    }
+}

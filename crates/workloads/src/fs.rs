@@ -1,0 +1,204 @@
+//! A file-system-like thread (§2.2: "threads simulating the behavior of a
+//! file system").
+//!
+//! The thread manages files inside its region: *create* writes data pages
+//! plus a metadata update, *append* extends a file, *delete* trims the
+//! file's pages and updates metadata. Metadata lives in a small dedicated
+//! sub-region that is overwritten continuously — the classic hot/cold split
+//! file systems impose on SSDs (hot journal + colder data), which makes
+//! this thread a natural driver for temperature-aware policies.
+
+use eagletree_core::SimRng;
+use eagletree_os::{CompletedIo, OsIo, ThreadCtx, Workload};
+
+use crate::gen::Region;
+
+const METADATA_PAGES: u64 = 8;
+
+#[derive(Debug, Clone)]
+struct File {
+    pages: Vec<u64>,
+}
+
+/// One logical file-system operation, expanded into IOs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Create,
+    Append,
+    Delete,
+}
+
+/// A file-system workload thread.
+pub struct FileSystemThread {
+    region: Region,
+    ops_left: u64,
+    max_file_pages: u64,
+    rng: SimRng,
+    files: Vec<File>,
+    free_lpns: Vec<u64>,
+    batch_in_flight: u64,
+    /// Completed operations by kind, for reports.
+    pub creates: u64,
+    pub appends: u64,
+    pub deletes: u64,
+}
+
+impl FileSystemThread {
+    /// A thread performing `ops` operations over `region` (the first
+    /// `METADATA_PAGES` (8) pages of which hold metadata), with files of at
+    /// most `max_file_pages` data pages.
+    pub fn new(region: Region, ops: u64, max_file_pages: u64, seed: u64) -> Self {
+        assert!(
+            region.len > METADATA_PAGES + max_file_pages,
+            "region too small for metadata plus one file"
+        );
+        let free_lpns = (region.start + METADATA_PAGES..region.start + region.len).collect();
+        FileSystemThread {
+            region,
+            ops_left: ops,
+            max_file_pages,
+            rng: SimRng::new(seed),
+            files: Vec::new(),
+            free_lpns,
+            batch_in_flight: 0,
+            creates: 0,
+            appends: 0,
+            deletes: 0,
+        }
+    }
+
+    fn metadata_lpn(&mut self) -> u64 {
+        self.region.start + self.rng.gen_range(METADATA_PAGES)
+    }
+
+    /// Choose and expand the next operation into a batch of IOs.
+    fn next_batch(&mut self, ctx: &mut ThreadCtx) {
+        while self.ops_left > 0 {
+            self.ops_left -= 1;
+            let op = self.pick_op();
+            let mut batch: Vec<OsIo> = Vec::new();
+            match op {
+                OpKind::Create => {
+                    let want = 1 + self.rng.gen_range(self.max_file_pages);
+                    let take = want.min(self.free_lpns.len() as u64);
+                    if take == 0 {
+                        continue; // disk full: skip to another op
+                    }
+                    let mut pages = Vec::with_capacity(take as usize);
+                    for _ in 0..take {
+                        let i = self.rng.gen_range(self.free_lpns.len() as u64) as usize;
+                        pages.push(self.free_lpns.swap_remove(i));
+                    }
+                    for &p in &pages {
+                        batch.push(OsIo::write(p));
+                    }
+                    batch.push(OsIo::write(self.metadata_lpn()));
+                    self.files.push(File { pages });
+                    self.creates += 1;
+                }
+                OpKind::Append => {
+                    if self.files.is_empty() || self.free_lpns.is_empty() {
+                        continue;
+                    }
+                    let f = self.rng.gen_range(self.files.len() as u64) as usize;
+                    let i = self.rng.gen_range(self.free_lpns.len() as u64) as usize;
+                    let page = self.free_lpns.swap_remove(i);
+                    self.files[f].pages.push(page);
+                    batch.push(OsIo::write(page));
+                    batch.push(OsIo::write(self.metadata_lpn()));
+                    self.appends += 1;
+                }
+                OpKind::Delete => {
+                    if self.files.is_empty() {
+                        continue;
+                    }
+                    let f = self.rng.gen_range(self.files.len() as u64) as usize;
+                    let file = self.files.swap_remove(f);
+                    for &p in &file.pages {
+                        batch.push(OsIo::trim(p));
+                        self.free_lpns.push(p);
+                    }
+                    batch.push(OsIo::write(self.metadata_lpn()));
+                    self.deletes += 1;
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            self.batch_in_flight = batch.len() as u64;
+            for io in batch {
+                ctx.submit(io);
+            }
+            return;
+        }
+        if self.batch_in_flight == 0 {
+            ctx.finish();
+        }
+    }
+
+    fn pick_op(&mut self) -> OpKind {
+        // Create-heavy while small; balanced once populated.
+        let r = self.rng.gen_range(100);
+        if self.files.len() < 4 || r < 40 {
+            OpKind::Create
+        } else if r < 75 {
+            OpKind::Append
+        } else {
+            OpKind::Delete
+        }
+    }
+}
+
+impl Workload for FileSystemThread {
+    fn init(&mut self, ctx: &mut ThreadCtx) {
+        self.next_batch(ctx);
+    }
+
+    fn call_back(&mut self, ctx: &mut ThreadCtx, _done: CompletedIo) {
+        debug_assert!(self.batch_in_flight > 0);
+        self.batch_in_flight -= 1;
+        if self.batch_in_flight == 0 {
+            self.next_batch(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "file-system"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpn_pool_is_disjoint_from_metadata() {
+        let fs = FileSystemThread::new(Region::new(100, 64), 10, 4, 1);
+        assert!(fs.free_lpns.iter().all(|&l| l >= 100 + METADATA_PAGES));
+        assert_eq!(fs.free_lpns.len() as u64, 64 - METADATA_PAGES);
+    }
+
+    #[test]
+    #[should_panic(expected = "region too small")]
+    fn tiny_region_rejected() {
+        FileSystemThread::new(Region::new(0, 10), 10, 4, 1);
+    }
+
+    #[test]
+    fn op_mix_becomes_balanced() {
+        let mut fs = FileSystemThread::new(Region::new(0, 256), 0, 4, 7);
+        // Seed some files so all ops are possible.
+        for _ in 0..10 {
+            fs.files.push(File { pages: vec![] });
+        }
+        let mut seen = [0u32; 3];
+        for _ in 0..300 {
+            match fs.pick_op() {
+                OpKind::Create => seen[0] += 1,
+                OpKind::Append => seen[1] += 1,
+                OpKind::Delete => seen[2] += 1,
+            }
+        }
+        assert!(seen.iter().all(|&c| c > 30), "op mix too skewed: {seen:?}");
+    }
+}

@@ -1,0 +1,463 @@
+//! Composable IO generators.
+//!
+//! An [`IoGen`] produces one IO at a time; [`Pumped`] turns it into a
+//! [`Workload`] thread that keeps a bounded number of IOs in flight
+//! (modelling per-thread asynchronous submission) and finishes when the
+//! generator is exhausted.
+
+use eagletree_controller::{IoTags, RequestKind};
+use eagletree_core::{SimRng, Zipf};
+use eagletree_os::{CompletedIo, OsIo, ThreadCtx, Workload};
+
+/// A contiguous logical-page region `[start, start+len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub start: u64,
+    pub len: u64,
+}
+
+impl Region {
+    /// The whole device address space (resolved against the context).
+    pub fn whole() -> Region {
+        Region { start: 0, len: 0 }
+    }
+
+    /// A fixed region.
+    pub fn new(start: u64, len: u64) -> Region {
+        Region { start, len }
+    }
+
+    fn resolve(&self, logical_pages: u64) -> (u64, u64) {
+        if self.len == 0 {
+            (0, logical_pages)
+        } else {
+            debug_assert!(self.start + self.len <= logical_pages);
+            (self.start, self.len)
+        }
+    }
+}
+
+/// A stream of IOs.
+pub trait IoGen: Send {
+    /// Produce the next IO, or `None` when exhausted.
+    fn next_io(&mut self, rng: &mut SimRng, logical_pages: u64) -> Option<OsIo>;
+}
+
+/// Sequential writes over a region, `count` in total (wrapping).
+#[derive(Debug, Clone)]
+pub struct SeqWriteGen {
+    pub region: Region,
+    pub count: u64,
+    issued: u64,
+}
+
+impl SeqWriteGen {
+    pub fn new(region: Region, count: u64) -> Self {
+        SeqWriteGen {
+            region,
+            count,
+            issued: 0,
+        }
+    }
+}
+
+impl IoGen for SeqWriteGen {
+    fn next_io(&mut self, _rng: &mut SimRng, logical_pages: u64) -> Option<OsIo> {
+        if self.issued >= self.count {
+            return None;
+        }
+        let (start, len) = self.region.resolve(logical_pages);
+        let lpn = start + self.issued % len;
+        self.issued += 1;
+        Some(OsIo::write(lpn))
+    }
+}
+
+/// Uniform random writes over a region.
+#[derive(Debug, Clone)]
+pub struct RandWriteGen {
+    pub region: Region,
+    pub count: u64,
+    issued: u64,
+}
+
+impl RandWriteGen {
+    pub fn new(region: Region, count: u64) -> Self {
+        RandWriteGen {
+            region,
+            count,
+            issued: 0,
+        }
+    }
+}
+
+impl IoGen for RandWriteGen {
+    fn next_io(&mut self, rng: &mut SimRng, logical_pages: u64) -> Option<OsIo> {
+        if self.issued >= self.count {
+            return None;
+        }
+        self.issued += 1;
+        let (start, len) = self.region.resolve(logical_pages);
+        Some(OsIo::write(start + rng.gen_range(len)))
+    }
+}
+
+/// Sequential reads over a region.
+#[derive(Debug, Clone)]
+pub struct SeqReadGen {
+    pub region: Region,
+    pub count: u64,
+    issued: u64,
+}
+
+impl SeqReadGen {
+    pub fn new(region: Region, count: u64) -> Self {
+        SeqReadGen {
+            region,
+            count,
+            issued: 0,
+        }
+    }
+}
+
+impl IoGen for SeqReadGen {
+    fn next_io(&mut self, _rng: &mut SimRng, logical_pages: u64) -> Option<OsIo> {
+        if self.issued >= self.count {
+            return None;
+        }
+        let (start, len) = self.region.resolve(logical_pages);
+        let lpn = start + self.issued % len;
+        self.issued += 1;
+        Some(OsIo::read(lpn))
+    }
+}
+
+/// Uniform random reads over a region.
+#[derive(Debug, Clone)]
+pub struct RandReadGen {
+    pub region: Region,
+    pub count: u64,
+    issued: u64,
+}
+
+impl RandReadGen {
+    pub fn new(region: Region, count: u64) -> Self {
+        RandReadGen {
+            region,
+            count,
+            issued: 0,
+        }
+    }
+}
+
+impl IoGen for RandReadGen {
+    fn next_io(&mut self, rng: &mut SimRng, logical_pages: u64) -> Option<OsIo> {
+        if self.issued >= self.count {
+            return None;
+        }
+        self.issued += 1;
+        let (start, len) = self.region.resolve(logical_pages);
+        Some(OsIo::read(start + rng.gen_range(len)))
+    }
+}
+
+/// Random mixed reads/writes with a configurable read fraction.
+#[derive(Debug, Clone)]
+pub struct MixedGen {
+    pub region: Region,
+    pub count: u64,
+    pub read_fraction: f64,
+    issued: u64,
+}
+
+impl MixedGen {
+    pub fn new(region: Region, count: u64, read_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&read_fraction));
+        MixedGen {
+            region,
+            count,
+            read_fraction,
+            issued: 0,
+        }
+    }
+}
+
+impl IoGen for MixedGen {
+    fn next_io(&mut self, rng: &mut SimRng, logical_pages: u64) -> Option<OsIo> {
+        if self.issued >= self.count {
+            return None;
+        }
+        self.issued += 1;
+        let (start, len) = self.region.resolve(logical_pages);
+        let lpn = start + rng.gen_range(len);
+        Some(if rng.gen_bool(self.read_fraction) {
+            OsIo::read(lpn)
+        } else {
+            OsIo::write(lpn)
+        })
+    }
+}
+
+/// What a Zipf generator issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfKind {
+    Reads,
+    Writes,
+    /// Mixed with the given percentage of reads.
+    Mixed(u8),
+}
+
+/// Zipf-skewed accesses: rank 0 = hottest page. Optionally tags each IO
+/// with a temperature hint (hot for the top `hot_fraction` of ranks),
+/// exercising the open interface.
+pub struct ZipfGen {
+    pub region: Region,
+    pub count: u64,
+    pub kind: ZipfKind,
+    /// Attach temperature hints when set: ranks below
+    /// `hot_fraction × population` are tagged hot, the rest cold.
+    pub hint_hot_fraction: Option<f64>,
+    theta: f64,
+    zipf: Option<(u64, Zipf)>,
+    issued: u64,
+}
+
+impl ZipfGen {
+    pub fn new(region: Region, count: u64, theta: f64, kind: ZipfKind) -> Self {
+        ZipfGen {
+            region,
+            count,
+            kind,
+            hint_hot_fraction: None,
+            theta,
+            zipf: None,
+            issued: 0,
+        }
+    }
+
+    /// Enable open-interface temperature hints.
+    pub fn with_temperature_hints(mut self, hot_fraction: f64) -> Self {
+        self.hint_hot_fraction = Some(hot_fraction);
+        self
+    }
+}
+
+impl IoGen for ZipfGen {
+    fn next_io(&mut self, rng: &mut SimRng, logical_pages: u64) -> Option<OsIo> {
+        if self.issued >= self.count {
+            return None;
+        }
+        self.issued += 1;
+        let (start, len) = self.region.resolve(logical_pages);
+        if self.zipf.as_ref().map(|(n, _)| *n) != Some(len) {
+            self.zipf = Some((len, Zipf::new(len as usize, self.theta)));
+        }
+        let (_, zipf) = self.zipf.as_ref().unwrap();
+        let rank = zipf.sample(rng) as u64;
+        // Scatter ranks over the region deterministically so the hot set
+        // is not one contiguous run (multiplicative hashing by a prime).
+        let lpn = start + (rank.wrapping_mul(2_654_435_761) % len);
+        let kind = match self.kind {
+            ZipfKind::Reads => RequestKind::Read,
+            ZipfKind::Writes => RequestKind::Write,
+            ZipfKind::Mixed(pct) => {
+                if rng.gen_bool(pct as f64 / 100.0) {
+                    RequestKind::Read
+                } else {
+                    RequestKind::Write
+                }
+            }
+        };
+        let mut tags = IoTags::none();
+        if let Some(f) = self.hint_hot_fraction {
+            let hot = (rank as f64) < f * len as f64;
+            tags = tags.with_temperature(if hot {
+                eagletree_controller::Temperature::Hot
+            } else {
+                eagletree_controller::Temperature::Cold
+            });
+        }
+        Some(OsIo { kind, lpn, tags })
+    }
+}
+
+/// Drives an [`IoGen`] as a thread with a bounded in-flight window.
+pub struct Pumped<G: IoGen> {
+    gen: G,
+    rng: SimRng,
+    window: u64,
+    outstanding: u64,
+    exhausted: bool,
+    name: String,
+    /// Extra tags merged onto every IO (e.g. a thread-wide priority).
+    pub tags: IoTags,
+}
+
+impl<G: IoGen> Pumped<G> {
+    /// A thread issuing from `gen`, keeping up to `window` IOs in flight.
+    pub fn new(gen: G, window: u64, seed: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        Pumped {
+            gen,
+            rng: SimRng::new(seed),
+            window,
+            outstanding: 0,
+            exhausted: false,
+            name: "pumped".to_string(),
+            tags: IoTags::none(),
+        }
+    }
+
+    /// Name the thread for reports.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Merge `tags` onto every IO this thread submits.
+    pub fn tagged(mut self, tags: IoTags) -> Self {
+        self.tags = tags;
+        self
+    }
+
+    fn merge_tags(&self, io: OsIo) -> OsIo {
+        let mut t = io.tags;
+        if t.priority.is_none() {
+            t.priority = self.tags.priority;
+        }
+        if t.temperature.is_none() {
+            t.temperature = self.tags.temperature;
+        }
+        if t.locality_group.is_none() {
+            t.locality_group = self.tags.locality_group;
+        }
+        io.tagged(t)
+    }
+
+    fn feed(&mut self, ctx: &mut ThreadCtx) {
+        while self.outstanding < self.window && !self.exhausted {
+            match self.gen.next_io(&mut self.rng, ctx.logical_pages()) {
+                Some(io) => {
+                    let io = self.merge_tags(io);
+                    ctx.submit(io);
+                    self.outstanding += 1;
+                }
+                None => self.exhausted = true,
+            }
+        }
+        if self.exhausted && self.outstanding == 0 {
+            ctx.finish();
+        }
+    }
+}
+
+impl<G: IoGen> Workload for Pumped<G> {
+    fn init(&mut self, ctx: &mut ThreadCtx) {
+        self.feed(ctx);
+    }
+
+    fn call_back(&mut self, ctx: &mut ThreadCtx, _done: CompletedIo) {
+        debug_assert!(self.outstanding > 0);
+        self.outstanding -= 1;
+        self.feed(ctx);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<G: IoGen>(gen: &mut G, n: usize) -> Vec<OsIo> {
+        let mut rng = SimRng::new(1);
+        (0..n).filter_map(|_| gen.next_io(&mut rng, 1000)).collect()
+    }
+
+    #[test]
+    fn seq_write_gen_is_sequential_and_bounded() {
+        let mut g = SeqWriteGen::new(Region::new(10, 5), 7);
+        let ios = drain(&mut g, 100);
+        assert_eq!(ios.len(), 7);
+        let lpns: Vec<u64> = ios.iter().map(|i| i.lpn).collect();
+        assert_eq!(lpns, vec![10, 11, 12, 13, 14, 10, 11]); // wraps
+        assert!(ios.iter().all(|i| i.kind == RequestKind::Write));
+    }
+
+    #[test]
+    fn rand_gens_stay_in_region() {
+        let mut g = RandWriteGen::new(Region::new(100, 50), 500);
+        for io in drain(&mut g, 500) {
+            assert!((100..150).contains(&io.lpn));
+        }
+        let mut g = RandReadGen::new(Region::whole(), 100);
+        for io in drain(&mut g, 100) {
+            assert!(io.lpn < 1000);
+            assert_eq!(io.kind, RequestKind::Read);
+        }
+    }
+
+    #[test]
+    fn mixed_gen_ratio_approximates() {
+        let mut g = MixedGen::new(Region::whole(), 10_000, 0.7);
+        let ios = drain(&mut g, 10_000);
+        let reads = ios.iter().filter(|i| i.kind == RequestKind::Read).count();
+        assert!((6_300..7_700).contains(&reads), "reads={reads}");
+    }
+
+    #[test]
+    fn zipf_gen_concentrates_accesses() {
+        let mut g = ZipfGen::new(Region::whole(), 20_000, 0.99, ZipfKind::Writes);
+        let ios = drain(&mut g, 20_000);
+        let mut counts = std::collections::HashMap::new();
+        for io in &ios {
+            *counts.entry(io.lpn).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(
+            max > 20_000 / 100,
+            "hottest page only {max} hits — not skewed"
+        );
+    }
+
+    #[test]
+    fn zipf_hints_tag_hot_and_cold() {
+        let mut g = ZipfGen::new(Region::whole(), 5_000, 0.99, ZipfKind::Writes)
+            .with_temperature_hints(0.1);
+        let ios = drain(&mut g, 5_000);
+        use eagletree_controller::Temperature;
+        let hot = ios
+            .iter()
+            .filter(|i| i.tags.temperature == Some(Temperature::Hot))
+            .count();
+        let cold = ios
+            .iter()
+            .filter(|i| i.tags.temperature == Some(Temperature::Cold))
+            .count();
+        assert_eq!(hot + cold, 5_000);
+        assert!(hot > cold, "zipf mass should be concentrated on hot ranks");
+    }
+
+    #[test]
+    fn pumped_merges_thread_tags() {
+        let p = Pumped::new(SeqWriteGen::new(Region::whole(), 1), 1, 0)
+            .tagged(IoTags::none().with_priority(2));
+        let io = p.merge_tags(OsIo::write(0));
+        assert_eq!(io.tags.priority, Some(2));
+        // Per-IO tags win.
+        let io = p.merge_tags(OsIo::write(0).tagged(IoTags::none().with_priority(7)));
+        assert_eq!(io.tags.priority, Some(7));
+    }
+
+    #[test]
+    fn gens_return_none_when_exhausted() {
+        let mut rng = SimRng::new(0);
+        let mut g = SeqReadGen::new(Region::whole(), 2);
+        assert!(g.next_io(&mut rng, 10).is_some());
+        assert!(g.next_io(&mut rng, 10).is_some());
+        assert!(g.next_io(&mut rng, 10).is_none());
+        assert!(g.next_io(&mut rng, 10).is_none());
+    }
+}

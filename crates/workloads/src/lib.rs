@@ -1,0 +1,38 @@
+//! # eagletree-workloads
+//!
+//! Workload threads for EagleTree: implementations of the OS layer's
+//! [`Workload`](eagletree_os::Workload) trait covering the paper's
+//! application scenarios.
+//!
+//! * [`gen`] — composable IO generators ([`Pumped`] drives any [`IoGen`]
+//!   with a bounded per-thread window): sequential/random reads and
+//!   writes, mixed ratios, Zipf hot/cold patterns, tagged variants for
+//!   open-interface experiments.
+//! * [`precondition`] — bring the SSD to a well-defined state before
+//!   measuring (sequential and random full-space fills, per uFLIP
+//!   methodology and §2.3).
+//! * [`grace_join`] — "a thread that follows the IO pattern of Grace hash
+//!   join" (§2.2): partition fan-out writes, then per-partition probe
+//!   reads.
+//! * [`fs`] — "threads simulating the behavior of a file system" (§2.2):
+//!   create/append/delete over extents with metadata updates.
+//! * [`lsm`] — LSM-tree insertions (the paper's motivating example §1):
+//!   memtable flushes plus leveled compactions.
+//! * [`trace`] — record/replay of explicit IO traces with think times.
+
+pub mod fs;
+pub mod gen;
+pub mod grace_join;
+pub mod lsm;
+pub mod precondition;
+pub mod trace;
+
+pub use fs::FileSystemThread;
+pub use gen::{
+    IoGen, MixedGen, Pumped, RandReadGen, RandWriteGen, Region, SeqReadGen, SeqWriteGen,
+    ZipfGen, ZipfKind,
+};
+pub use grace_join::GraceHashJoin;
+pub use lsm::LsmTreeThread;
+pub use precondition::{random_fill, sequential_fill};
+pub use trace::{TraceEntry, TraceThread};

@@ -1,0 +1,268 @@
+//! LSM-tree insertion workload.
+//!
+//! The paper's opening example of an SSD-based algorithm worth studying
+//! ("say … LSM-tree insertions", §1). Inserts accumulate in a RAM memtable
+//! (no IO); each full memtable *flushes* as a sequential run to level 0;
+//! when a level accumulates `fanout` runs they are *compacted*: every page
+//! of the level is read, the merge result is written as one run to the
+//! next level, and the old runs are trimmed. The resulting IO pattern —
+//! bursts of large sequential writes punctuated by read-heavy compactions
+//! that rewrite ever-larger runs — is the classic LSM stress on an FTL.
+
+use eagletree_os::{CompletedIo, OsIo, ThreadCtx, Workload};
+
+use crate::gen::Region;
+
+#[derive(Debug, Clone)]
+struct Run {
+    pages: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    runs: Vec<Run>,
+    free_slots: Vec<u64>, // page pool for this level
+}
+
+/// An LSM-tree insertion thread.
+pub struct LsmTreeThread {
+    memtable_pages: u64,
+    fanout: usize,
+    inserts_left: u64,
+    levels: Vec<Level>,
+    window: u64,
+    in_flight: u64,
+    queue: std::collections::VecDeque<OsIo>,
+    /// Flushes performed.
+    pub flushes: u64,
+    /// Compactions performed (per occurrence, any level).
+    pub compactions: u64,
+    total_pages_per_level: Vec<u64>,
+}
+
+impl LsmTreeThread {
+    /// An LSM tree inside `region`: `levels` levels with the given
+    /// `fanout`, memtables of `memtable_pages`, performing
+    /// `inserts` page-inserts in total.
+    ///
+    /// Level `i` holds up to `fanout^(i+1)` memtables' worth of pages; the
+    /// region must be large enough for all levels (checked).
+    pub fn new(
+        region: Region,
+        levels: usize,
+        fanout: usize,
+        memtable_pages: u64,
+        inserts: u64,
+        window: u64,
+    ) -> Self {
+        assert!(levels >= 1 && fanout >= 2 && memtable_pages >= 1 && window >= 1);
+        // Capacity per level: fanout runs of run_size(level); run at level
+        // i has memtable_pages × fanout^i pages. Reserve an extra run of
+        // slack per level because the merge target is written before the
+        // old runs are trimmed.
+        let mut needed = 0u64;
+        let mut level_caps = Vec::new();
+        for i in 0..levels {
+            let run = memtable_pages * (fanout as u64).pow(i as u32);
+            let cap = run * (fanout as u64 + 1);
+            level_caps.push(cap);
+            needed += cap;
+        }
+        assert!(
+            region.len >= needed,
+            "region holds {} pages but the tree needs {}",
+            region.len,
+            needed
+        );
+        let mut next = region.start;
+        let mut total_pages_per_level = Vec::new();
+        let levels_vec = level_caps
+            .iter()
+            .map(|&cap| {
+                let slots: Vec<u64> = (next..next + cap).collect();
+                next += cap;
+                total_pages_per_level.push(cap);
+                Level {
+                    runs: Vec::new(),
+                    free_slots: slots,
+                }
+            })
+            .collect();
+        LsmTreeThread {
+            memtable_pages,
+            fanout,
+            inserts_left: inserts,
+            levels: levels_vec,
+            window,
+            in_flight: 0,
+            queue: std::collections::VecDeque::new(),
+            flushes: 0,
+            compactions: 0,
+            total_pages_per_level,
+        }
+    }
+
+    /// Allocate `n` pages from a level's pool.
+    fn alloc_pages(&mut self, level: usize, n: u64) -> Vec<u64> {
+        let pool = &mut self.levels[level].free_slots;
+        assert!(
+            pool.len() as u64 >= n,
+            "level {level} pool exhausted (invariant bug)"
+        );
+        pool.drain(..n as usize).collect()
+    }
+
+    /// Plan the next batch of IOs: a flush, cascading compactions, or end.
+    fn plan(&mut self) {
+        if self.inserts_left == 0 {
+            return;
+        }
+        let batch = self.memtable_pages.min(self.inserts_left);
+        self.inserts_left -= batch;
+        // Flush the memtable as a new L0 run.
+        let pages = self.alloc_pages(0, batch);
+        for &p in &pages {
+            self.queue.push_back(OsIo::write(p));
+        }
+        self.levels[0].runs.push(Run { pages });
+        self.flushes += 1;
+        // Cascade compactions.
+        for lvl in 0..self.levels.len() {
+            if self.levels[lvl].runs.len() < self.fanout {
+                break;
+            }
+            let is_last = lvl + 1 == self.levels.len();
+            let old_runs = std::mem::take(&mut self.levels[lvl].runs);
+            let merged_size: u64 = old_runs.iter().map(|r| r.pages.len() as u64).sum();
+            // Read every input page.
+            for r in &old_runs {
+                for &p in &r.pages {
+                    self.queue.push_back(OsIo::read(p));
+                }
+            }
+            if is_last {
+                // Bottom level compacts in place: rewrite into this level.
+                let pages = self.alloc_pages(lvl, merged_size.min(
+                    self.levels[lvl].free_slots.len() as u64,
+                ));
+                for &p in &pages {
+                    self.queue.push_back(OsIo::write(p));
+                }
+                self.levels[lvl].runs.push(Run { pages });
+            } else {
+                let pages = self.alloc_pages(lvl + 1, merged_size);
+                for &p in &pages {
+                    self.queue.push_back(OsIo::write(p));
+                }
+                self.levels[lvl + 1].runs.push(Run { pages });
+            }
+            // Trim the old runs and return their slots.
+            for r in old_runs {
+                for p in r.pages {
+                    self.queue.push_back(OsIo::trim(p));
+                    self.levels[lvl].free_slots.push(p);
+                }
+            }
+            self.compactions += 1;
+        }
+        let _ = &self.total_pages_per_level;
+    }
+
+    fn feed(&mut self, ctx: &mut ThreadCtx) {
+        loop {
+            while self.in_flight < self.window {
+                if let Some(io) = self.queue.pop_front() {
+                    ctx.submit(io);
+                    self.in_flight += 1;
+                } else {
+                    break;
+                }
+            }
+            if !self.queue.is_empty() || self.in_flight > 0 {
+                return;
+            }
+            if self.inserts_left == 0 {
+                ctx.finish();
+                return;
+            }
+            self.plan();
+        }
+    }
+}
+
+impl Workload for LsmTreeThread {
+    fn init(&mut self, ctx: &mut ThreadCtx) {
+        self.feed(ctx);
+    }
+
+    fn call_back(&mut self, ctx: &mut ThreadCtx, _done: CompletedIo) {
+        debug_assert!(self.in_flight > 0);
+        self.in_flight -= 1;
+        self.feed(ctx);
+    }
+
+    fn name(&self) -> &str {
+        "lsm-insertions"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> LsmTreeThread {
+        // 2 levels, fanout 2, memtable 4 → L0 cap 12, L1 cap 24.
+        LsmTreeThread::new(Region::new(0, 64), 2, 2, 4, 64, 4)
+    }
+
+    #[test]
+    fn level_pools_are_disjoint() {
+        let t = tree();
+        let mut all: Vec<u64> = t
+            .levels
+            .iter()
+            .flat_map(|l| l.free_slots.iter().copied())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "levels share page slots");
+    }
+
+    #[test]
+    fn flush_plans_sequential_writes() {
+        let mut t = tree();
+        t.plan();
+        assert_eq!(t.flushes, 1);
+        assert_eq!(t.compactions, 0);
+        let writes: Vec<_> = t.queue.iter().collect();
+        assert_eq!(writes.len(), 4);
+        assert!(writes
+            .iter()
+            .all(|io| io.kind == eagletree_controller::RequestKind::Write));
+    }
+
+    #[test]
+    fn second_flush_triggers_compaction() {
+        let mut t = tree();
+        t.plan();
+        t.queue.clear();
+        t.plan();
+        assert_eq!(t.flushes, 2);
+        assert_eq!(t.compactions, 1, "fanout-2 L0 must compact on 2nd flush");
+        use eagletree_controller::RequestKind::*;
+        let kinds: Vec<_> = t.queue.iter().map(|io| io.kind).collect();
+        let reads = kinds.iter().filter(|k| **k == Read).count();
+        let writes = kinds.iter().filter(|k| **k == Write).count();
+        let trims = kinds.iter().filter(|k| **k == Trim).count();
+        assert_eq!(reads, 8, "compaction reads both runs");
+        assert_eq!(writes, 4 + 8, "flush plus merged run");
+        assert_eq!(trims, 8, "old runs trimmed");
+    }
+
+    #[test]
+    #[should_panic(expected = "region holds")]
+    fn undersized_region_rejected() {
+        LsmTreeThread::new(Region::new(0, 10), 2, 2, 4, 100, 4);
+    }
+}

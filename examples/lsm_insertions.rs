@@ -1,0 +1,58 @@
+//! LSM-tree insertions — the paper's §1 motivating algorithm — on two FTL
+//! configurations, showing how compaction bursts interact with GC.
+//!
+//! ```sh
+//! cargo run --release --example lsm_insertions
+//! ```
+
+use eagletree::prelude::*;
+
+fn run(greediness: u32, copyback: bool) -> (f64, f64, f64, u64) {
+    let mut setup = Setup::small();
+    setup.ctrl.gc.greediness = greediness;
+    setup.ctrl.gc.use_copyback = copyback;
+    setup.os.queue_depth = 32;
+    let mut os = setup.build();
+    let logical = os.controller().logical_pages();
+
+    // Tree sized to ~half the device; 3 levels, fanout 4, 32-page
+    // memtables. 3200 inserts produce several cascaded compactions, and
+    // the rewrite traffic exceeds physical capacity, so GC must run.
+    let region = Region::new(0, logical / 2);
+    let inserts = 32 * 100;
+    let t = os.add_thread(Box::new(LsmTreeThread::new(
+        region, 3, 4, 32, inserts, 32,
+    )));
+    let base = snapshot(&os);
+    os.run();
+    let m = measure_since(&os, &[t], &base);
+    (
+        m.iops,
+        m.write_amplification,
+        m.makespan_s * 1000.0,
+        m.gc_erases,
+    )
+}
+
+fn main() {
+    println!("LSM-tree insertions: 3200 page-inserts, 3 levels, fanout 4\n");
+    println!(
+        "{:<24} {:>10} {:>8} {:>12} {:>10}",
+        "configuration", "IOPS", "WA", "makespan ms", "gc erases"
+    );
+    for (name, greed, cb) in [
+        ("lazy GC, no copyback", 1u32, false),
+        ("lazy GC, copyback", 1, true),
+        ("greedy GC, copyback", 4, true),
+    ] {
+        let (iops, wa, ms, gc) = run(greed, cb);
+        println!("{name:<24} {iops:>10.0} {wa:>8.3} {ms:>12.2} {gc:>10}");
+    }
+    println!(
+        "\nLSM compactions rewrite whole runs and trim the old ones, handing\n\
+         the FTL large invalidation batches: GC victims are fully invalid, so\n\
+         flash-level WA stays near 1 even while the LSM's own logical rewrite\n\
+         traffic is several times the insert volume. Greedy GC still costs\n\
+         makespan: its erases contend with compaction IOs for the LUNs."
+    );
+}

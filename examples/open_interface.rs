@@ -1,0 +1,82 @@
+//! The open interface (§2.2): what the OS and SSD gain from talking.
+//!
+//! Compares a locked block device against three unlocked hint protocols —
+//! per-IO priorities, data temperatures, and update-locality groups — on a
+//! multi-tenant workload: a skewed updater that creates GC pressure and a
+//! latency-sensitive reader.
+//!
+//! ```sh
+//! cargo run --release --example open_interface
+//! ```
+
+use eagletree::prelude::*;
+
+struct Outcome {
+    reader_p99_us: f64,
+    wa: f64,
+    iops: f64,
+}
+
+fn run(mode: &str) -> Outcome {
+    let mut setup = Setup::small();
+    setup.ctrl.wl.static_enabled = false;
+    setup.os.queue_depth = 32;
+    setup.os.open_interface = mode != "closed";
+    match mode {
+        "priority" => setup.ctrl.sched = SchedPolicy::TagPriority,
+        "temperature" => setup.ctrl.temperature = TemperatureMode::Hints,
+        "locality" => setup.ctrl.honor_locality = true,
+        _ => {}
+    }
+    let mut os = setup.build();
+    let logical = os.controller().logical_pages();
+    let fill = os.add_thread(precondition::sequential_fill(32));
+
+    // Tenant A: skewed updates, hinted hot/cold, one locality group.
+    let writer = Pumped::new(
+        ZipfGen::new(Region::whole(), logical * 3, 0.99, ZipfKind::Writes)
+            .with_temperature_hints(0.2),
+        16,
+        1,
+    )
+    .named("updater")
+    .tagged(IoTags::none().with_locality(1));
+    // Tenant B: sparse reads tagged urgent.
+    let reader = Pumped::new(RandReadGen::new(Region::whole(), logical / 2), 4, 2)
+        .named("urgent-reader")
+        .tagged(IoTags::none().with_priority(0));
+
+    let _w = os.add_thread_after(Box::new(writer), vec![fill]);
+    let r = os.add_thread_after(Box::new(reader), vec![fill]);
+    let base = snapshot(&os);
+    os.run();
+    let reader_m = measure_since(&os, &[r], &base);
+    let all = measure_since(&os, &[_w, r], &base);
+    Outcome {
+        reader_p99_us: reader_m.read_p99_us,
+        wa: all.write_amplification,
+        iops: all.iops,
+    }
+}
+
+fn main() {
+    println!("Open interface appetizers (E8 scenario)\n");
+    println!(
+        "{:<12} {:>16} {:>8} {:>12}",
+        "interface", "reader p99 (us)", "WA", "total IOPS"
+    );
+    for mode in ["closed", "priority", "temperature", "locality"] {
+        let o = run(mode);
+        println!(
+            "{mode:<12} {:>16.1} {:>8.3} {:>12.0}",
+            o.reader_p99_us, o.wa, o.iops
+        );
+    }
+    println!(
+        "\npriority    → the reader's tagged IOs overtake queued writes;\n\
+         temperature → hot/cold separation lowers GC write amplification;\n\
+         locality    → co-updated pages invalidate together, same effect.\n\
+         Unlocking the interface widens the design space — exactly the\n\
+         paper's point."
+    );
+}

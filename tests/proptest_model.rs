@@ -1,0 +1,220 @@
+//! Property-based tests: the full controller against a simple model.
+//!
+//! The model is a `HashMap<lpn, version>`: every write bumps a version,
+//! trims remove the entry. After any op sequence the controller's
+//! authoritative mapping must agree with the model on *which* pages are
+//! mapped, all invariants must hold, and no IO may be lost.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use eagletree::prelude::*;
+use eagletree::controller::{Controller, RequestId, SsdRequest};
+use eagletree::core::SimTime;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64),
+    Read(u64),
+    Trim(u64),
+    Drain,
+}
+
+fn op_strategy(logical: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..logical).prop_map(Op::Write),
+        2 => (0..logical).prop_map(Op::Read),
+        1 => (0..logical).prop_map(Op::Trim),
+        1 => Just(Op::Drain),
+    ]
+}
+
+struct Harness {
+    ctrl: Controller,
+    now: SimTime,
+    next_id: RequestId,
+    completed: u64,
+    submitted: u64,
+}
+
+impl Harness {
+    fn new(cfg: ControllerConfig) -> Self {
+        let ctrl = Controller::new(Geometry::tiny(), TimingSpec::slc(), cfg).unwrap();
+        Harness {
+            ctrl,
+            now: SimTime::ZERO,
+            next_id: 0,
+            completed: 0,
+            submitted: 0,
+        }
+    }
+
+    fn submit(&mut self, kind: RequestKind, lpn: u64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.submitted += 1;
+        self.ctrl.submit(
+            SsdRequest {
+                id,
+                kind,
+                lpn,
+                tags: IoTags::none(),
+            },
+            self.now,
+        );
+    }
+
+    fn drain(&mut self) {
+        while let Some(t) = self.ctrl.next_event_time() {
+            self.now = t;
+            self.completed += self.ctrl.advance(t).len() as u64;
+        }
+        self.completed += self.ctrl.advance(self.now).len() as u64;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs a full simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn controller_agrees_with_model(
+        ops in prop::collection::vec(op_strategy(512), 1..400),
+        dftl in any::<bool>(),
+    ) {
+        let cfg = ControllerConfig {
+            mapping: if dftl {
+                MappingKind::Dftl { cmt_entries: 16 }
+            } else {
+                MappingKind::PageMap
+            },
+            wl: WlConfig { static_enabled: false, ..WlConfig::default() },
+            ..ControllerConfig::default()
+        };
+        let mut h = Harness::new(cfg);
+        let logical = h.ctrl.logical_pages();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut in_window = 0u32;
+        for op in &ops {
+            match op {
+                Op::Write(lpn) => {
+                    let lpn = lpn % logical;
+                    h.submit(RequestKind::Write, lpn);
+                    *model.entry(lpn).or_insert(0) += 1;
+                    in_window += 1;
+                }
+                Op::Read(lpn) => {
+                    h.submit(RequestKind::Read, lpn % logical);
+                    in_window += 1;
+                }
+                Op::Trim(lpn) => {
+                    let lpn = lpn % logical;
+                    h.submit(RequestKind::Trim, lpn);
+                    model.remove(&lpn);
+                    in_window += 1;
+                }
+                Op::Drain => {
+                    h.drain();
+                    in_window = 0;
+                }
+            }
+            // Keep a bounded device queue like a real OS would.
+            if in_window >= 16 {
+                h.drain();
+                in_window = 0;
+            }
+        }
+        h.drain();
+
+        // No IO lost.
+        prop_assert_eq!(h.completed, h.submitted);
+        // Mapped set identical to the model. A concurrent write+trim of
+        // the same lpn inside one window resolves by completion order —
+        // both orders leave the lpn either mapped or trimmed; since we
+        // drain between windows and within a window model applies ops in
+        // submission order while the controller may complete the trim
+        // (instant) before the write (flash latency), compare only lpns
+        // without such conflicts. Conflicts are rare; detect and skip.
+        for lpn in 0..logical {
+            let modeled = model.contains_key(&lpn);
+            // Peek through the public invariant checker path instead:
+            // check_invariants already asserts forward/reverse agreement,
+            // so here we only check mapped-set membership.
+            let mapped = h.ctrl.peek_mapping(lpn).is_some();
+            if modeled != mapped {
+                // Allow the one legal divergence: trim raced a write in
+                // the same window.
+                prop_assert!(
+                    had_conflict(&ops, lpn, logical),
+                    "lpn {} mapped={} modeled={} without a racing window",
+                    lpn, mapped, modeled
+                );
+            }
+        }
+        h.ctrl.check_invariants();
+    }
+
+    #[test]
+    fn random_overwrites_preserve_capacity_invariants(
+        seed in any::<u64>(),
+        greediness in 1u32..5,
+    ) {
+        let cfg = ControllerConfig {
+            gc: GcConfig { greediness, ..GcConfig::default() },
+            wl: WlConfig { static_enabled: false, ..WlConfig::default() },
+            ..ControllerConfig::default()
+        };
+        let mut h = Harness::new(cfg);
+        let logical = h.ctrl.logical_pages();
+        let mut rng = SimRng::new(seed);
+        for i in 0..(logical * 2) {
+            h.submit(RequestKind::Write, rng.gen_range(logical));
+            if i % 16 == 15 {
+                h.drain();
+            }
+        }
+        h.drain();
+        prop_assert_eq!(h.completed, h.submitted);
+        h.ctrl.check_invariants();
+    }
+}
+
+/// Did `ops` submit both a write and a trim of `lpn` without an
+/// intervening drain (so their completion order is undefined)?
+fn had_conflict(ops: &[Op], lpn: u64, logical: u64) -> bool {
+    let mut wrote = false;
+    let mut trimmed = false;
+    let mut count = 0u32;
+    for op in ops {
+        match op {
+            Op::Write(l) if l % logical == lpn => {
+                wrote = true;
+                count += 1;
+            }
+            Op::Trim(l) if l % logical == lpn => {
+                trimmed = true;
+                count += 1;
+            }
+            Op::Drain => {
+                if wrote && trimmed {
+                    return true;
+                }
+                wrote = false;
+                trimmed = false;
+            }
+            _ => {
+                count += 1;
+            }
+        }
+        // The harness also drains every 16 submissions; conservatively
+        // treat any window as potentially racing if both kinds occur at
+        // all — the 16-op windows make exact tracking here fragile.
+        let _ = count;
+        if wrote && trimmed {
+            return true;
+        }
+    }
+    false
+}
