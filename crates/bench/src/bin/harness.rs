@@ -1,21 +1,24 @@
 //! Experiment harness: regenerate the paper's figures/tables.
 //!
 //! ```text
-//! harness [IDS|all] [--scale smoke|demo|full] [--csv]
+//! harness [IDS|all] [--scale smoke|demo|full] [--csv] [--json PATH]
 //! ```
 //!
 //! Examples:
 //! * `harness all --scale demo` — every experiment at demo size.
 //! * `harness e3 e9 --scale full` — GC greediness and advanced commands.
 //! * `harness game --csv` — the scheduling game as CSV.
+//! * `harness all --scale smoke --json BENCH_seed.json` — machine-readable
+//!   baseline (wall time + result rows per experiment) for perf tracking.
 
-use eagletree_experiments::{suite, Scale};
+use eagletree_experiments::{suite, Scale, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Demo;
     let mut csv = false;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -32,8 +35,18 @@ fn main() {
                 };
             }
             "--csv" => csv = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--json needs a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: harness [IDS|all] [--scale smoke|demo|full] [--csv]");
+                eprintln!("usage: harness [IDS|all] [--scale smoke|demo|full] [--csv] [--json PATH]");
                 eprintln!("experiments:");
                 for e in suite::all() {
                     eprintln!("  {:>4}  {} ({})", e.id, e.title, e.hook);
@@ -47,6 +60,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|s| s == "all") {
         ids = suite::all().iter().map(|e| e.id.to_string()).collect();
     }
+    let mut results: Vec<(Table, f64)> = Vec::new();
     for id in &ids {
         let id = if id.eq_ignore_ascii_case("game") {
             "G1"
@@ -62,14 +76,85 @@ fn main() {
                 eprintln!("running {} ({:?}) …", e.id, scale);
                 let started = std::time::Instant::now();
                 let table = e.run(scale);
-                eprintln!("  done in {:.1?}", started.elapsed());
+                let secs = started.elapsed().as_secs_f64();
+                eprintln!("  done in {secs:.1}s");
                 if csv {
                     println!("# {} — {}", table.id, table.title);
                     print!("{}", table.to_csv());
-                } else {
+                } else if json_path.is_none() {
                     println!("{}", table.render());
                 }
+                results.push((table, secs));
             }
         }
+    }
+    if let Some(path) = json_path {
+        let doc = to_json(&scale, &results);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} ({} experiments)", results.len());
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline build container): one
+/// object per experiment with wall time and the full result rows.
+fn to_json(scale: &Scale, results: &[(Table, f64)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (t, secs)) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": {},\n", json_str(&t.id)));
+        out.push_str(&format!("      \"title\": {},\n", json_str(&t.title)));
+        out.push_str(&format!("      \"param\": {},\n", json_str(&t.param)));
+        out.push_str(&format!("      \"wall_seconds\": {secs:.3},\n"));
+        out.push_str("      \"rows\": [\n");
+        for (j, r) in t.rows.iter().enumerate() {
+            let fields: Vec<String> = std::iter::once(format!("\"label\": {}", json_str(&r.label)))
+                .chain(
+                    r.values
+                        .iter()
+                        .map(|(n, v)| format!("{}: {}", json_str(n), json_num(*v))),
+                )
+                .collect();
+            out.push_str(&format!("        {{{}}}", fields.join(", ")));
+            if j + 1 < t.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("      ]\n    }");
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }

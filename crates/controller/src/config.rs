@@ -218,16 +218,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = ControllerConfig::default();
-        c.logical_capacity = 1.0;
+        let c = ControllerConfig {
+            logical_capacity: 1.0,
+            ..ControllerConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = ControllerConfig::default();
         c.gc.greediness = 0;
         assert!(c.validate().is_err());
 
-        let mut c = ControllerConfig::default();
-        c.mapping = MappingKind::Dftl { cmt_entries: 0 };
+        let c = ControllerConfig {
+            mapping: MappingKind::Dftl { cmt_entries: 0 },
+            ..ControllerConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = ControllerConfig::default();

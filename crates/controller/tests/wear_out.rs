@@ -60,7 +60,7 @@ fn controller_survives_device_end_of_life() {
     let mut id = 0u64;
     let mut done: Vec<Completion> = Vec::new();
     let mut rng = SimRng::new(42);
-    let mut drain = |c: &mut Controller, now: &mut SimTime, done: &mut Vec<Completion>| {
+    let drain = |c: &mut Controller, now: &mut SimTime, done: &mut Vec<Completion>| {
         while let Some(t) = c.next_event_time() {
             *now = t;
             done.extend(c.advance(t));

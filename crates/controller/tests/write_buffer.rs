@@ -147,7 +147,7 @@ fn sustained_buffered_overwrites_stay_consistent() {
     let programs = d.c.array().counters().programs;
     assert!(programs > 0);
     assert!(
-        (programs as u64) < logical * 3,
+        programs < logical * 3,
         "buffer must absorb at least some overwrites"
     );
 }

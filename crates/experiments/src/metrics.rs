@@ -379,7 +379,7 @@ mod tests {
     fn format_num_picks_precision() {
         assert_eq!(format_num(0.0), "0");
         assert_eq!(format_num(12345.6), "12346");
-        assert_eq!(format_num(3.14159), "3.14");
+        assert_eq!(format_num(3.45678), "3.46");
         assert_eq!(format_num(0.001234), "0.0012");
     }
 }

@@ -109,7 +109,7 @@ proptest! {
 
         for _ in 0..steps {
             // Random command attempt at a random time hop.
-            now = now + eagletree_core::SimDuration::from_nanos(rng.gen_range(500_000));
+            now += eagletree_core::SimDuration::from_nanos(rng.gen_range(500_000));
             let lun = rng.gen_range(g.total_luns() as u64) as u32;
             let channel = lun / g.luns_per_channel;
             let l = lun % g.luns_per_channel;

@@ -1,0 +1,219 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build container has no network access to crates.io, so this shim
+//! provides the slice of criterion's surface the workspace benches use:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`, `warm_up_time`,
+//! `measurement_time`), [`Bencher::iter`] and [`black_box`].
+//!
+//! Measurement model: each bench runs a short calibration pass, then a
+//! fixed number of timed samples; median per-iteration time is printed.
+//! There is no statistical analysis, HTML report, or saved baseline —
+//! swap this crate for the real `criterion` in the workspace
+//! `Cargo.toml` once the build environment has registry access.
+//!
+//! Like the real harness (with `harness = false`), binaries built
+//! against this shim accept `--bench` (ignored), `--test` (each bench
+//! runs exactly one iteration, for `cargo test`), and an optional
+//! filter substring.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to each benchmark-group function.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {} // ignore harness flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(id) {
+            run_bench(id, self.test_mode, &mut f);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benches (prefixes each id with the group
+/// name, like criterion's `group/bench` convention).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's sampling is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim's warm-up is fixed.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim's measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_bench(&full, self.criterion.test_mode, &mut f);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; `iter` times the
+/// routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, f: &mut F) {
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+    // Calibrate: find an iteration count that takes ≥ ~20ms per sample.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    // Measure a handful of samples and report the median.
+    const SAMPLES: usize = 7;
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[SAMPLES / 2];
+    println!("{id:<40} {:>12}/iter ({iters} iters/sample)", fmt_time(median));
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_filters() {
+        let mut c = Criterion {
+            filter: Some("yes".into()),
+            test_mode: true,
+        };
+        let mut ran = Vec::new();
+        c.bench_function("yes_one", |b| b.iter(|| 1 + 1));
+        c.bench_function("no_two", |b| b.iter(|| unreachable!("filtered out")));
+        let mut g = c.benchmark_group("grp_yes");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        g.bench_function("inner", |b| b.iter(|| 2 + 2));
+        g.finish();
+        ran.push("done");
+        assert_eq!(ran, ["done"]);
+    }
+}
