@@ -2,7 +2,7 @@
 //!
 //! Benchmark harness for EagleTree.
 //!
-//! * `harness` binary — regenerates every experiment series (E1–E12, G1)
+//! * `harness` binary — regenerates every experiment series (E1–E17, G1)
 //!   from DESIGN.md's index: `cargo run --release -p eagletree-bench --bin
 //!   harness -- all --scale full`.
 //! * `benches/experiments.rs` — Criterion benches running each experiment

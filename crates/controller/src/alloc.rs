@@ -245,6 +245,34 @@ impl Allocator {
         Some(l.free.swap_remove(pos).0)
     }
 
+    /// Take a whole free block for FTL-managed structures (hybrid log
+    /// blocks and merge destinations), which keep their own fill pointers.
+    ///
+    /// Picks the LUN with the most free blocks (load spreading, lowest
+    /// index on ties); within it, dynamic wear leveling steers these
+    /// hot-churn blocks to the youngest candidate. Returns the block and
+    /// its erase count, or `None` when every LUN is empty — callers retry
+    /// after a pending erase returns a block.
+    pub fn take_block(&mut self) -> Option<(BlockAddr, u32)> {
+        let lun = (0..self.geometry.total_luns())
+            .max_by_key(|&l| (self.luns[l as usize].free.len(), std::cmp::Reverse(l)))?;
+        let l = &mut self.luns[lun as usize];
+        if l.free.is_empty() {
+            return None;
+        }
+        let pos = if self.dynamic_wl {
+            l.free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (b, ec))| (*ec, *b))
+                .map(|(i, _)| i)
+                .expect("non-empty free list")
+        } else {
+            0
+        };
+        Some(l.free.swap_remove(pos))
+    }
+
     /// Return an erased block to its LUN's free list.
     pub fn block_freed(&mut self, block: BlockAddr, erase_count: u32) {
         let lun = self.geometry.lun_index(block.channel, block.lun) as usize;
@@ -452,6 +480,41 @@ mod tests {
         let n = Geometry::tiny().total_luns() as u64;
         assert_eq!(a.striped_lun(0), 0);
         assert_eq!(a.striped_lun(n + 1), 1);
+    }
+
+    #[test]
+    fn take_block_prefers_fullest_lun_and_drains() {
+        let mut a = alloc();
+        let g = Geometry::tiny();
+        // Consume one block from LUN 0: the next take goes elsewhere.
+        let first = a.take_block().unwrap().0;
+        assert_eq!(g.lun_index(first.channel, first.lun), 0);
+        let second = a.take_block().unwrap().0;
+        assert_ne!(g.lun_index(second.channel, second.lun), 0);
+        // Taken blocks are no longer free.
+        assert!(!a.is_free(first));
+        let total = g.total_blocks();
+        for _ in 2..total {
+            assert!(a.take_block().is_some());
+        }
+        assert!(a.take_block().is_none());
+    }
+
+    #[test]
+    fn take_block_with_dynamic_wl_prefers_young() {
+        let mut a = Allocator::new(Geometry::tiny(), WriteAllocPolicy::RoundRobin, true);
+        // Age every block except one on LUN 0.
+        for (i, entry) in a.luns[0].free.iter_mut().enumerate() {
+            entry.1 = if i == 3 { 0 } else { 50 };
+        }
+        for l in 1..Geometry::tiny().total_luns() as usize {
+            for entry in a.luns[l].free.iter_mut() {
+                entry.1 = 50;
+            }
+        }
+        let (b, ec) = a.take_block().unwrap();
+        assert_eq!(ec, 0, "dynamic WL should hand out the youngest block");
+        assert_eq!(Geometry::tiny().lun_index(b.channel, b.lun), 0);
     }
 
     #[test]

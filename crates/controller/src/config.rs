@@ -11,6 +11,25 @@ pub enum MappingKind {
     /// DFTL: demand-cached page map with flash-resident translation pages.
     /// `cmt_entries` bounds the cached mapping table.
     Dftl { cmt_entries: usize },
+    /// FAST-style hybrid log-block mapping: block-mapped data blocks plus
+    /// `log_blocks` page-mapped random log blocks (and one dedicated
+    /// sequential log block). Log exhaustion triggers switch / partial /
+    /// full merges whose traffic flows through the controller scheduler.
+    Hybrid {
+        /// Random (RW) log-block budget; the sequential log block is extra.
+        log_blocks: usize,
+        /// Full-merge victim selection among exhausted log blocks.
+        merge: MergePolicy,
+    },
+}
+
+/// Full-merge victim selection for the hybrid log-block FTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Oldest log block first (the original FAST rotation).
+    Fifo,
+    /// Fewest valid pages first (cheapest merge, risks starving old blocks).
+    MinValid,
 }
 
 /// GC victim-selection policy.
@@ -180,10 +199,14 @@ impl ControllerConfig {
         if self.gc.greediness == 0 {
             return Err("gc.greediness must be at least 1".into());
         }
-        if let MappingKind::Dftl { cmt_entries } = self.mapping {
-            if cmt_entries == 0 {
+        match self.mapping {
+            MappingKind::Dftl { cmt_entries: 0 } => {
                 return Err("DFTL cmt_entries must be non-zero".into());
             }
+            MappingKind::Hybrid { log_blocks: 0, .. } => {
+                return Err("hybrid log_blocks must be non-zero".into());
+            }
+            _ => {}
         }
         if self.wl.static_enabled && self.wl.check_every_erases == 0 {
             return Err("wl.check_every_erases must be non-zero".into());
@@ -192,7 +215,7 @@ impl ControllerConfig {
     }
 
     /// Deadline class table used by the EDF scheduler when enabled.
-    pub fn default_deadlines_us() -> [(OpClass, u64); 9] {
+    pub fn default_deadlines_us() -> [(OpClass, u64); OpClass::COUNT] {
         [
             (OpClass::AppRead, 500),
             (OpClass::AppWrite, 2_000),
@@ -200,6 +223,8 @@ impl ControllerConfig {
             (OpClass::MappingWrite, 3_000),
             (OpClass::GcRead, 5_000),
             (OpClass::GcWrite, 5_000),
+            (OpClass::MergeRead, 5_000),
+            (OpClass::MergeWrite, 5_000),
             (OpClass::WlRead, 20_000),
             (OpClass::WlWrite, 20_000),
             (OpClass::Erase, 10_000),
@@ -230,6 +255,15 @@ mod tests {
 
         let c = ControllerConfig {
             mapping: MappingKind::Dftl { cmt_entries: 0 },
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = ControllerConfig {
+            mapping: MappingKind::Hybrid {
+                log_blocks: 0,
+                merge: MergePolicy::Fifo,
+            },
             ..ControllerConfig::default()
         };
         assert!(c.validate().is_err());

@@ -22,9 +22,12 @@ use eagletree_flash::{
 use crate::alloc::{Allocator, Stream};
 use crate::buffer::WriteBuffer;
 use crate::config::{ControllerConfig, MappingKind, TemperatureMode};
-use crate::ftl::{Dftl, Ftl, FtlKind, MapLookup, PageMap, TranslationWriteback};
-use crate::gc::{pick_victim, ReclaimJob};
-use crate::sched::{class_index, ClassTable};
+use crate::ftl::{
+    Dftl, Ftl, FtlKind, Hybrid, HybridEvent, HybridPlace, HybridStats, MapLookup, PageMap,
+    TranslationWriteback,
+};
+use crate::gc::{pick_victim, FoldPlan, FoldState, MergeJob, ReclaimJob};
+use crate::sched::{class_index, class_table, ClassTable};
 use crate::temperature::MultiBloomDetector;
 use crate::types::{
     Completion, IoSource, Lpn, OpClass, Ppn, RequestId, RequestKind, SsdRequest, Temperature,
@@ -61,6 +64,10 @@ enum DoneWhat {
     WbXfer { wb: usize },
     WbWrite { wb: usize, new: PhysicalAddr },
     FlushDone { lpn: Lpn, version: u64, ppn: Ppn },
+    MergeReadDone { mj: usize, from: PhysicalAddr },
+    MergeXfer { mj: usize, from: PhysicalAddr },
+    MergeProgDone { mj: usize, from: Option<Ppn>, dest: Ppn },
+    MergeEraseDone { source: IoSource, block: BlockAddr, job: Option<usize> },
 }
 
 enum CtrlEvent {
@@ -76,6 +83,22 @@ enum WriteWhat {
     Translation { wb: usize },
     /// Background flush of a buffered write.
     Flush { lpn: Lpn, version: u64 },
+}
+
+/// Payload of a hybrid-FTL log append (placement resolved at issue time
+/// by the log-block discipline, not the free write allocator).
+#[derive(Debug, Clone, Copy)]
+enum HybridWhat {
+    App { id: RequestId, lpn: Lpn },
+    Flush { lpn: Lpn, version: u64 },
+}
+
+impl HybridWhat {
+    fn lpn(self) -> Lpn {
+        match self {
+            HybridWhat::App { lpn, .. } | HybridWhat::Flush { lpn, .. } => lpn,
+        }
+    }
 }
 
 /// A pending flash operation awaiting scheduling.
@@ -95,6 +118,18 @@ enum PendKind {
     Write { lun: Option<u32>, stream: Stream, what: WriteWhat },
     /// GC page migration (copy-back or read+program, decided at issue).
     GcMove { job: usize, from: PhysicalAddr },
+    /// Hybrid-FTL write: appends to the scheme's current log block.
+    HybridWrite { what: HybridWhat },
+    /// Read of the current merge-fold offset's live copy (source resolved
+    /// at issue; a trimmed page reroutes to a filler program).
+    MergeRead { mj: usize },
+    /// Program of the current merge-fold offset into the destination
+    /// block. `from` is the copied source (`None`: filler keeping the
+    /// destination's NAND program order over an unmapped hole).
+    MergeProgram { mj: usize, from: Option<Ppn> },
+    /// Erase of a merge-retired block. `job`: set for the victim log
+    /// block whose erase completes merge job `mj`.
+    MergeErase { source: IoSource, block: BlockAddr, job: Option<usize> },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -127,6 +162,20 @@ struct WbJob {
     old_ppn: Option<Ppn>,
 }
 
+/// Merge observability: scheme-level merge kinds (from the hybrid FTL)
+/// plus flash-level merge traffic (from the controller).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeCounters {
+    pub switch_merges: u64,
+    pub partial_merges: u64,
+    pub full_merges: u64,
+    pub refresh_merges: u64,
+    pub moves: u64,
+    pub stale: u64,
+    pub fillers: u64,
+    pub erases: u64,
+}
+
 /// Controller counters.
 #[derive(Debug, Clone, Default)]
 pub struct CtrlStats {
@@ -148,6 +197,15 @@ pub struct CtrlStats {
     pub wl_moves: u64,
     pub mapping_fetches: u64,
     pub mapping_writebacks: u64,
+    /// Hybrid-FTL merge copies committed (page landed and was still live).
+    pub merge_moves: u64,
+    /// Merge copies superseded mid-flight (programmed then invalidated).
+    pub merge_stale: u64,
+    /// Filler programs keeping merge destinations in NAND page order
+    /// across unmapped holes.
+    pub merge_fillers: u64,
+    /// Erases of merge-retired blocks (log victims and old data blocks).
+    pub merge_erases: u64,
     /// Blocks retired after exhausting erase endurance.
     pub bad_blocks_retired: u64,
 }
@@ -175,6 +233,10 @@ pub struct Controller {
     op_seq: u64,
     app: HashMap<RequestId, AppIo>,
     jobs: Vec<Option<ReclaimJob>>,
+    merge_jobs: Vec<Option<MergeJob>>,
+    /// At most one merge runs at a time: it bounds destination-block use
+    /// and keeps fold programs in NAND page order.
+    merge_active: bool,
     fetches: HashMap<u64, FetchJob>,
     wb_jobs: Vec<Option<WbJob>>,
     reverse: Vec<Option<PageContent>>,
@@ -211,6 +273,26 @@ impl Controller {
             MappingKind::Dftl { cmt_entries } => {
                 FtlKind::Dftl(Box::new(Dftl::new(logical_pages, cmt_entries, entries_per_tp)))
             }
+            MappingKind::Hybrid { log_blocks, merge } => {
+                let lbns = logical_pages.div_ceil(geometry.pages_per_block as u64);
+                let spare = geometry.total_blocks() as i64 - lbns as i64;
+                // SW log block + one merge destination + slack for
+                // erase-pending blocks.
+                let need = log_blocks as i64 + 3;
+                if spare < need {
+                    return Err(format!(
+                        "hybrid log budget {log_blocks} does not fit: {spare} spare \
+                         blocks ({} total − {lbns} data), need ≥ {need}",
+                        geometry.total_blocks()
+                    ));
+                }
+                FtlKind::Hybrid(Box::new(Hybrid::new(
+                    logical_pages,
+                    geometry.pages_per_block,
+                    log_blocks,
+                    merge,
+                )))
+            }
         };
         let mut mem = MemoryManager::new(cfg.ram_bytes, cfg.battery_ram_bytes);
         mem.reserve(MemoryKind::Ram, "mapping", ftl.ram_bytes())?;
@@ -246,6 +328,8 @@ impl Controller {
             op_seq: 0,
             app: HashMap::new(),
             jobs: Vec::new(),
+            merge_jobs: Vec::new(),
+            merge_active: false,
             fetches: HashMap::new(),
             wb_jobs: Vec::new(),
             victims: HashSet::new(),
@@ -253,7 +337,7 @@ impl Controller {
             flushes_inflight: 0,
             tracer,
             logical_pages,
-            serviced: [0; 9],
+            serviced: class_table(0),
             stats: CtrlStats::new(),
             erases_since_wl: 0,
             completions: Vec::new(),
@@ -284,8 +368,44 @@ impl Controller {
     pub fn dftl_stats(&self) -> Option<crate::ftl::DftlStats> {
         match &self.ftl {
             FtlKind::Dftl(d) => Some(d.stats()),
-            FtlKind::PageMap(_) => None,
+            _ => None,
         }
+    }
+
+    /// Hybrid-FTL scheme counters, when the hybrid mapping is configured.
+    pub fn hybrid_stats(&self) -> Option<HybridStats> {
+        match &self.ftl {
+            FtlKind::Hybrid(h) => Some(h.stats()),
+            _ => None,
+        }
+    }
+
+    /// Combined merge counters: scheme-level merge kinds plus the
+    /// controller's flash-level merge traffic. All zero outside the hybrid
+    /// mapping.
+    pub fn merge_counters(&self) -> MergeCounters {
+        let h = self.hybrid_stats().unwrap_or_default();
+        MergeCounters {
+            switch_merges: h.switch_merges,
+            partial_merges: h.partial_merges,
+            full_merges: h.full_merges,
+            refresh_merges: h.refresh_merges,
+            moves: self.stats.merge_moves,
+            stale: self.stats.merge_stale,
+            fillers: self.stats.merge_fillers,
+            erases: self.stats.merge_erases,
+        }
+    }
+
+    fn hybrid_mut(&mut self) -> &mut Hybrid {
+        match &mut self.ftl {
+            FtlKind::Hybrid(h) => h,
+            _ => panic!("hybrid operation outside hybrid mapping"),
+        }
+    }
+
+    fn is_hybrid(&self) -> bool {
+        matches!(self.ftl, FtlKind::Hybrid(_))
     }
 
     /// Write amplification: flash programs (including copy-backs and
@@ -430,6 +550,18 @@ impl Controller {
                             );
                         }
                     }
+                    RequestKind::Write if self.is_hybrid() => {
+                        // The log-block discipline binds the destination;
+                        // streams and LUN policies do not apply.
+                        self.enqueue(
+                            OpClass::AppWrite,
+                            tags.priority,
+                            now,
+                            PendKind::HybridWrite {
+                                what: HybridWhat::App { id, lpn },
+                            },
+                        );
+                    }
                     RequestKind::Write => {
                         let stream = self.stream_for(lpn, tags);
                         let lun = match self.cfg.write_alloc {
@@ -495,6 +627,17 @@ impl Controller {
         match self.ftl.lookup(lpn, true) {
             MapLookup::Ready(_) => {
                 self.flushes_inflight += 1;
+                if self.is_hybrid() {
+                    self.enqueue(
+                        OpClass::AppWrite,
+                        None,
+                        now,
+                        PendKind::HybridWrite {
+                            what: HybridWhat::Flush { lpn, version },
+                        },
+                    );
+                    return;
+                }
                 let stream = self.stream_for(lpn, crate::types::IoTags::none());
                 self.enqueue(
                     OpClass::AppWrite,
@@ -670,12 +813,19 @@ impl Controller {
         self.enqueue(OpClass::Erase, None, now, PendKind::Erase { block, job });
     }
 
-    /// Turn any translation writebacks queued inside the FTL into
-    /// mapping-source flash work. Called after every FTL mutation.
+    /// Turn any translation writebacks (DFTL) or switch-merge events
+    /// (hybrid) queued inside the FTL into flash work. Called after every
+    /// FTL mutation.
     fn drain_ftl_writebacks(&mut self, now: SimTime) {
         let wbs = self.ftl.take_writebacks();
         if !wbs.is_empty() {
             self.spawn_writebacks(wbs, now);
+        }
+        if let FtlKind::Hybrid(h) = &mut self.ftl {
+            let events = h.take_events();
+            for HybridEvent::EraseDataBlock { base } in events {
+                self.enqueue_merge_erase(IoSource::Merge, base, None, now);
+            }
         }
     }
 
@@ -702,6 +852,293 @@ impl Controller {
                 );
             }
         }
+    }
+
+    // ----- hybrid log-block merges ----------------------------------------
+
+    /// Op classes for a merge job's copies: WL refresh merges bill to the
+    /// wear-leveling classes, everything else to the merge classes.
+    fn merge_classes(source: IoSource) -> (OpClass, OpClass) {
+        match source {
+            IoSource::WearLeveling => (OpClass::WlRead, OpClass::WlWrite),
+            _ => (OpClass::MergeRead, OpClass::MergeWrite),
+        }
+    }
+
+    /// React to the hybrid FTL's structural needs: open log blocks for
+    /// pending appends, and start (or un-stall) merge jobs when the log
+    /// space is exhausted. Runs at the top of every scheduling pass.
+    fn hybrid_maintenance(&mut self, now: SimTime) {
+        if self.merge_active {
+            if let Some(mj) = self
+                .merge_jobs
+                .iter()
+                .position(|j| j.as_ref().is_some_and(|j| j.waiting_for_block))
+            {
+                self.advance_merge(mj, now);
+            }
+        }
+        let lpns: Vec<Lpn> = self
+            .pending
+            .iter()
+            .filter_map(|op| match op.kind {
+                PendKind::HybridWrite { what } => Some(what.lpn()),
+                _ => None,
+            })
+            .collect();
+        for lpn in lpns {
+            match self.hybrid_mut().place(lpn) {
+                // Appends issue through the scheduler; stream waiters hold
+                // until the sequential fill catches up (or the quiescence
+                // fallback in `run_sched` merges the wedged stream).
+                HybridPlace::Append(_) | HybridPlace::AwaitSequential => {}
+                HybridPlace::NeedsLogBlock { sequential } => {
+                    if let Some((block, _)) = self.alloc.take_block() {
+                        let base = self.array.geometry().page_index(block.page(0));
+                        let lbn = sequential.then(|| lpn / self.ppb());
+                        self.hybrid_mut().open_log(base, lbn);
+                    }
+                    // No free block: a pending erase will return one.
+                }
+                HybridPlace::NeedsSeqMerge => {
+                    let lbn = lpn / self.ppb();
+                    if self.hybrid_mut().retarget_empty_sw(lbn) {
+                        continue; // the empty SW block changed streams
+                    }
+                    self.hybrid_mut().seal_sw();
+                    if self.merge_active {
+                        continue;
+                    }
+                    if let Some(plan) = self.hybrid_mut().take_sw_for_merge() {
+                        let fold = FoldPlan {
+                            lbn: plan.lbn,
+                            reuse: plan.reuse_from.map(|_| plan.base),
+                            start: plan.reuse_from.unwrap_or(0),
+                        };
+                        // A superseded prefix cannot be completed in
+                        // place: fold elsewhere, then erase the log block.
+                        let victim = plan.reuse_from.is_none().then_some(plan.base);
+                        self.start_merge_job(
+                            MergeJob::new(IoSource::Merge, victim, vec![fold]),
+                            now,
+                        );
+                    }
+                }
+                HybridPlace::NeedsMerge => {
+                    if self.merge_active {
+                        continue;
+                    }
+                    if let Some(plan) = self.hybrid_mut().take_merge_victim() {
+                        let folds = plan
+                            .lbns
+                            .iter()
+                            .map(|&lbn| FoldPlan {
+                                lbn,
+                                reuse: None,
+                                start: 0,
+                            })
+                            .collect();
+                        self.start_merge_job(
+                            MergeJob::new(IoSource::Merge, Some(plan.victim), folds),
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn ppb(&self) -> u64 {
+        self.array.geometry().pages_per_block as u64
+    }
+
+    /// Quiescence fallback for a wedged sequential stream: pending writes
+    /// sit ahead of the SW fill pointer (`AwaitSequential`) but the gap
+    /// will never arrive. Merge the SW block so they fall back to the
+    /// random path. Returns whether anything was kicked off.
+    fn unwedge_sequential_stream(&mut self, now: SimTime) -> bool {
+        if !self.is_hybrid() || !self.events.is_empty() || self.merge_active {
+            return false;
+        }
+        let wedged = self.pending.iter().any(|op| match op.kind {
+            PendKind::HybridWrite { what } => {
+                let FtlKind::Hybrid(h) = &self.ftl else { return false };
+                h.place(what.lpn()) == HybridPlace::AwaitSequential
+            }
+            _ => false,
+        });
+        if !wedged {
+            return false;
+        }
+        self.hybrid_mut().seal_sw();
+        if let Some(plan) = self.hybrid_mut().take_sw_for_merge() {
+            let fold = FoldPlan {
+                lbn: plan.lbn,
+                reuse: plan.reuse_from.map(|_| plan.base),
+                start: plan.reuse_from.unwrap_or(0),
+            };
+            let victim = plan.reuse_from.is_none().then_some(plan.base);
+            self.start_merge_job(MergeJob::new(IoSource::Merge, victim, vec![fold]), now);
+            return true;
+        }
+        false
+    }
+
+    fn start_merge_job(&mut self, job: MergeJob, now: SimTime) {
+        let mj = self.merge_jobs.len();
+        self.merge_jobs.push(Some(job));
+        self.merge_active = true;
+        self.advance_merge(mj, now);
+    }
+
+    /// Drive merge job `mj` forward: enqueue its next copy step, finish
+    /// folds, and finally enqueue the victim's erase. Copies run one at a
+    /// time so destination programs stay in NAND page order.
+    fn advance_merge(&mut self, mj: usize, now: SimTime) {
+        loop {
+            let job = self.merge_jobs[mj].as_mut().expect("live merge job");
+            job.waiting_for_block = false;
+            let source = job.source;
+            let (read_class, write_class) = Self::merge_classes(source);
+            if let Some(cur) = job.cur {
+                if cur.next < cur.end {
+                    let lpn = cur.lbn * self.ppb() + cur.next as u64;
+                    match self.ftl.peek(lpn) {
+                        Some(_) => {
+                            self.enqueue(read_class, None, now, PendKind::MergeRead { mj })
+                        }
+                        None => self.enqueue(
+                            write_class,
+                            None,
+                            now,
+                            PendKind::MergeProgram { mj, from: None },
+                        ),
+                    }
+                    return;
+                }
+                // Fold complete: the destination becomes the data block.
+                self.merge_jobs[mj].as_mut().unwrap().cur = None;
+                let old = self.hybrid_mut().fold_finished(cur.lbn, Some(cur.dest));
+                if let Some(old) = old {
+                    self.enqueue_merge_erase(source, old, None, now);
+                }
+                continue;
+            }
+            let Some(plan) = job.folds.pop_front() else {
+                // All folds done: erase the victim log block, if any.
+                if let Some(v) = job.victim {
+                    if !job.victim_erase_enqueued {
+                        job.victim_erase_enqueued = true;
+                        self.enqueue_merge_erase(source, v, Some(mj), now);
+                    }
+                    return;
+                }
+                self.merge_jobs[mj] = None;
+                self.merge_active = false;
+                return;
+            };
+            let end = {
+                let FtlKind::Hybrid(h) = &self.ftl else {
+                    panic!("merge outside hybrid mapping")
+                };
+                h.fold_end(plan.lbn)
+            };
+            match plan.reuse {
+                Some(base) if end <= plan.start => {
+                    // Switch: the log block already holds everything live.
+                    let old = self.hybrid_mut().fold_finished(plan.lbn, Some(base));
+                    if let Some(old) = old {
+                        self.enqueue_merge_erase(source, old, None, now);
+                    }
+                }
+                Some(base) => {
+                    self.merge_jobs[mj].as_mut().unwrap().cur = Some(FoldState {
+                        lbn: plan.lbn,
+                        dest: base,
+                        next: plan.start,
+                        end,
+                    });
+                }
+                None if end == 0 => {
+                    // Nothing live (trimmed away): drop the directory entry.
+                    let old = self.hybrid_mut().fold_finished(plan.lbn, None);
+                    if let Some(old) = old {
+                        self.enqueue_merge_erase(source, old, None, now);
+                    }
+                }
+                None => match self.alloc.take_block() {
+                    Some((block, _)) => {
+                        let dest = self.array.geometry().page_index(block.page(0));
+                        self.merge_jobs[mj].as_mut().unwrap().cur = Some(FoldState {
+                            lbn: plan.lbn,
+                            dest,
+                            next: 0,
+                            end,
+                        });
+                    }
+                    None => {
+                        // Out of free blocks: park until an erase lands.
+                        let job = self.merge_jobs[mj].as_mut().unwrap();
+                        job.folds.push_front(plan);
+                        job.waiting_for_block = true;
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    fn enqueue_merge_erase(
+        &mut self,
+        source: IoSource,
+        base: Ppn,
+        job: Option<usize>,
+        now: SimTime,
+    ) {
+        let block = self.array.geometry().page_at(base).block_addr();
+        self.enqueue(
+            OpClass::Erase,
+            None,
+            now,
+            PendKind::MergeErase { source, block, job },
+        );
+    }
+
+    /// Static wear leveling under the hybrid scheme: refresh a young idle
+    /// *data* block by folding its logical block to a fresh destination —
+    /// relocation that preserves the block-mapping discipline.
+    fn hybrid_maybe_wl(&mut self, now: SimTime) {
+        if self.merge_active || !self.cfg.wl.static_enabled {
+            return;
+        }
+        let lbn = {
+            let FtlKind::Hybrid(h) = &self.ftl else { return };
+            let g = *self.array.geometry();
+            let logs: HashSet<Ppn> = h.log_bases().into_iter().collect();
+            let data = h.data_block_map();
+            let skip = |b: BlockAddr| {
+                let base = g.page_index(b.page(0));
+                logs.contains(&base) || !data.contains_key(&base)
+            };
+            let Some(victim) = pick_wl_victim(&self.array, now, &self.cfg.wl, skip) else {
+                return;
+            };
+            let base = g.page_index(victim.page(0));
+            data[&base]
+        };
+        self.hybrid_mut().note_refresh_merge();
+        self.start_merge_job(
+            MergeJob::new(
+                IoSource::WearLeveling,
+                None,
+                vec![FoldPlan {
+                    lbn,
+                    reuse: None,
+                    start: 0,
+                }],
+            ),
+            now,
+        );
     }
 
     // ----- the scheduler ---------------------------------------------------
@@ -733,6 +1170,26 @@ impl Controller {
             && self.array.lun_free_at(channel, l) <= now
             && self.array.lun_holding(channel, l).is_none()
             && self.channel_ok(channel, l, now)
+    }
+
+    /// Resources free for a program at exactly `addr` right now, honoring
+    /// the cached-programming config gate (the array alone only checks
+    /// chip support). Used for hybrid log appends and merge-fold programs,
+    /// whose destinations are bound by the log-block discipline.
+    fn program_ok(&self, addr: PhysicalAddr, now: SimTime) -> bool {
+        self.array.can_issue(&FlashCommand::Program(addr), now)
+            && self.channel_ok(addr.channel, addr.lun, now)
+            && (self.cfg.use_cached_program
+                || self.array.lun_free_at(addr.channel, addr.lun) <= now)
+    }
+
+    /// The merge fold step currently executing for job `mj`.
+    fn merge_cur(&self, mj: usize) -> FoldState {
+        self.merge_jobs[mj]
+            .as_ref()
+            .expect("live merge job")
+            .cur
+            .expect("merge op without an active fold")
     }
 
     /// A program for `stream` could start on `lun` right now: either the
@@ -812,17 +1269,53 @@ impl Controller {
                 }
                 self.cmd_resources_free(&FlashCommand::ReadStart(from), now)
             }
+            PendKind::HybridWrite { what } => {
+                let FtlKind::Hybrid(h) = &self.ftl else { return false };
+                match h.place(what.lpn()) {
+                    HybridPlace::Append(ppn) => {
+                        let addr = self.array.geometry().page_at(ppn);
+                        self.program_ok(addr, now)
+                    }
+                    // Waiting on a log block or a merge (maintenance's job).
+                    _ => false,
+                }
+            }
+            PendKind::MergeRead { mj } => {
+                let cur = self.merge_cur(mj);
+                let lpn = cur.lbn * self.ppb() + cur.next as u64;
+                match self.ftl.peek(lpn) {
+                    // Trimmed since enqueue: reroutes to a filler program.
+                    None => true,
+                    Some(src) => {
+                        let addr = self.array.geometry().page_at(src);
+                        self.cmd_resources_free(&FlashCommand::ReadStart(addr), now)
+                    }
+                }
+            }
+            PendKind::MergeProgram { mj, .. } => {
+                let cur = self.merge_cur(mj);
+                let addr = self.array.geometry().page_at(cur.dest + cur.next as u64);
+                self.program_ok(addr, now)
+            }
+            PendKind::MergeErase { block, .. } => {
+                self.cmd_resources_free(&FlashCommand::Erase(block), now)
+            }
         }
     }
 
     fn run_sched(&mut self, now: SimTime) {
-        // GC triggering is evaluated here so that every pathway that could
-        // change free-space (submissions, completions, erases) funnels
-        // through one place.
-        let nluns = self.array.geometry().total_luns();
-        for lun in 0..nluns {
-            if self.alloc.free_blocks(lun) < self.gc_floor() {
-                self.maybe_gc(lun, now);
+        // Space maintenance is evaluated here so that every pathway that
+        // could change free-space (submissions, completions, erases)
+        // funnels through one place. Under the hybrid mapping, log-block
+        // merges replace generic GC.
+        if self.is_hybrid() {
+            self.hybrid_maintenance(now);
+        } else {
+            let nluns = self.array.geometry().total_luns();
+            for lun in 0..nluns {
+                if self.alloc.free_blocks(lun) < self.gc_floor() {
+                    self.maybe_gc(lun, now);
+                }
             }
         }
         loop {
@@ -844,6 +1337,9 @@ impl Controller {
                 })
                 .collect();
             if candidates.is_empty() {
+                if self.unwedge_sequential_stream(now) {
+                    continue;
+                }
                 break;
             }
             let keys: Vec<_> = candidates.iter().map(|&(_, k)| k).collect();
@@ -983,6 +1479,66 @@ impl Controller {
                 let out = self.issue_cmd(FlashCommand::ReadStart(from), now, op.seq);
                 let _ = source;
                 self.finish_issue(op.class, DoneWhat::GcReadArray { job, from }, out);
+            }
+            PendKind::HybridWrite { what } => {
+                let lpn = what.lpn();
+                let ppn = self.hybrid_mut().commit_append(lpn);
+                let addr = self.array.geometry().page_at(ppn);
+                self.reverse[ppn as usize] = Some(PageContent::Data(lpn));
+                let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                let done = match what {
+                    HybridWhat::App { id, lpn } => DoneWhat::AppWriteDone { id, lpn, ppn },
+                    HybridWhat::Flush { lpn, version } => {
+                        DoneWhat::FlushDone { lpn, version, ppn }
+                    }
+                };
+                self.finish_issue(op.class, done, out);
+            }
+            PendKind::MergeRead { mj } => {
+                let cur = self.merge_cur(mj);
+                let lpn = cur.lbn * self.ppb() + cur.next as u64;
+                match self.ftl.peek(lpn) {
+                    None => {
+                        // Trimmed since enqueue: a filler program keeps the
+                        // destination's page order instead.
+                        let source = self.merge_jobs[mj].as_ref().unwrap().source;
+                        let (_, write_class) = Self::merge_classes(source);
+                        self.enqueue(
+                            write_class,
+                            None,
+                            now,
+                            PendKind::MergeProgram { mj, from: None },
+                        );
+                    }
+                    Some(src) => {
+                        let addr = self.array.geometry().page_at(src);
+                        let out = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                        self.finish_issue(
+                            op.class,
+                            DoneWhat::MergeReadDone { mj, from: addr },
+                            out,
+                        );
+                    }
+                }
+            }
+            PendKind::MergeProgram { mj, from } => {
+                let cur = self.merge_cur(mj);
+                let lpn = cur.lbn * self.ppb() + cur.next as u64;
+                let dest = cur.dest + cur.next as u64;
+                let addr = self.array.geometry().page_at(dest);
+                if from.is_some() {
+                    self.reverse[dest as usize] = Some(PageContent::Data(lpn));
+                }
+                let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                self.finish_issue(op.class, DoneWhat::MergeProgDone { mj, from, dest }, out);
+            }
+            PendKind::MergeErase { source, block, job } => {
+                let out = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
+                self.finish_issue(
+                    op.class,
+                    DoneWhat::MergeEraseDone { source, block, job },
+                    out,
+                );
             }
         }
     }
@@ -1198,9 +1754,91 @@ impl Controller {
                     self.drain_ftl_writebacks(now);
                 } else {
                     // Re-dirtied or trimmed mid-flight: discard the copy.
+                    if self.is_hybrid() {
+                        self.hybrid_mut().abort_append(ppn);
+                    }
                     self.invalidate_ppn(ppn);
                 }
                 self.maybe_flush(now);
+            }
+            DoneWhat::MergeReadDone { mj, from } => {
+                let source = self.merge_jobs[mj].as_ref().expect("live merge job").source;
+                let (read_class, _) = Self::merge_classes(source);
+                self.enqueue(
+                    read_class,
+                    None,
+                    now,
+                    PendKind::Transfer {
+                        addr: from,
+                        done: DoneWhat::MergeXfer { mj, from },
+                    },
+                );
+            }
+            DoneWhat::MergeXfer { mj, from } => {
+                let source = self.merge_jobs[mj].as_ref().expect("live merge job").source;
+                let (_, write_class) = Self::merge_classes(source);
+                let from_ppn = self.array.geometry().page_index(from);
+                self.enqueue(
+                    write_class,
+                    None,
+                    now,
+                    PendKind::MergeProgram {
+                        mj,
+                        from: Some(from_ppn),
+                    },
+                );
+            }
+            DoneWhat::MergeProgDone { mj, from, dest } => {
+                let cur = self.merge_cur(mj);
+                let source = self.merge_jobs[mj].as_ref().unwrap().source;
+                let lpn = cur.lbn * self.ppb() + cur.next as u64;
+                match from {
+                    Some(f) if self.ftl.peek(lpn) == Some(f) => {
+                        // Still current: commit the move.
+                        self.hybrid_mut().merge_committed(lpn, dest);
+                        self.invalidate_ppn(f);
+                        match source {
+                            IoSource::WearLeveling => self.stats.wl_moves += 1,
+                            _ => self.stats.merge_moves += 1,
+                        }
+                    }
+                    Some(_) => {
+                        // Superseded mid-copy: the fresh page is garbage,
+                        // but it kept the destination's program order.
+                        self.stats.merge_stale += 1;
+                        self.invalidate_ppn(dest);
+                    }
+                    None => {
+                        self.stats.merge_fillers += 1;
+                        self.invalidate_ppn(dest);
+                    }
+                }
+                self.merge_jobs[mj].as_mut().unwrap().cur.as_mut().unwrap().next += 1;
+                self.advance_merge(mj, now);
+            }
+            DoneWhat::MergeEraseDone { source, block, job } => {
+                let info = self.array.block_info(block);
+                if info.bad {
+                    self.stats.bad_blocks_retired += 1;
+                } else {
+                    self.alloc.block_freed(block, info.erase_count);
+                }
+                match source {
+                    IoSource::WearLeveling => self.stats.wl_erases += 1,
+                    _ => self.stats.merge_erases += 1,
+                }
+                if let Some(mj) = job {
+                    // The victim's erase completes the merge.
+                    self.merge_jobs[mj] = None;
+                    self.merge_active = false;
+                }
+                self.erases_since_wl += 1;
+                if self.cfg.wl.static_enabled
+                    && self.erases_since_wl >= self.cfg.wl.check_every_erases
+                {
+                    self.erases_since_wl = 0;
+                    self.hybrid_maybe_wl(now);
+                }
             }
         }
     }
@@ -1314,6 +1952,25 @@ impl Controller {
                     Some(PageContent::Data(lpn)),
                     "lpn {lpn} maps to page not owned by it"
                 );
+            }
+        }
+        // Hybrid discipline: a data block's valid pages sit at their
+        // logical offsets (block mapping would be meaningless otherwise).
+        if let FtlKind::Hybrid(h) = &self.ftl {
+            let ppb = g.pages_per_block as u64;
+            for lbn in 0..h.lbn_count() {
+                let Some(base) = h.data_block(lbn) else { continue };
+                for o in 0..ppb {
+                    let addr = g.page_at(base + o);
+                    if self.array.page_state(addr) == PageState::Valid {
+                        let lpn = lbn * ppb + o;
+                        assert_eq!(
+                            self.reverse[(base + o) as usize],
+                            Some(PageContent::Data(lpn)),
+                            "data block of lbn {lbn} holds a misaligned page at offset {o}"
+                        );
+                    }
+                }
             }
         }
         // Allocator free-block accounting matches the array.

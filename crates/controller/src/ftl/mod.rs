@@ -1,21 +1,37 @@
 //! Flash translation layer: logical-to-physical mapping schemes.
 //!
-//! The paper considers "the most flexible schemes i.e., page-based
+//! The mapping scheme is the first axis of the paper's §2.2 design space.
+//! Three families are modeled, all behind [`Ftl`] / [`FtlKind`]:
+//!
+//! | scheme | granularity | RAM cost | flash cost | design-space coordinate |
+//! |---|---|---|---|---|
+//! | [`PageMap`] | page | 8 B / logical page | none | maximum flexibility, maximum RAM |
+//! | [`Dftl`] | page, demand-cached | CMT + GTD (bounded) | translation-page fetches & writebacks | flexibility at bounded RAM, extra read traffic |
+//! | [`Hybrid`] | block + log pages | directory + log page tables | switch / partial / full **merges** | minimum RAM, write placement constrained, merge storms under random writes |
+//!
+//! The page-based schemes are "the most flexible schemes i.e., page-based
 //! mappings: the well-known DFTL and a page-based mapping scheme where the
-//! entire mapping is kept in RAM" (§2.2). Both implement [`Ftl`].
+//! entire mapping is kept in RAM" (§2.2); the hybrid log-block scheme
+//! (FAST, Lee et al., TECS 2007) is the classic third point, whose merge
+//! costs interact with GC, scheduling and wear leveling in exactly the
+//! ways the paper's design questions probe.
 //!
 //! Simulator note: each scheme keeps the *authoritative* logical→physical
 //! map in RAM for correctness bookkeeping; what differs is the **cost
-//! model** — which lookups and updates require flash IOs. For DFTL that is
+//! model** — which lookups and updates require flash IOs, and (for the
+//! hybrid scheme) which physical placements are legal. For DFTL the cost is
 //! determined by the cached mapping table (CMT), the global translation
-//! directory (GTD), and the batched pending updates from GC relocation,
-//! exactly the mechanisms of the DFTL paper.
+//! directory (GTD), and the batched pending updates from GC relocation;
+//! for the hybrid scheme it is the log-block discipline and the merge
+//! machinery the controller schedules on its behalf.
 
 mod dftl;
+mod hybrid;
 mod lru;
 mod page_map;
 
 pub use dftl::{Dftl, DftlStats};
+pub use hybrid::{FullMergePlan, Hybrid, HybridEvent, HybridPlace, HybridStats, SwMergePlan};
 pub use lru::LruCache;
 pub use page_map::PageMap;
 
@@ -101,11 +117,13 @@ pub trait Ftl {
     fn peek(&self, lpn: Lpn) -> Option<Ppn>;
 }
 
-/// The two available schemes behind one concrete type.
+/// The available schemes behind one concrete type.
 pub enum FtlKind {
     PageMap(PageMap),
-    // Boxed: Dftl is an order of magnitude larger than PageMap's header.
+    // Boxed: Dftl and Hybrid are an order of magnitude larger than
+    // PageMap's header.
     Dftl(Box<Dftl>),
+    Hybrid(Box<Hybrid>),
 }
 
 impl Ftl for FtlKind {
@@ -113,72 +131,84 @@ impl Ftl for FtlKind {
         match self {
             FtlKind::PageMap(m) => m.lookup(lpn, pin),
             FtlKind::Dftl(m) => m.lookup(lpn, pin),
+            FtlKind::Hybrid(m) => m.lookup(lpn, pin),
         }
     }
     fn unpin(&mut self, lpn: Lpn) {
         match self {
             FtlKind::PageMap(m) => m.unpin(lpn),
             FtlKind::Dftl(m) => m.unpin(lpn),
+            FtlKind::Hybrid(m) => m.unpin(lpn),
         }
     }
     fn update(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Ppn> {
         match self {
             FtlKind::PageMap(m) => m.update(lpn, ppn),
             FtlKind::Dftl(m) => m.update(lpn, ppn),
+            FtlKind::Hybrid(m) => m.update(lpn, ppn),
         }
     }
     fn relocate(&mut self, lpn: Lpn, new_ppn: Ppn) {
         match self {
             FtlKind::PageMap(m) => m.relocate(lpn, new_ppn),
             FtlKind::Dftl(m) => m.relocate(lpn, new_ppn),
+            FtlKind::Hybrid(m) => m.relocate(lpn, new_ppn),
         }
     }
     fn trim(&mut self, lpn: Lpn) -> Option<Ppn> {
         match self {
             FtlKind::PageMap(m) => m.trim(lpn),
             FtlKind::Dftl(m) => m.trim(lpn),
+            FtlKind::Hybrid(m) => m.trim(lpn),
         }
     }
     fn fetch_complete(&mut self, tvpn: u64, lpns: &[Lpn]) {
         match self {
             FtlKind::PageMap(m) => m.fetch_complete(tvpn, lpns),
             FtlKind::Dftl(m) => m.fetch_complete(tvpn, lpns),
+            FtlKind::Hybrid(m) => m.fetch_complete(tvpn, lpns),
         }
     }
     fn take_writebacks(&mut self) -> Vec<TranslationWriteback> {
         match self {
             FtlKind::PageMap(m) => m.take_writebacks(),
             FtlKind::Dftl(m) => m.take_writebacks(),
+            FtlKind::Hybrid(m) => m.take_writebacks(),
         }
     }
     fn translation_location(&self, tvpn: u64) -> Option<Ppn> {
         match self {
             FtlKind::PageMap(m) => m.translation_location(tvpn),
             FtlKind::Dftl(m) => m.translation_location(tvpn),
+            FtlKind::Hybrid(m) => m.translation_location(tvpn),
         }
     }
     fn translation_written(&mut self, tvpn: u64, new_ppn: Ppn) -> Option<Ppn> {
         match self {
             FtlKind::PageMap(m) => m.translation_written(tvpn, new_ppn),
             FtlKind::Dftl(m) => m.translation_written(tvpn, new_ppn),
+            FtlKind::Hybrid(m) => m.translation_written(tvpn, new_ppn),
         }
     }
     fn tvpn_of(&self, lpn: Lpn) -> u64 {
         match self {
             FtlKind::PageMap(m) => m.tvpn_of(lpn),
             FtlKind::Dftl(m) => m.tvpn_of(lpn),
+            FtlKind::Hybrid(m) => m.tvpn_of(lpn),
         }
     }
     fn ram_bytes(&self) -> u64 {
         match self {
             FtlKind::PageMap(m) => m.ram_bytes(),
             FtlKind::Dftl(m) => m.ram_bytes(),
+            FtlKind::Hybrid(m) => m.ram_bytes(),
         }
     }
     fn peek(&self, lpn: Lpn) -> Option<Ppn> {
         match self {
             FtlKind::PageMap(m) => m.peek(lpn),
             FtlKind::Dftl(m) => m.peek(lpn),
+            FtlKind::Hybrid(m) => m.peek(lpn),
         }
     }
 }

@@ -3,7 +3,9 @@
 //! The trigger policy lives in the controller ("keep `greediness` blocks
 //! free on each LUN", §2.2); this module answers *which block* to reclaim
 //! once triggered, under three classic policies, and tracks the per-victim
-//! migration state machine.
+//! migration state machine. Under the hybrid log-block FTL, generic
+//! reclamation is replaced by merges; [`MergeJob`] tracks that multi-fold
+//! state machine here, next to its reclaim sibling.
 
 use eagletree_core::{SimRng, SimTime};
 use eagletree_flash::{BlockAddr, FlashArray};
@@ -119,6 +121,74 @@ impl ReclaimJob {
     /// Ready to erase right away (victim had no live pages).
     pub fn ready_to_erase(&self) -> bool {
         self.moves_left == 0
+    }
+}
+
+/// One fold of a hybrid merge: rebuild logical block `lbn` at a
+/// destination block, page by page in offset order.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldPlan {
+    /// Logical block to fold.
+    pub lbn: u64,
+    /// Reuse this block (the SW log block) as the destination, programming
+    /// from `start` on. `None`: fold into a fresh block from offset 0.
+    pub reuse: Option<crate::types::Ppn>,
+    /// First offset the fold must program (the log block's fill pointer
+    /// when reusing, 0 otherwise).
+    pub start: u32,
+}
+
+/// The in-progress fold of a [`MergeJob`]: one copy step in flight at a
+/// time so destination programs stay in NAND page order.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldState {
+    /// Logical block being folded.
+    pub lbn: u64,
+    /// Base PPN of the destination block.
+    pub dest: crate::types::Ppn,
+    /// Next offset to copy (or fill) into the destination.
+    pub next: u32,
+    /// One past the last offset to process.
+    pub end: u32,
+}
+
+/// A hybrid-FTL merge: a sequence of folds, then the victim log block's
+/// erase. Each copy flows through the controller scheduler as
+/// `MergeRead`/`MergeWrite` (or `WlRead`/`WlWrite` for wear-leveling
+/// refresh merges) operations, so merges compete with application IO.
+#[derive(Debug, Clone)]
+pub struct MergeJob {
+    /// GC-driven merge or WL-driven refresh (controls op classes and
+    /// which erase counter the job's erases land in).
+    pub source: IoSource,
+    /// Log block erased once every fold has finished.
+    pub victim: Option<crate::types::Ppn>,
+    /// Folds still to run, in order (front first).
+    pub folds: std::collections::VecDeque<FoldPlan>,
+    /// The fold currently executing.
+    pub cur: Option<FoldState>,
+    /// Set once the victim's erase op has been enqueued.
+    pub victim_erase_enqueued: bool,
+    /// The job found no free destination block and is parked until an
+    /// erase returns one (checked by the controller's maintenance pass).
+    pub waiting_for_block: bool,
+}
+
+impl MergeJob {
+    /// A merge reclaiming `victim` via the given folds.
+    pub fn new(
+        source: IoSource,
+        victim: Option<crate::types::Ppn>,
+        folds: Vec<FoldPlan>,
+    ) -> Self {
+        MergeJob {
+            source,
+            victim,
+            folds: folds.into(),
+            cur: None,
+            victim_erase_enqueued: false,
+            waiting_for_block: false,
+        }
     }
 }
 

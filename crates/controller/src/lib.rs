@@ -4,13 +4,14 @@
 //! interface. "The SSD controller is responsible for orchestrating mapping,
 //! garbage-collection, wear leveling modules and scheduling" (§2.2).
 //!
-//! * [`ftl`] — page-level mapping schemes: full in-RAM [`ftl::PageMap`] and
-//!   demand-cached [`ftl::Dftl`] with translation-page flash traffic.
+//! * [`ftl`] — mapping schemes: full in-RAM [`ftl::PageMap`], demand-cached
+//!   [`ftl::Dftl`] with translation-page flash traffic, and the FAST-style
+//!   [`ftl::Hybrid`] log-block scheme with switch/partial/full merges.
 //! * [`alloc`] — write allocation: per-LUN free-block lists, per-stream
 //!   active blocks (hot/cold, GC, translation, update-locality groups).
 //! * [`gc`] — garbage collection: greediness trigger, greedy / random /
 //!   cost-benefit victim selection, migration via copy-back or
-//!   read+program.
+//!   read+program; merge-job bookkeeping for the hybrid FTL.
 //! * [`wear`] — static wear leveling (young-idle-block detection); dynamic
 //!   wear leveling lives in the allocator's age-aware block selection.
 //! * [`temperature`] — multi-bloom-filter hot-data identification.
@@ -31,11 +32,12 @@ pub mod wear;
 pub use alloc::{Allocator, Stream};
 pub use buffer::WriteBuffer;
 pub use config::{
-    ControllerConfig, GcConfig, MappingKind, TemperatureMode, VictimPolicy, WlConfig,
-    WriteAllocPolicy,
+    ControllerConfig, GcConfig, MappingKind, MergePolicy, TemperatureMode, VictimPolicy,
+    WlConfig, WriteAllocPolicy,
 };
-pub use controller::{Controller, CtrlStats, PageContent};
-pub use sched::{class_index, ClassTable, SchedPolicy};
+pub use controller::{Controller, CtrlStats, MergeCounters, PageContent};
+pub use ftl::HybridStats;
+pub use sched::{class_index, class_table, ClassTable, SchedPolicy};
 pub use temperature::MultiBloomDetector;
 pub use types::{
     Completion, IoSource, IoTags, Lpn, OpClass, Ppn, RequestId, RequestKind, SsdRequest,

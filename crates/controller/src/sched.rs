@@ -23,13 +23,23 @@ use eagletree_core::SimTime;
 
 use crate::types::OpClass;
 
-/// Index of an [`OpClass`] into the per-class tables.
+/// Index of an [`OpClass`] into the per-class tables. `OpClass::ALL` is
+/// compile-time checked to match declaration order, so the discriminant is
+/// the index.
 pub fn class_index(c: OpClass) -> usize {
-    OpClass::ALL.iter().position(|&x| x == c).expect("class in ALL")
+    c as usize
 }
 
-/// Per-class `u64` table addressed by [`class_index`].
-pub type ClassTable = [u64; 9];
+/// Per-class `u64` table addressed by [`class_index`]. The length derives
+/// from [`OpClass::COUNT`], so growing `OpClass` (and its `ALL` table)
+/// automatically grows every rank / deadline / weight / counter table —
+/// no silently-desynced bare array lengths.
+pub type ClassTable = [u64; OpClass::COUNT];
+
+/// A class table with every entry set to `fill`.
+pub const fn class_table(fill: u64) -> ClassTable {
+    [fill; OpClass::COUNT]
+}
 
 /// A controller scheduling policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,13 +60,15 @@ pub enum SchedPolicy {
 impl SchedPolicy {
     /// Application reads overtake everything; internal ops last.
     pub fn reads_first() -> Self {
-        let mut rank = [5u64; 9];
+        let mut rank = class_table(5);
         rank[class_index(OpClass::AppRead)] = 0;
         rank[class_index(OpClass::MappingRead)] = 1;
         rank[class_index(OpClass::AppWrite)] = 2;
         rank[class_index(OpClass::MappingWrite)] = 3;
         rank[class_index(OpClass::GcRead)] = 5;
         rank[class_index(OpClass::GcWrite)] = 5;
+        rank[class_index(OpClass::MergeRead)] = 5;
+        rank[class_index(OpClass::MergeWrite)] = 5;
         rank[class_index(OpClass::Erase)] = 6;
         rank[class_index(OpClass::WlRead)] = 7;
         rank[class_index(OpClass::WlWrite)] = 7;
@@ -65,7 +77,7 @@ impl SchedPolicy {
 
     /// Application writes overtake reads (write-burst absorption).
     pub fn writes_first() -> Self {
-        let mut rank = [5u64; 9];
+        let mut rank = class_table(5);
         rank[class_index(OpClass::AppWrite)] = 0;
         rank[class_index(OpClass::MappingWrite)] = 1;
         rank[class_index(OpClass::AppRead)] = 2;
@@ -75,7 +87,7 @@ impl SchedPolicy {
 
     /// All application IO before all internal IO.
     pub fn app_first() -> Self {
-        let mut rank = [4u64; 9];
+        let mut rank = class_table(4);
         rank[class_index(OpClass::AppRead)] = 0;
         rank[class_index(OpClass::AppWrite)] = 0;
         rank[class_index(OpClass::MappingRead)] = 1;
@@ -85,7 +97,7 @@ impl SchedPolicy {
 
     /// Internal maintenance before application IO (aggressive GC).
     pub fn internal_first() -> Self {
-        let mut rank = [0u64; 9];
+        let mut rank = class_table(0);
         rank[class_index(OpClass::AppRead)] = 4;
         rank[class_index(OpClass::AppWrite)] = 4;
         SchedPolicy::ClassPriority(rank)
@@ -93,7 +105,7 @@ impl SchedPolicy {
 
     /// EDF with the default deadline table.
     pub fn edf_default() -> Self {
-        let mut d = [10_000u64; 9];
+        let mut d = class_table(10_000);
         for (c, us) in crate::config::ControllerConfig::default_deadlines_us() {
             d[class_index(c)] = us;
         }
@@ -102,7 +114,7 @@ impl SchedPolicy {
 
     /// Fair sharing with equal weights.
     pub fn fair_equal() -> Self {
-        SchedPolicy::Fair([1; 9])
+        SchedPolicy::Fair(class_table(1))
     }
 
     /// Select among issuable candidates.
@@ -184,7 +196,7 @@ mod tests {
             cand(OpClass::AppRead, None, 20, 2),
             cand(OpClass::GcRead, None, 0, 9),
         ];
-        assert_eq!(SchedPolicy::Fifo.select(&c, &[0; 9]), Some(1));
+        assert_eq!(SchedPolicy::Fifo.select(&c, &class_table(0)), Some(1));
     }
 
     #[test]
@@ -194,7 +206,7 @@ mod tests {
             cand(OpClass::GcWrite, None, 0, 1),
             cand(OpClass::AppRead, None, 100, 2),
         ];
-        assert_eq!(SchedPolicy::reads_first().select(&c, &[0; 9]), Some(2));
+        assert_eq!(SchedPolicy::reads_first().select(&c, &class_table(0)), Some(2));
     }
 
     #[test]
@@ -203,7 +215,7 @@ mod tests {
             cand(OpClass::AppRead, None, 0, 0),
             cand(OpClass::AppWrite, None, 100, 1),
         ];
-        assert_eq!(SchedPolicy::writes_first().select(&c, &[0; 9]), Some(1));
+        assert_eq!(SchedPolicy::writes_first().select(&c, &class_table(0)), Some(1));
     }
 
     #[test]
@@ -213,8 +225,8 @@ mod tests {
             cand(OpClass::Erase, None, 0, 1),
             cand(OpClass::AppWrite, None, 500, 2),
         ];
-        assert_eq!(SchedPolicy::app_first().select(&c, &[0; 9]), Some(2));
-        assert_eq!(SchedPolicy::internal_first().select(&c, &[0; 9]), Some(0));
+        assert_eq!(SchedPolicy::app_first().select(&c, &class_table(0)), Some(2));
+        assert_eq!(SchedPolicy::internal_first().select(&c, &class_table(0)), Some(0));
     }
 
     #[test]
@@ -226,13 +238,13 @@ mod tests {
             cand(OpClass::GcRead, None, 0, 0),
             cand(OpClass::AppRead, None, 4_900_000, 1),
         ];
-        assert_eq!(p.select(&c, &[0; 9]), Some(0));
+        assert_eq!(p.select(&c, &class_table(0)), Some(0));
         // Fresh GC vs fresh app read: app read's 500µs deadline wins.
         let c = vec![
             cand(OpClass::GcRead, None, 0, 0),
             cand(OpClass::AppRead, None, 0, 1),
         ];
-        assert_eq!(p.select(&c, &[0; 9]), Some(1));
+        assert_eq!(p.select(&c, &class_table(0)), Some(1));
     }
 
     #[test]
@@ -242,7 +254,7 @@ mod tests {
             cand(OpClass::AppRead, None, 0, 0),
             cand(OpClass::AppWrite, None, 0, 1),
         ];
-        let mut serviced = [0u64; 9];
+        let mut serviced = class_table(0);
         serviced[class_index(OpClass::AppRead)] = 10;
         // Writes are behind; they go first.
         assert_eq!(p.select(&c, &serviced), Some(1));
@@ -252,14 +264,14 @@ mod tests {
 
     #[test]
     fn fair_weights_scale_shares() {
-        let mut w = [1u64; 9];
+        let mut w = class_table(1);
         w[class_index(OpClass::AppRead)] = 3;
         let p = SchedPolicy::Fair(w);
         let c = vec![
             cand(OpClass::AppRead, None, 0, 0),
             cand(OpClass::AppWrite, None, 0, 1),
         ];
-        let mut serviced = [0u64; 9];
+        let mut serviced = class_table(0);
         serviced[class_index(OpClass::AppRead)] = 2;
         serviced[class_index(OpClass::AppWrite)] = 1;
         // reads: 2/3 < writes: 1/1 → reads issue.
@@ -274,17 +286,28 @@ mod tests {
             cand(OpClass::AppRead, Some(3), 0, 1),
             cand(OpClass::AppRead, Some(1), 0, 2),
         ];
-        assert_eq!(p.select(&c, &[0; 9]), Some(2));
+        assert_eq!(p.select(&c, &class_table(0)), Some(2));
         let c = vec![
             cand(OpClass::AppWrite, None, 0, 4),
             cand(OpClass::AppRead, None, 0, 7),
         ];
-        assert_eq!(p.select(&c, &[0; 9]), Some(0));
+        assert_eq!(p.select(&c, &class_table(0)), Some(0));
+    }
+
+    #[test]
+    fn class_table_length_tracks_op_class_all() {
+        // The compile-time assertions in `types` guarantee declaration
+        // order; this guards the table type itself against regressing to a
+        // bare literal length.
+        assert_eq!(class_table(0).len(), OpClass::ALL.len());
+        for c in OpClass::ALL {
+            assert!(class_index(c) < class_table(0).len());
+        }
     }
 
     #[test]
     fn empty_candidates_yield_none() {
-        assert_eq!(SchedPolicy::Fifo.select(&[], &[0; 9]), None);
-        assert_eq!(SchedPolicy::fair_equal().select(&[], &[0; 9]), None);
+        assert_eq!(SchedPolicy::Fifo.select(&[], &class_table(0)), None);
+        assert_eq!(SchedPolicy::fair_equal().select(&[], &class_table(0)), None);
     }
 }

@@ -114,11 +114,16 @@ pub enum IoSource {
     WearLeveling,
     /// DFTL translation-page traffic.
     Mapping,
+    /// Hybrid log-block merge traffic (switch / partial / full merges).
+    Merge,
 }
 
 /// Scheduling class of a pending flash operation: source × direction.
 ///
-/// Policies rank these classes; see `sched`.
+/// Policies rank these classes; see `sched`. Per-class tables
+/// (`sched::ClassTable`) derive their length from [`OpClass::COUNT`], so
+/// adding a variant here only requires extending [`OpClass::ALL`] — the
+/// `const` assertions below fail the build if the two fall out of sync.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpClass {
     AppRead,
@@ -127,20 +132,45 @@ pub enum OpClass {
     GcWrite,
     WlRead,
     WlWrite,
+    MergeRead,
+    MergeWrite,
     MappingRead,
     MappingWrite,
     Erase,
 }
 
+/// Compile-time sync check: `ALL` must list every variant in declaration
+/// order. If a variant is added (anywhere) without extending `ALL`, either
+/// the per-index equality or the `last + 1` length check fails the build.
+const _: () = {
+    let mut i = 0;
+    while i < OpClass::ALL.len() {
+        assert!(
+            OpClass::ALL[i] as usize == i,
+            "OpClass::ALL must list variants in declaration order"
+        );
+        i += 1;
+    }
+    assert!(
+        OpClass::ALL.len() == OpClass::Erase as usize + 1,
+        "OpClass::ALL is missing variants (extend it when OpClass grows)"
+    );
+};
+
 impl OpClass {
+    /// Number of classes; sizes every per-class table.
+    pub const COUNT: usize = OpClass::ALL.len();
+
     /// All classes, for iteration in fair schedulers and reports.
-    pub const ALL: [OpClass; 9] = [
+    pub const ALL: [OpClass; 11] = [
         OpClass::AppRead,
         OpClass::AppWrite,
         OpClass::GcRead,
         OpClass::GcWrite,
         OpClass::WlRead,
         OpClass::WlWrite,
+        OpClass::MergeRead,
+        OpClass::MergeWrite,
         OpClass::MappingRead,
         OpClass::MappingWrite,
         OpClass::Erase,
@@ -155,6 +185,8 @@ impl OpClass {
             OpClass::GcWrite => "GcWrite",
             OpClass::WlRead => "WlRead",
             OpClass::WlWrite => "WlWrite",
+            OpClass::MergeRead => "MergeRead",
+            OpClass::MergeWrite => "MergeWrite",
             OpClass::MappingRead => "MappingRead",
             OpClass::MappingWrite => "MappingWrite",
             OpClass::Erase => "Erase",
@@ -194,5 +226,18 @@ mod tests {
         let internals = OpClass::ALL.iter().filter(|c| c.is_internal()).count();
         assert_eq!(apps, 2);
         assert_eq!(apps + internals, OpClass::ALL.len());
+    }
+
+    #[test]
+    fn op_class_all_is_complete_and_ordered() {
+        assert_eq!(OpClass::COUNT, OpClass::ALL.len());
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "ALL out of declaration order at {i}");
+        }
+        // Names are unique (catches copy-paste in `name`).
+        let mut names: Vec<&str> = OpClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OpClass::COUNT);
     }
 }

@@ -8,6 +8,15 @@
 //! data — and migrate that data away so the block can absorb hot writes.
 //! (Dynamic wear leveling — age-aware free-block allocation — lives in the
 //! allocator.)
+//!
+//! The victim picker is mapping-agnostic: page-mapped schemes relocate the
+//! victim's pages via a generic reclaim job, while the hybrid log-block
+//! FTL — whose data blocks must keep pages at their logical offsets —
+//! refreshes the victim with a *merge* (fold the logical block to a fresh
+//! destination, then erase), driven by the controller with the same
+//! `WlRead`/`WlWrite` op classes. Callers select eligible blocks through
+//! the `skip` closure: the hybrid controller, for instance, excludes log
+//! blocks and anything that is not a registered data block.
 
 use eagletree_core::SimTime;
 use eagletree_flash::{BlockAddr, FlashArray};

@@ -1,0 +1,131 @@
+//! Determinism regression: a fixed-seed mixed workload must produce
+//! byte-identical completions, counters and trace output across runs.
+//! Event-ordering bugs — easy to introduce with multi-step merge machinery
+//! — fail loudly here instead of as flaky experiment numbers.
+
+use eagletree_controller::{
+    Completion, Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RequestKind,
+    SsdRequest, WlConfig,
+};
+use eagletree_core::{SimRng, SimTime};
+use eagletree_flash::{Geometry, TimingSpec};
+
+struct Driver {
+    c: Controller,
+    now: SimTime,
+    next_id: u64,
+    done: Vec<Completion>,
+}
+
+impl Driver {
+    fn new(c: Controller) -> Self {
+        Driver {
+            c,
+            now: SimTime::ZERO,
+            next_id: 0,
+            done: Vec::new(),
+        }
+    }
+
+    fn submit(&mut self, kind: RequestKind, lpn: u64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.c.submit(
+            SsdRequest {
+                id,
+                kind,
+                lpn,
+                tags: IoTags::none(),
+            },
+            self.now,
+        );
+    }
+
+    fn run(&mut self) {
+        while let Some(t) = self.c.next_event_time() {
+            self.now = t;
+            let batch = self.c.advance(t);
+            self.done.extend(batch);
+        }
+        let tail = self.c.advance(self.now);
+        self.done.extend(tail);
+    }
+}
+
+/// Run a fixed-seed mixed write/trim/read workload and render everything
+/// observable into one string: completion stream, controller counters,
+/// per-class issue counts, merge counters, array counters and the visual
+/// trace.
+fn run_fingerprint(mapping: MappingKind) -> String {
+    let cfg = ControllerConfig {
+        mapping,
+        wl: WlConfig {
+            check_every_erases: 16,
+            young_delta: 4,
+            idle_factor: 0.5,
+            ..WlConfig::default()
+        },
+        trace_events: 512,
+        ..ControllerConfig::default()
+    };
+    let mut d = Driver::new(Controller::new(Geometry::tiny(), TimingSpec::slc(), cfg).unwrap());
+    let logical = d.c.logical_pages();
+    let mut rng = SimRng::new(0xD17E_2B11);
+    let ops: Vec<(RequestKind, u64)> = (0..2000)
+        .map(|i| {
+            let lpn = rng.gen_range(logical);
+            match i % 10 {
+                0..=5 => (RequestKind::Write, lpn),
+                6 => (RequestKind::Trim, lpn),
+                _ => (RequestKind::Read, lpn),
+            }
+        })
+        .collect();
+    for chunk in ops.chunks(24) {
+        for &(kind, lpn) in chunk {
+            d.submit(kind, lpn);
+        }
+        d.run();
+    }
+    d.run();
+
+    let mut out = String::new();
+    for c in &d.done {
+        out.push_str(&format!("{}@{}\n", c.id, c.at.as_nanos()));
+    }
+    out.push_str(&format!("{:?}\n", d.c.stats()));
+    out.push_str(&format!("{:?}\n", d.c.merge_counters()));
+    out.push_str(&format!("{:?}\n", d.c.array().counters()));
+    if let Some(trace) = d.c.trace() {
+        out.push_str(&trace.render_listing());
+    }
+    out
+}
+
+#[test]
+fn hybrid_runs_are_byte_identical() {
+    let mapping = MappingKind::Hybrid {
+        log_blocks: 3,
+        merge: MergePolicy::Fifo,
+    };
+    let a = run_fingerprint(mapping);
+    let b = run_fingerprint(mapping);
+    assert!(a == b, "hybrid run fingerprints diverged");
+    assert!(a.contains("merge"), "fingerprint should include counters");
+}
+
+#[test]
+fn all_schemes_run_deterministically() {
+    for mapping in [
+        MappingKind::PageMap,
+        MappingKind::Dftl { cmt_entries: 24 },
+        MappingKind::Hybrid {
+            log_blocks: 4,
+            merge: MergePolicy::MinValid,
+        },
+    ] {
+        let a = run_fingerprint(mapping);
+        let b = run_fingerprint(mapping);
+        assert!(a == b, "{mapping:?} fingerprints diverged");
+    }
+}

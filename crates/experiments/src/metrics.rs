@@ -4,7 +4,7 @@
 //! [`Table`] renders swept series as the aligned text / CSV "rows the paper
 //! would plot".
 
-use eagletree_controller::wear_summary;
+use eagletree_controller::{wear_summary, MergeCounters};
 use eagletree_os::{Os, ThreadStats};
 
 /// Condensed metrics of one simulation run, over a set of measured threads.
@@ -29,6 +29,8 @@ pub struct Measured {
     pub wl_erases: u64,
     pub mapping_fetches: u64,
     pub mapping_writebacks: u64,
+    /// Hybrid-FTL merge counters (all zero outside the hybrid mapping).
+    pub merges: MergeCounters,
     /// Erase-count imbalance across blocks.
     pub wear_stddev: f64,
     pub wear_max: u32,
@@ -48,6 +50,7 @@ pub struct CounterSnapshot {
     pub wl_erases: u64,
     pub mapping_fetches: u64,
     pub mapping_writebacks: u64,
+    pub merges: MergeCounters,
 }
 
 /// Snapshot the controller counters now.
@@ -63,6 +66,7 @@ pub fn snapshot(os: &Os) -> CounterSnapshot {
         wl_erases: s.wl_erases,
         mapping_fetches: s.mapping_fetches,
         mapping_writebacks: s.mapping_writebacks,
+        merges: c.merge_counters(),
     }
 }
 
@@ -78,6 +82,16 @@ pub fn measure_since(os: &Os, threads: &[usize], base: &CounterSnapshot) -> Meas
     m.wl_erases = now.wl_erases - base.wl_erases;
     m.mapping_fetches = now.mapping_fetches - base.mapping_fetches;
     m.mapping_writebacks = now.mapping_writebacks - base.mapping_writebacks;
+    m.merges = MergeCounters {
+        switch_merges: now.merges.switch_merges - base.merges.switch_merges,
+        partial_merges: now.merges.partial_merges - base.merges.partial_merges,
+        full_merges: now.merges.full_merges - base.merges.full_merges,
+        refresh_merges: now.merges.refresh_merges - base.merges.refresh_merges,
+        moves: now.merges.moves - base.merges.moves,
+        stale: now.merges.stale - base.merges.stale,
+        fillers: now.merges.fillers - base.merges.fillers,
+        erases: now.merges.erases - base.merges.erases,
+    };
     m
 }
 
@@ -150,6 +164,7 @@ pub fn measure(os: &Os, threads: &[usize]) -> Measured {
         wl_erases: cs.wl_erases,
         mapping_fetches: cs.mapping_fetches,
         mapping_writebacks: cs.mapping_writebacks,
+        merges: ctrl.merge_counters(),
         wear_stddev: wear.stddev_erases,
         wear_max: wear.max_erases,
         makespan_s: os.now().as_nanos() as f64 / 1e9,

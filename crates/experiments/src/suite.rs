@@ -5,7 +5,7 @@
 //! results). All experiments are deterministic for a fixed [`Scale`].
 
 use eagletree_controller::{
-    IoTags, MappingKind, SchedPolicy, TemperatureMode, WriteAllocPolicy,
+    IoTags, MappingKind, MergePolicy, SchedPolicy, TemperatureMode, WriteAllocPolicy,
 };
 use eagletree_core::SimTime;
 use eagletree_flash::{Geometry, TimingSpec};
@@ -27,7 +27,7 @@ pub fn all() -> Vec<Experiment> {
         Experiment::new("E3", "GC greediness", "§2.2 GC trigger policy", e3_gc_greediness),
         Experiment::new("E4", "Controller scheduling policies", "§3 'prioritizing reads vs writes is not always easy'", e4_ctrl_sched),
         Experiment::new("E5", "Internal-op priority", "§1-Q2 GC/WL interference", e5_internal_priority),
-        Experiment::new("E6", "Mapping schemes: page map vs DFTL", "§2.2 mapping design space", e6_mapping),
+        Experiment::new("E6", "Mapping schemes: page map vs DFTL vs hybrid log-block", "§2.2 mapping design space", e6_mapping),
         Experiment::new("E7", "Wear leveling", "§2.2 WL strategies", e7_wear_leveling),
         Experiment::new("E8", "Open interface hints", "§2.2 open interface / §3 appetizers", e8_open_interface),
         Experiment::new("E9", "Advanced commands: copyback & interleaving", "§2.2 hardware advanced commands", e9_advanced_commands),
@@ -38,6 +38,7 @@ pub fn all() -> Vec<Experiment> {
         Experiment::new("E14", "Over-provisioning", "§2.2 GC headroom vs exported capacity", e14_overprovisioning),
         Experiment::new("E15", "GC victim selection", "§2.2 GC strategies", e15_victim_policy),
         Experiment::new("E16", "Cached-program pipelining", "§2.2 advanced commands (pipelining)", e16_pipelining),
+        Experiment::new("E17", "Hybrid log-block budget sweep", "§2.2 mapping design space (merge costs)", e17_log_budget),
         Experiment::new("G1", "The scheduling game", "§3 demonstration game", g1_game),
     ]
 }
@@ -263,7 +264,7 @@ fn e5_internal_priority(scale: Scale) -> Table {
 fn e6_mapping(scale: Scale) -> Table {
     let mut t = Table::new(
         "E6",
-        "Zipf mixed workload: page map vs DFTL at CMT coverage",
+        "Zipf mixed workload: page map vs DFTL (CMT coverage) vs hybrid (log budget)",
         "mapping",
     );
     let coverages = scale.thin(&[1u64, 5, 10, 25, 50, 100]);
@@ -275,6 +276,15 @@ fn e6_mapping(scale: Scale) -> Table {
             format!("dftl_{c}%"),
             MappingKind::Dftl {
                 cmt_entries: ((logical * c) / 100).max(8) as usize,
+            },
+        ));
+    }
+    for b in scale.thin(&[4usize, 16]) {
+        variants.push((
+            format!("hybrid_{b}"),
+            MappingKind::Hybrid {
+                log_blocks: b,
+                merge: MergePolicy::Fifo,
             },
         ));
     }
@@ -298,13 +308,22 @@ fn e6_mapping(scale: Scale) -> Table {
         let mut os = os;
         os.run();
         let m = measure_since(&os, &tids, &base);
+        let map_ram_kb = os
+            .controller()
+            .memory()
+            .reserved_for(eagletree_flash::MemoryKind::Ram, "mapping")
+            .unwrap_or(0) as f64
+            / 1024.0;
         t.rows.push(
             Row::new(name)
                 .push("iops", m.iops)
                 .push("read_us", m.read_mean_us)
                 .push("write_us", m.write_mean_us)
+                .push("map_ram_kb", map_ram_kb)
                 .push("map_fetches", m.mapping_fetches as f64)
                 .push("map_writebacks", m.mapping_writebacks as f64)
+                .push("merges", (m.merges.switch_merges + m.merges.partial_merges
+                    + m.merges.full_merges) as f64)
                 .push("WA", m.write_amplification),
         );
     }
@@ -749,6 +768,53 @@ fn e16_pipelining(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E17 — hybrid log-block budget sweep
+
+/// How many log blocks does a hybrid FTL need? Random overwrites force
+/// full merges whose cost shrinks as the log pool grows — the §2.2 mapping
+/// axis measured at its extreme (merge storms vs RAM budget).
+fn e17_log_budget(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E17",
+        "Random overwrite under the hybrid FTL vs log-block budget",
+        "log_blocks",
+    );
+    for b in scale.thin(&[2usize, 4, 8, 16, 32]) {
+        let mut setup = Setup::small();
+        setup.ctrl.mapping = MappingKind::Hybrid {
+            log_blocks: b,
+            merge: MergePolicy::Fifo,
+        };
+        setup.ctrl.wl.static_enabled = false;
+        let logical = setup.logical_pages();
+        let ios = scale.ios(logical);
+        let (os, tids) = run_preconditioned(
+            &setup,
+            vec![Box::new(
+                Pumped::new(RandWriteGen::new(Region::whole(), ios), 32, 0xE17)
+                    .named("overwriter"),
+            )],
+        );
+        let base = snapshot(&os);
+        let mut os = os;
+        os.run();
+        let m = measure_since(&os, &tids, &base);
+        t.rows.push(
+            Row::new(format!("{b}"))
+                .push("iops", m.iops)
+                .push("write_us", m.write_mean_us)
+                .push("write_p99_us", m.write_p99_us)
+                .push("WA", m.write_amplification)
+                .push("full_merges", m.merges.full_merges as f64)
+                .push("switch_merges", m.merges.switch_merges as f64)
+                .push("merge_moves", m.merges.moves as f64)
+                .push("merge_erases", m.merges.erases as f64),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // G1 — the game
 
 /// The demo game: grid-search scheduling-related knobs and score each
@@ -821,18 +887,48 @@ mod tests {
     #[test]
     fn suite_is_complete_and_indexed() {
         let s = all();
-        assert_eq!(s.len(), 17);
+        assert_eq!(s.len(), 18);
         let ids: Vec<&str> = s.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
-                "E13", "E14", "E15", "E16", "G1"
+                "E13", "E14", "E15", "E16", "E17", "G1"
             ]
         );
         assert!(by_id("e3").is_some());
         assert!(by_id("G1").is_some());
         assert!(by_id("E99").is_none());
+    }
+
+    #[test]
+    fn smoke_e6_covers_all_three_mapping_families() {
+        let t = e6_mapping(Scale::Smoke);
+        let labels: Vec<&str> = t.rows.iter().map(|r| r.label.as_str()).collect();
+        assert!(labels.contains(&"page_map"));
+        assert!(labels.iter().any(|l| l.starts_with("dftl_")));
+        assert!(labels.iter().any(|l| l.starts_with("hybrid_")));
+        // The hybrid's selling point: far less mapping RAM than page map.
+        let pm = t.rows.iter().find(|r| r.label == "page_map").unwrap();
+        let hy = t.rows.iter().find(|r| r.label.starts_with("hybrid_")).unwrap();
+        assert!(
+            hy.get("map_ram_kb").unwrap() * 4.0 < pm.get("map_ram_kb").unwrap(),
+            "hybrid mapping RAM should be far below the page map's"
+        );
+        assert!(hy.get("merges").unwrap() > 0.0, "hybrid rows must merge");
+    }
+
+    #[test]
+    fn smoke_e17_bigger_log_pool_cuts_wa() {
+        let t = e17_log_budget(Scale::Smoke);
+        let small = t.rows.first().unwrap();
+        let big = t.rows.last().unwrap();
+        assert!(
+            big.get("WA").unwrap() < small.get("WA").unwrap(),
+            "more log blocks must reduce merge write amplification: {}",
+            t.render()
+        );
+        assert!(small.get("full_merges").unwrap() > 0.0);
     }
 
     #[test]
