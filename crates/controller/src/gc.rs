@@ -55,30 +55,38 @@ pub fn pick_victim(
     }
 
     match policy {
-        VictimPolicy::Greedy => candidates.into_iter().min_by_key(|&(b, live)| (live, b)),
+        VictimPolicy::Greedy => candidates
+            .into_iter()
+            .min_by_key(|&(b, live)| (live, b))
+            .map(|(b, _)| b),
         VictimPolicy::Random => {
             let i = rng.gen_range(candidates.len() as u64) as usize;
-            Some(candidates[i])
+            Some(candidates[i].0)
         }
-        VictimPolicy::CostBenefit => candidates.into_iter().max_by(|&(ba, la), &(bb, lb)| {
-            let score = |b: BlockAddr, live: u32| {
+        VictimPolicy::CostBenefit => candidates
+            .into_iter()
+            // Score each candidate exactly once (age and utilization are
+            // fixed for the duration of the pick), instead of recomputing
+            // both sides inside every comparator call.
+            .map(|(b, live)| {
                 let u = live as f64 / ppb as f64;
                 let age =
                     now.saturating_since(array.block_info(b).last_erase).as_nanos() as f64;
-                if u == 0.0 {
+                let score = if u == 0.0 {
                     f64::INFINITY
                 } else {
                     age * (1.0 - u) / (2.0 * u)
-                }
-            };
-            score(ba, la)
-                .partial_cmp(&score(bb, lb))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                // Deterministic tie-break on address.
-                .then_with(|| bb.cmp(&ba))
-        }),
+                };
+                (b, score)
+            })
+            .max_by(|&(ba, sa), &(bb, sb)| {
+                sa.partial_cmp(&sb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Deterministic tie-break on address.
+                    .then_with(|| bb.cmp(&ba))
+            })
+            .map(|(b, _)| b),
     }
-    .map(|(b, _)| b)
 }
 
 /// A reclamation job: migrate a victim's live pages, then erase it.
