@@ -60,7 +60,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|s| s == "all") {
         ids = suite::all().iter().map(|e| e.id.to_string()).collect();
     }
-    let mut results: Vec<(Table, f64)> = Vec::new();
+    let mut results: Vec<ExperimentResult> = Vec::new();
     for id in &ids {
         let id = if id.eq_ignore_ascii_case("game") {
             "G1"
@@ -74,17 +74,24 @@ fn main() {
             }
             Some(e) => {
                 eprintln!("running {} ({:?}) …", e.id, scale);
+                let events_before = eagletree_core::global_events_popped();
                 let started = std::time::Instant::now();
                 let table = e.run(scale);
                 let secs = started.elapsed().as_secs_f64();
-                eprintln!("  done in {secs:.1}s");
+                let events = eagletree_core::global_events_popped() - events_before;
+                let eps = if secs > 0.0 { events as f64 / secs } else { 0.0 };
+                eprintln!("  done in {secs:.1}s ({events} events, {eps:.0} events/s)");
                 if csv {
                     println!("# {} — {}", table.id, table.title);
                     print!("{}", table.to_csv());
                 } else if json_path.is_none() {
                     println!("{}", table.render());
                 }
-                results.push((table, secs));
+                results.push(ExperimentResult {
+                    table,
+                    wall_seconds: secs,
+                    events_simulated: events,
+                });
             }
         }
     }
@@ -98,18 +105,38 @@ fn main() {
     }
 }
 
+/// One experiment's outcome: its result table plus simulator-throughput
+/// metadata (host wall time and events processed while it ran).
+struct ExperimentResult {
+    table: Table,
+    wall_seconds: f64,
+    events_simulated: u64,
+}
+
 /// Hand-rolled JSON (no serde in the offline build container): one
-/// object per experiment with wall time and the full result rows.
-fn to_json(scale: &Scale, results: &[(Table, f64)]) -> String {
+/// object per experiment with wall time, simulator throughput and the
+/// full result rows.
+fn to_json(scale: &Scale, results: &[ExperimentResult]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     out.push_str("  \"experiments\": [\n");
-    for (i, (t, secs)) in results.iter().enumerate() {
+    for (i, r) in results.iter().enumerate() {
+        let (t, secs) = (&r.table, r.wall_seconds);
+        let eps = if secs > 0.0 {
+            r.events_simulated as f64 / secs
+        } else {
+            0.0
+        };
         out.push_str("    {\n");
         out.push_str(&format!("      \"id\": {},\n", json_str(&t.id)));
         out.push_str(&format!("      \"title\": {},\n", json_str(&t.title)));
         out.push_str(&format!("      \"param\": {},\n", json_str(&t.param)));
         out.push_str(&format!("      \"wall_seconds\": {secs:.3},\n"));
+        out.push_str(&format!(
+            "      \"events_simulated\": {},\n",
+            r.events_simulated
+        ));
+        out.push_str(&format!("      \"events_per_sec\": {},\n", json_num(eps)));
         out.push_str("      \"rows\": [\n");
         for (j, r) in t.rows.iter().enumerate() {
             let fields: Vec<String> = std::iter::once(format!("\"label\": {}", json_str(&r.label)))

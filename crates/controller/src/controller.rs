@@ -359,6 +359,12 @@ impl Controller {
         &self.stats
     }
 
+    /// Internal agenda events processed so far (completions + wake-ups).
+    /// One axis of the simulator-throughput metric (`events_per_sec`).
+    pub fn events_processed(&self) -> u64 {
+        self.events.popped()
+    }
+
     /// The memory manager (RAM budget introspection).
     pub fn memory(&self) -> &MemoryManager {
         &self.mem

@@ -27,7 +27,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{global_events_popped, EventQueue, ScheduledEvent};
 pub use rng::{SimRng, Zipf};
 pub use stats::{Histogram, OnlineStats, TimeSeries};
 pub use time::{SimDuration, SimTime};

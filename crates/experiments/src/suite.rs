@@ -39,6 +39,7 @@ pub fn all() -> Vec<Experiment> {
         Experiment::new("E15", "GC victim selection", "§2.2 GC strategies", e15_victim_policy),
         Experiment::new("E16", "Cached-program pipelining", "§2.2 advanced commands (pipelining)", e16_pipelining),
         Experiment::new("E17", "Hybrid log-block budget sweep", "§2.2 mapping design space (merge costs)", e17_log_budget),
+        Experiment::new("E18", "Simulator throughput: events/sec vs geometry × queue depth", "§1 'as fast as the hardware allows' (sweep affordability)", e18_sim_throughput),
         Experiment::new("G1", "The scheduling game", "§3 demonstration game", g1_game),
     ]
 }
@@ -815,6 +816,87 @@ fn e17_log_budget(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E18 — simulator throughput
+
+/// How fast does the *simulator* run? Host wall-seconds and simulation
+/// events per host second for a GC-heavy random overwrite, swept over
+/// device geometry × OS queue depth. This is the meta-experiment behind
+/// every other one: the design-space sweeps the paper calls for are
+/// affordable exactly in proportion to these numbers. Queue depth stresses
+/// the controller's dispatch path (pending-op selection) and the overwrite
+/// phase stresses GC victim selection.
+fn e18_sim_throughput(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E18",
+        "Host events/sec for GC-heavy overwrite vs geometry × queue depth",
+        "geometry/qd",
+    );
+    let geoms: Vec<(&str, Geometry)> = vec![
+        (
+            "2x2x64x32",
+            Geometry {
+                channels: 2,
+                luns_per_channel: 2,
+                planes_per_lun: 1,
+                blocks_per_plane: 64,
+                pages_per_block: 32,
+                page_size: 4096,
+            },
+        ),
+        (
+            "4x4x128x64",
+            Geometry {
+                channels: 4,
+                luns_per_channel: 4,
+                planes_per_lun: 1,
+                blocks_per_plane: 128,
+                pages_per_block: 64,
+                page_size: 4096,
+            },
+        ),
+    ];
+    let qds: Vec<usize> = vec![1, 64, 512];
+    for (gname, g) in scale.thin(&geoms) {
+        for qd in scale.thin(&qds) {
+            let mut setup = Setup::small();
+            setup.geometry = g;
+            setup.os.queue_depth = qd;
+            setup.ctrl.wl.static_enabled = false;
+            let logical = setup.logical_pages();
+            // Enough overwrite to reach GC steady state even at smoke scale
+            // (the fill leaves only the over-provisioning headroom free).
+            let ios = scale.ios(logical * 4);
+            let mut os = setup.build();
+            os.add_thread(sequential_fill(32));
+            os.run();
+            let tid = os.add_thread(Box::new(
+                Pumped::new(RandWriteGen::new(Region::whole(), ios), qd.max(1) as u64, 0xE18)
+                    .named("overwriter"),
+            ));
+            let base = snapshot(&os);
+            let events_before = os.events_simulated();
+            let started = std::time::Instant::now();
+            os.run();
+            let wall_s = started.elapsed().as_secs_f64();
+            let events = os.events_simulated() - events_before;
+            let m = measure_since(&os, &[tid], &base);
+            t.rows.push(
+                Row::new(format!("{gname}/qd{qd}"))
+                    .push("wall_ms", wall_s * 1000.0)
+                    .push("events", events as f64)
+                    .push(
+                        "events_per_sec",
+                        if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 },
+                    )
+                    .push("iops", m.iops)
+                    .push("WA", m.write_amplification),
+            );
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // G1 — the game
 
 /// The demo game: grid-search scheduling-related knobs and score each
@@ -887,13 +969,13 @@ mod tests {
     #[test]
     fn suite_is_complete_and_indexed() {
         let s = all();
-        assert_eq!(s.len(), 18);
+        assert_eq!(s.len(), 19);
         let ids: Vec<&str> = s.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
-                "E13", "E14", "E15", "E16", "E17", "G1"
+                "E13", "E14", "E15", "E16", "E17", "E18", "G1"
             ]
         );
         assert!(by_id("e3").is_some());
@@ -980,6 +1062,24 @@ mod tests {
         let slc = t.rows[0].get("iops").unwrap();
         let mlc = t.rows[1].get("iops").unwrap();
         assert!(slc > mlc, "SLC {slc} should beat MLC {mlc}");
+    }
+
+    #[test]
+    fn smoke_e18_reports_simulator_throughput() {
+        let t = e18_sim_throughput(Scale::Smoke);
+        // Smoke thins to first/last of each axis: 2 geometries × 2 qds.
+        assert_eq!(t.rows.len(), 4);
+        for r in &t.rows {
+            assert!(r.get("events").unwrap() > 0.0, "no events simulated: {t}", t = t.render());
+            assert!(r.get("events_per_sec").unwrap() > 0.0);
+            assert!(r.get("WA").unwrap() >= 1.0, "overwrite phase must hit flash");
+        }
+        // The GC-heavy phase must actually trigger GC at the small geometry.
+        assert!(
+            t.rows[0].get("WA").unwrap() > 1.0,
+            "steady-state overwrite should amplify writes: {t}",
+            t = t.render()
+        );
     }
 
     #[test]

@@ -187,6 +187,12 @@ impl Os {
         &self.ctrl
     }
 
+    /// Simulation events processed so far: controller agenda events plus
+    /// OS timer firings. The numerator of `events_per_sec`.
+    pub fn events_simulated(&self) -> u64 {
+        self.ctrl.events_processed() + self.timers.popped()
+    }
+
     /// Statistics of one thread.
     pub fn thread_stats(&self, t: ThreadId) -> &ThreadStats {
         &self.threads[t].stats
