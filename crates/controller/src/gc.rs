@@ -16,6 +16,21 @@ use crate::types::IoSource;
 /// Pick a GC victim on `lun` (linear index), or `None` if no block is
 /// reclaimable. `skip` excludes free blocks, active allocation targets and
 /// blocks already being collected.
+///
+/// Selection runs against the flash array's incremental victim index
+/// (live-page bucket lists maintained from program/invalidate/erase
+/// deltas), never a full device scan, and allocates nothing:
+///
+/// * `Greedy` pops the lowest non-empty bucket — O(bucket) instead of
+///   O(blocks-per-LUN);
+/// * `Random` samples uniformly among indexed blocks (two index passes in
+///   address order, preserving the pre-index candidate numbering so
+///   fixed-seed victim sequences are unchanged);
+/// * `CostBenefit` scores each indexed candidate exactly once.
+///
+/// Tie-breaks are identical to the historical full-scan implementation:
+/// Greedy minimizes `(live, address)`, CostBenefit maximizes score with
+/// ties to the smallest address.
 pub fn pick_victim(
     array: &FlashArray,
     lun: u32,
@@ -28,9 +43,10 @@ pub fn pick_victim(
     let channel = lun / g.luns_per_channel;
     let lun_in_ch = lun % g.luns_per_channel;
     let ppb = g.pages_per_block;
-
-    let candidates: Vec<(BlockAddr, u32)> = (0..g.planes_per_lun)
-        .flat_map(|plane| {
+    // Candidates in the historical scan order: (plane, block) ascending,
+    // i.e. address order within the LUN.
+    let lun_blocks = move || {
+        (0..g.planes_per_lun).flat_map(move |plane| {
             (0..g.blocks_per_plane).map(move |block| BlockAddr {
                 channel,
                 lun: lun_in_ch,
@@ -38,54 +54,58 @@ pub fn pick_victim(
                 block,
             })
         })
-        .filter(|&b| !skip(b))
-        .filter_map(|b| {
-            let info = array.block_info(b);
-            // Reclaimable: not worn out, some pages written, and
-            // reclaiming gains space (live pages below a full block).
-            if !info.bad && info.write_ptr > 0 && info.live_pages < ppb {
-                Some((b, info.live_pages))
-            } else {
-                None
-            }
-        })
-        .collect();
-    if candidates.is_empty() {
-        return None;
-    }
+    };
 
     match policy {
-        VictimPolicy::Greedy => candidates
-            .into_iter()
-            .min_by_key(|&(b, live)| (live, b))
-            .map(|(b, _)| b),
-        VictimPolicy::Random => {
-            let i = rng.gen_range(candidates.len() as u64) as usize;
-            Some(candidates[i].0)
+        VictimPolicy::Greedy => {
+            // Lowest non-empty bucket wins; ties break to the smallest
+            // address. Buckets are unordered, so scan the winning bucket
+            // for its minimum — still O(bucket), not O(LUN).
+            for live in 0..ppb {
+                let best = array
+                    .blocks_with_live(lun, live)
+                    .filter(|&b| !skip(b))
+                    .min();
+                if best.is_some() {
+                    return best;
+                }
+            }
+            None
         }
-        VictimPolicy::CostBenefit => candidates
-            .into_iter()
-            // Score each candidate exactly once (age and utilization are
-            // fixed for the duration of the pick), instead of recomputing
-            // both sides inside every comparator call.
-            .map(|(b, live)| {
-                let u = live as f64 / ppb as f64;
-                let age =
-                    now.saturating_since(array.block_info(b).last_erase).as_nanos() as f64;
+        VictimPolicy::Random => {
+            let count = lun_blocks()
+                .filter(|&b| array.is_reclaimable(b) && !skip(b))
+                .count();
+            if count == 0 {
+                return None;
+            }
+            let i = rng.gen_range(count as u64) as usize;
+            lun_blocks()
+                .filter(|&b| array.is_reclaimable(b) && !skip(b))
+                .nth(i)
+        }
+        VictimPolicy::CostBenefit => {
+            let mut best: Option<(BlockAddr, f64)> = None;
+            for b in lun_blocks() {
+                if !array.is_reclaimable(b) || skip(b) {
+                    continue;
+                }
+                let info = array.block_info(b);
+                let u = info.live_pages as f64 / ppb as f64;
+                let age = now.saturating_since(info.last_erase).as_nanos() as f64;
                 let score = if u == 0.0 {
                     f64::INFINITY
                 } else {
                     age * (1.0 - u) / (2.0 * u)
                 };
-                (b, score)
-            })
-            .max_by(|&(ba, sa), &(bb, sb)| {
-                sa.partial_cmp(&sb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    // Deterministic tie-break on address.
-                    .then_with(|| bb.cmp(&ba))
-            })
-            .map(|(b, _)| b),
+                // Strictly-greater keeps the first (smallest-address)
+                // candidate among equal scores.
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((b, score));
+                }
+            }
+            best.map(|(b, _)| b)
+        }
     }
 }
 

@@ -106,6 +106,104 @@ pub struct IssueOutcome {
     pub lun_free_at: SimTime,
 }
 
+/// Sentinel for "no block" in the victim index's intrusive lists.
+const NO_BLOCK: u32 = u32::MAX;
+
+/// Intrusive list node of the victim index: one per physical block.
+/// `bucket == NO_BLOCK` means the block is not indexed (never programmed
+/// since its last erase, or masked bad).
+#[derive(Debug, Clone, Copy)]
+struct VictimNode {
+    prev: u32,
+    next: u32,
+    bucket: u32,
+}
+
+/// Incremental per-LUN GC candidate index: for every LUN, one intrusive
+/// doubly-linked list of blocks per live-page count (`0..=pages_per_block`).
+///
+/// Maintained from the program / invalidate / erase deltas the array
+/// already applies, so victim selection never rescans the device: Greedy
+/// pops the lowest non-empty bucket, Random and CostBenefit iterate only
+/// indexed (reclaimable) blocks. Moves between buckets are O(1).
+#[derive(Debug)]
+struct VictimIndex {
+    /// Bucket heads, `lun * (ppb + 1) + live`.
+    heads: Vec<u32>,
+    nodes: Vec<VictimNode>,
+    buckets_per_lun: u32,
+    blocks_per_lun: u32,
+}
+
+impl VictimIndex {
+    fn new(g: &Geometry) -> Self {
+        let buckets_per_lun = g.pages_per_block + 1;
+        VictimIndex {
+            heads: vec![NO_BLOCK; (g.total_luns() * buckets_per_lun) as usize],
+            nodes: vec![
+                VictimNode {
+                    prev: NO_BLOCK,
+                    next: NO_BLOCK,
+                    bucket: NO_BLOCK,
+                };
+                g.total_blocks() as usize
+            ],
+            buckets_per_lun,
+            blocks_per_lun: g.blocks_per_lun(),
+        }
+    }
+
+    fn bucket_slot(&self, block: u32, live: u32) -> u32 {
+        (block / self.blocks_per_lun) * self.buckets_per_lun + live
+    }
+
+    fn contains(&self, block: u32) -> bool {
+        self.nodes[block as usize].bucket != NO_BLOCK
+    }
+
+    fn link(&mut self, block: u32, live: u32) {
+        debug_assert!(!self.contains(block), "double-link of block {block}");
+        let bucket = self.bucket_slot(block, live);
+        let head = self.heads[bucket as usize];
+        self.nodes[block as usize] = VictimNode {
+            prev: NO_BLOCK,
+            next: head,
+            bucket,
+        };
+        if head != NO_BLOCK {
+            self.nodes[head as usize].prev = block;
+        }
+        self.heads[bucket as usize] = block;
+    }
+
+    fn unlink(&mut self, block: u32) {
+        let node = self.nodes[block as usize];
+        debug_assert!(node.bucket != NO_BLOCK, "unlink of unindexed block {block}");
+        if node.prev == NO_BLOCK {
+            self.heads[node.bucket as usize] = node.next;
+        } else {
+            self.nodes[node.prev as usize].next = node.next;
+        }
+        if node.next != NO_BLOCK {
+            self.nodes[node.next as usize].prev = node.prev;
+        }
+        self.nodes[block as usize] = VictimNode {
+            prev: NO_BLOCK,
+            next: NO_BLOCK,
+            bucket: NO_BLOCK,
+        };
+    }
+
+    fn move_to(&mut self, block: u32, live: u32) {
+        self.unlink(block);
+        self.link(block, live);
+    }
+
+    fn bucket_head(&self, lun: u32, live: u32) -> u32 {
+        self.heads[(lun * self.buckets_per_lun + live) as usize]
+    }
+}
+
 /// The simulated flash memory array.
 pub struct FlashArray {
     geometry: Geometry,
@@ -115,6 +213,7 @@ pub struct FlashArray {
     luns: Vec<LunState>,
     page_state: Vec<PageState>,
     blocks: Vec<BlockInfo>,
+    victim_index: VictimIndex,
     counters: OpCounters,
 }
 
@@ -139,6 +238,7 @@ impl FlashArray {
             ],
             page_state: vec![PageState::Free; geometry.total_pages() as usize],
             blocks: vec![BlockInfo::new(); geometry.total_blocks() as usize],
+            victim_index: VictimIndex::new(&geometry),
             counters: OpCounters::default(),
         }
     }
@@ -442,10 +542,21 @@ impl FlashArray {
         let bi = self.geometry.block_index(addr.block_addr()) as usize;
         self.blocks[bi].write_ptr += 1;
         self.blocks[bi].live_pages += 1;
+        let live = self.blocks[bi].live_pages;
+        if self.blocks[bi].write_ptr == 1 {
+            // First program since erase: the block enters the index.
+            self.victim_index.link(bi as u32, live);
+        } else {
+            self.victim_index.move_to(bi as u32, live);
+        }
     }
 
     fn reset_block(&mut self, block: BlockAddr, when: SimTime) {
         let bi = self.geometry.block_index(block) as usize;
+        // Erased (or never-programmed) blocks hold nothing reclaimable.
+        if self.victim_index.contains(bi as u32) {
+            self.victim_index.unlink(bi as u32);
+        }
         let endurance = self.timing.endurance;
         let info = &mut self.blocks[bi];
         info.erase_count += 1;
@@ -490,6 +601,36 @@ impl FlashArray {
         let bi = self.geometry.block_index(addr.block_addr()) as usize;
         debug_assert!(self.blocks[bi].live_pages > 0);
         self.blocks[bi].live_pages -= 1;
+        self.victim_index
+            .move_to(bi as u32, self.blocks[bi].live_pages);
+    }
+
+    /// Blocks on linear LUN `lun` currently holding exactly `live` valid
+    /// pages, drawn from the incremental victim index. Only blocks that
+    /// have been programmed since their last erase (and are not masked
+    /// bad) are indexed. Iteration order within a bucket is unspecified
+    /// but deterministic.
+    pub fn blocks_with_live(&self, lun: u32, live: u32) -> impl Iterator<Item = BlockAddr> + '_ {
+        debug_assert!(lun < self.geometry.total_luns());
+        debug_assert!(live <= self.geometry.pages_per_block);
+        let mut cur = self.victim_index.bucket_head(lun, live);
+        std::iter::from_fn(move || {
+            if cur == NO_BLOCK {
+                return None;
+            }
+            let b = self.geometry.block_at(cur as u64);
+            cur = self.victim_index.nodes[cur as usize].next;
+            Some(b)
+        })
+    }
+
+    /// Whether reclaiming `block` could gain space right now: programmed
+    /// since its last erase, not masked bad, and not fully valid. O(1)
+    /// via the victim index plus one live-page check.
+    pub fn is_reclaimable(&self, block: BlockAddr) -> bool {
+        let bi = self.geometry.block_index(block);
+        self.victim_index.contains(bi as u32)
+            && self.blocks[bi as usize].live_pages < self.geometry.pages_per_block
     }
 
     /// Valid pages in a block (the pages GC must migrate).
