@@ -27,6 +27,7 @@ use crate::ftl::{
     TranslationWriteback,
 };
 use crate::gc::{pick_victim, FoldPlan, FoldState, MergeJob, ReclaimJob};
+use crate::pend::{PendingSet, QueueKey, NO_SLOT};
 use crate::sched::{class_index, class_table, ClassTable};
 use crate::temperature::MultiBloomDetector;
 use crate::types::{
@@ -37,6 +38,11 @@ use crate::wear::pick_wl_victim;
 /// Sort key the scheduler sees per issuable op: class, open-interface
 /// priority tag, enqueue time, arrival sequence.
 type SchedKey = (OpClass, Option<u8>, SimTime, u64);
+
+/// Per-scheduling-round memo of write-issuability results, keyed by the
+/// op-independent `(bound LUN, stream)` pair: every unbound write of one
+/// stream shares one probe per round instead of re-scanning all LUNs.
+type WriteMemo = Vec<((Option<u32>, Stream), bool)>;
 
 /// What a physical page holds (the controller's reverse map).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,7 +235,14 @@ pub struct Controller {
     rng: SimRng,
     detector: MultiBloomDetector,
     events: EventQueue<CtrlEvent>,
-    pending: Vec<PendingOp>,
+    pending: PendingSet<PendingOp>,
+    /// Reusable scratch for one scheduling round's head candidates
+    /// (`(key, slot)`), keys-only view, write memo and hybrid-write scan —
+    /// kept on the controller so steady-state dispatch never allocates.
+    sched_cand: Vec<(SchedKey, u32)>,
+    sched_keys: Vec<SchedKey>,
+    write_memo: WriteMemo,
+    hybrid_scratch: Vec<(u64, Lpn)>,
     op_seq: u64,
     app: HashMap<RequestId, AppIo>,
     jobs: Vec<Option<ReclaimJob>>,
@@ -324,7 +337,11 @@ impl Controller {
             cfg,
             mem,
             events: EventQueue::new(),
-            pending: Vec::new(),
+            pending: PendingSet::new(),
+            sched_cand: Vec::new(),
+            sched_keys: Vec::new(),
+            write_memo: Vec::new(),
+            hybrid_scratch: Vec::new(),
             op_seq: 0,
             app: HashMap::new(),
             jobs: Vec::new(),
@@ -689,13 +706,20 @@ impl Controller {
         if let Some(t) = &mut self.tracer {
             t.record(now, seq, TraceKind::Enqueue { queue: class.name() });
         }
-        self.pending.push(PendingOp {
-            seq,
-            class,
-            tag,
-            enqueued_at: now,
-            kind,
-        });
+        let key = match kind {
+            PendKind::Transfer { .. } => QueueKey::Transfer,
+            _ => QueueKey::Class(class, tag),
+        };
+        self.pending.insert(
+            key,
+            PendingOp {
+                seq,
+                class,
+                tag,
+                enqueued_at: now,
+                kind,
+            },
+        );
     }
 
     /// Issue a flash command whose resources the scheduler verified free,
@@ -884,15 +908,16 @@ impl Controller {
                 self.advance_merge(mj, now);
             }
         }
-        let lpns: Vec<Lpn> = self
-            .pending
-            .iter()
-            .filter_map(|op| match op.kind {
-                PendKind::HybridWrite { what } => Some(what.lpn()),
-                _ => None,
-            })
-            .collect();
-        for lpn in lpns {
+        // Scan in arrival order: opening log blocks / sealing streams for
+        // one write changes what later writes need.
+        let mut lpns = std::mem::take(&mut self.hybrid_scratch);
+        lpns.clear();
+        lpns.extend(self.pending.iter().filter_map(|op| match op.kind {
+            PendKind::HybridWrite { what } => Some((op.seq, what.lpn())),
+            _ => None,
+        }));
+        lpns.sort_unstable();
+        for &(_, lpn) in &lpns {
             match self.hybrid_mut().place(lpn) {
                 // Appends issue through the scheduler; stream waiters hold
                 // until the sequential fill catches up (or the quiescence
@@ -952,6 +977,7 @@ impl Controller {
                 }
             }
         }
+        self.hybrid_scratch = lpns;
     }
 
     fn ppb(&self) -> u64 {
@@ -1221,9 +1247,21 @@ impl Controller {
                 .is_some_and(|addr| self.array.can_pipeline(addr, now))
     }
 
-    /// Whether pending op `i` could issue (or be consumed) right now.
-    fn issuable(&self, i: usize, now: SimTime) -> bool {
-        let op = &self.pending[i];
+    /// Whether an unbound (or LUN-bound) write could start right now.
+    fn write_can_issue(&self, lun: Option<u32>, stream: Stream, now: SimTime) -> bool {
+        match lun {
+            Some(l) => self.can_program_on(l, stream, now),
+            None => {
+                let g = self.array.geometry();
+                (0..g.total_luns()).any(|l| self.can_program_on(l, stream, now))
+            }
+        }
+    }
+
+    /// Whether `op` could issue (or be consumed) right now. `memo` caches
+    /// write-issuability per `(LUN, stream)` within one scheduling round
+    /// (the underlying state only changes when an op actually issues).
+    fn op_issuable(&self, op: &PendingOp, now: SimTime, memo: &mut WriteMemo) -> bool {
         match op.kind {
             PendKind::Transfer { addr, .. } => {
                 self.cmd_resources_free(&FlashCommand::TransferOut(addr), now)
@@ -1262,13 +1300,14 @@ impl Controller {
                     }
                 }
             }
-            PendKind::Write { lun, stream, .. } => match lun {
-                Some(l) => self.can_program_on(l, stream, now),
-                None => {
-                    let g = self.array.geometry();
-                    (0..g.total_luns()).any(|l| self.can_program_on(l, stream, now))
+            PendKind::Write { lun, stream, .. } => {
+                if let Some(&(_, ok)) = memo.iter().find(|&&(k, _)| k == (lun, stream)) {
+                    return ok;
                 }
-            },
+                let ok = self.write_can_issue(lun, stream, now);
+                memo.push(((lun, stream), ok));
+                ok
+            }
             PendKind::GcMove { from, .. } => {
                 if self.reverse[self.array.geometry().page_index(from) as usize].is_none() {
                     return true; // superseded: consumed without flash IO
@@ -1324,43 +1363,74 @@ impl Controller {
                 }
             }
         }
+        // Each round compares at most one candidate per live queue (the
+        // first issuable op dominates the rest of its FIFO under every
+        // policy), so per-issue cost tracks the number of live (class,
+        // tag) queues — not the number of pending ops — and the reused
+        // scratch buffers keep the loop allocation-free.
+        let mut memo = std::mem::take(&mut self.write_memo);
         loop {
+            memo.clear();
             // Hardware necessity: pending transfers hold LUN registers
-            // hostage, so they always go first.
-            if let Some(i) = (0..self.pending.len()).find(|&i| {
-                matches!(self.pending[i].kind, PendKind::Transfer { .. }) && self.issuable(i, now)
-            }) {
-                self.issue(i, now);
+            // hostage, so they always go first (from their own queue —
+            // no scan over non-transfer ops).
+            let t = self.first_issuable(PendingSet::<PendingOp>::TRANSFER_QUEUE, now, &mut memo);
+            if t != NO_SLOT {
+                self.issue(t, now);
                 continue;
             }
-            let candidates: Vec<(usize, SchedKey)> = (0..self
-                .pending
-                .len())
-                .filter(|&i| self.issuable(i, now))
-                .map(|i| {
-                    let op = &self.pending[i];
-                    (i, (op.class, op.tag, op.enqueued_at, op.seq))
-                })
-                .collect();
-            if candidates.is_empty() {
+            let mut cand = std::mem::take(&mut self.sched_cand);
+            cand.clear();
+            for q in 1..self.pending.queue_count() {
+                let slot = self.first_issuable(q, now, &mut memo);
+                if slot != NO_SLOT {
+                    let op = self.pending.get(slot);
+                    cand.push(((op.class, op.tag, op.enqueued_at, op.seq), slot));
+                }
+            }
+            // Policies tie-break by seq: presenting heads in seq order
+            // keeps Fair's first-encountered class resolution (and any
+            // future order-sensitive policy) deterministic.
+            cand.sort_unstable_by_key(|&((_, _, _, seq), _)| seq);
+            if cand.is_empty() {
+                self.sched_cand = cand;
                 if self.unwedge_sequential_stream(now) {
                     continue;
                 }
                 break;
             }
-            let keys: Vec<_> = candidates.iter().map(|&(_, k)| k).collect();
+            let mut keys = std::mem::take(&mut self.sched_keys);
+            keys.clear();
+            keys.extend(cand.iter().map(|&(k, _)| k));
             let chosen = self
                 .cfg
                 .sched
                 .select(&keys, &self.serviced)
                 .expect("non-empty candidates");
-            self.issue(candidates[chosen].0, now);
+            let slot = cand[chosen].1;
+            self.sched_keys = keys;
+            self.sched_cand = cand;
+            self.issue(slot, now);
         }
+        self.write_memo = memo;
     }
 
-    /// Issue (or consume) pending op `i`. Caller guarantees `issuable`.
-    fn issue(&mut self, i: usize, now: SimTime) {
-        let op = self.pending.swap_remove(i);
+    /// First op in `queue` that could issue right now, or `NO_SLOT`.
+    fn first_issuable(&self, queue: u32, now: SimTime, memo: &mut WriteMemo) -> u32 {
+        let mut cur = self.pending.head(queue);
+        while cur != NO_SLOT {
+            if self.op_issuable(self.pending.get(cur), now, memo) {
+                return cur;
+            }
+            cur = self.pending.next(cur);
+        }
+        NO_SLOT
+    }
+
+    /// Issue (or consume) the pending op in `slot`. Caller guarantees
+    /// issuability.
+    fn issue(&mut self, slot: u32, now: SimTime) {
+        let op = self.pending.remove(slot);
         self.serviced[class_index(op.class)] += 1;
         self.stats.wait_us[class_index(op.class)]
             .record(now.saturating_since(op.enqueued_at).as_micros_f64());

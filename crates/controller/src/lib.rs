@@ -24,6 +24,7 @@ pub mod config;
 pub mod controller;
 pub mod ftl;
 pub mod gc;
+mod pend;
 pub mod sched;
 pub mod temperature;
 pub mod types;

@@ -1,0 +1,267 @@
+//! Pending-operation storage for the controller scheduler: a slab with
+//! intrusive per-(class, tag) FIFO queues.
+//!
+//! The dispatch hot path must not depend on queue depth: instead of one
+//! `Vec` that every scheduling pass rescans, pending ops live in slab
+//! slots threaded onto doubly-linked FIFO queues — one per distinct
+//! `(OpClass, priority-tag)` pair, plus a dedicated queue for register
+//! transfers (the hardware-necessity fast path). Within a queue both the
+//! sequence number and the enqueue time are monotonic, so for every
+//! scheduling policy the queue's first *issuable* op dominates the rest
+//! of the queue; a policy therefore only ever compares queue heads
+//! (O(live queues), typically ≤ `OpClass::COUNT`) instead of every
+//! pending op. Insertion, removal and queue moves are O(1) and never
+//! allocate after warm-up (slots and queues are recycled).
+//!
+//! Determinism: queues are discovered in first-use order and slots are
+//! recycled LIFO, but selection never depends on either — candidates are
+//! compared by `(class, tag, enqueue-time, seq)` keys, and callers sort
+//! head candidates by `seq` before handing them to a policy.
+
+use std::collections::HashMap;
+
+use crate::types::OpClass;
+
+/// Sentinel slot / queue id.
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
+/// Which FIFO a pending op belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum QueueKey {
+    /// Register transfers: issued before anything else whenever their
+    /// channel frees, since a LUN holding data blocks all other commands.
+    Transfer,
+    /// Everything else, segregated by scheduling class and priority tag
+    /// so FIFO order within a queue equals policy-preference order.
+    Class(OpClass, Option<u8>),
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    item: Option<T>,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug)]
+struct Queue {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+/// Slab + intrusive FIFO queues of pending items.
+#[derive(Debug)]
+pub(crate) struct PendingSet<T> {
+    slots: Vec<Slot<T>>,
+    /// Owning queue per slot (`NO_SLOT` for freed slots).
+    slot_queue: Vec<u32>,
+    free: Vec<u32>,
+    queues: Vec<Queue>,
+    by_key: HashMap<QueueKey, u32>,
+    live: usize,
+}
+
+impl<T> PendingSet<T> {
+    /// Queue id of the transfer fast-path queue (always present).
+    pub(crate) const TRANSFER_QUEUE: u32 = 0;
+
+    pub(crate) fn new() -> Self {
+        let mut by_key = HashMap::new();
+        by_key.insert(QueueKey::Transfer, Self::TRANSFER_QUEUE);
+        PendingSet {
+            slots: Vec::new(),
+            slot_queue: Vec::new(),
+            free: Vec::new(),
+            queues: vec![Queue {
+                head: NO_SLOT,
+                tail: NO_SLOT,
+                len: 0,
+            }],
+            by_key,
+            live: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of queues ever created (ids `0..queue_count`); emptied
+    /// queues are kept for reuse, so ids are stable for a set's lifetime.
+    pub(crate) fn queue_count(&self) -> u32 {
+        self.queues.len() as u32
+    }
+
+    /// Head slot of a queue (`NO_SLOT` when empty).
+    pub(crate) fn head(&self, queue: u32) -> u32 {
+        self.queues[queue as usize].head
+    }
+
+    /// Successor of `slot` within its queue (`NO_SLOT` at the tail).
+    pub(crate) fn next(&self, slot: u32) -> u32 {
+        self.slots[slot as usize].next
+    }
+
+    /// The item in `slot`. Panics on a freed slot.
+    pub(crate) fn get(&self, slot: u32) -> &T {
+        self.slots[slot as usize]
+            .item
+            .as_ref()
+            .expect("read of freed pending slot")
+    }
+
+    /// Append `item` to the FIFO for `key`; returns its slot id.
+    pub(crate) fn insert(&mut self, key: QueueKey, item: T) -> u32 {
+        let q = match self.by_key.get(&key) {
+            Some(&q) => q,
+            None => {
+                let q = self.queues.len() as u32;
+                self.queues.push(Queue {
+                    head: NO_SLOT,
+                    tail: NO_SLOT,
+                    len: 0,
+                });
+                self.by_key.insert(key, q);
+                q
+            }
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].item = Some(item);
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    item: Some(item),
+                    prev: NO_SLOT,
+                    next: NO_SLOT,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let queue = &mut self.queues[q as usize];
+        let tail = queue.tail;
+        self.slots[slot as usize].prev = tail;
+        self.slots[slot as usize].next = NO_SLOT;
+        if tail == NO_SLOT {
+            queue.head = slot;
+        } else {
+            self.slots[tail as usize].next = slot;
+        }
+        queue.tail = slot;
+        queue.len += 1;
+        self.slot_queue.resize(self.slots.len(), NO_SLOT);
+        self.slot_queue[slot as usize] = q;
+        self.live += 1;
+        slot
+    }
+
+    /// Detach `slot` from its queue and free it, returning the item.
+    pub(crate) fn remove(&mut self, slot: u32) -> T {
+        let q = self.slot_queue[slot as usize];
+        debug_assert_ne!(q, NO_SLOT, "remove of freed pending slot");
+        let (prev, next) = {
+            let s = &self.slots[slot as usize];
+            (s.prev, s.next)
+        };
+        let queue = &mut self.queues[q as usize];
+        if prev == NO_SLOT {
+            queue.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NO_SLOT {
+            queue.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+        queue.len -= 1;
+        self.slot_queue[slot as usize] = NO_SLOT;
+        self.free.push(slot);
+        self.live -= 1;
+        self.slots[slot as usize]
+            .item
+            .take()
+            .expect("double-remove of pending slot")
+    }
+
+    /// Iterate live items in slab order (NOT scheduling order). For
+    /// maintenance passes that inspect every pending op.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(|s| s.item.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(set: &mut PendingSet<u64>, queue: u32) -> Vec<u64> {
+        let mut out = Vec::new();
+        loop {
+            let head = set.head(queue);
+            if head == NO_SLOT {
+                return out;
+            }
+            out.push(set.remove(head));
+        }
+    }
+
+    #[test]
+    fn queues_are_fifo_and_isolated() {
+        let mut set = PendingSet::new();
+        let ka = QueueKey::Class(OpClass::AppRead, None);
+        let kb = QueueKey::Class(OpClass::AppWrite, Some(1));
+        for i in 0..4 {
+            set.insert(ka, 10 + i);
+            set.insert(kb, 20 + i);
+        }
+        assert_eq!(set.len(), 8);
+        assert_eq!(set.queue_count(), 3); // transfer + two class queues
+        let qa = 1;
+        let qb = 2;
+        assert_eq!(drain(&mut set, qa), vec![10, 11, 12, 13]);
+        assert_eq!(drain(&mut set, qb), vec![20, 21, 22, 23]);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn removal_from_middle_keeps_links() {
+        let mut set = PendingSet::new();
+        let k = QueueKey::Transfer;
+        let slots: Vec<u32> = (0..5).map(|i| set.insert(k, i)).collect();
+        assert_eq!(set.remove(slots[2]), 2);
+        assert_eq!(set.remove(slots[0]), 0);
+        assert_eq!(set.remove(slots[4]), 4);
+        assert_eq!(drain(&mut set, PendingSet::<u64>::TRANSFER_QUEUE), vec![1, 3]);
+    }
+
+    #[test]
+    fn slots_and_queues_are_recycled() {
+        let mut set = PendingSet::new();
+        let k = QueueKey::Class(OpClass::Erase, None);
+        let a = set.insert(k, 1);
+        set.remove(a);
+        let b = set.insert(k, 2);
+        assert_eq!(a, b, "freed slot should be reused");
+        assert_eq!(set.queue_count(), 2, "queue id should be stable");
+        assert_eq!(*set.get(b), 2);
+        assert_eq!(set.next(b), NO_SLOT);
+    }
+
+    #[test]
+    fn iter_sees_exactly_the_live_items() {
+        let mut set = PendingSet::new();
+        let k = QueueKey::Class(OpClass::GcRead, None);
+        let s0 = set.insert(k, 7);
+        set.insert(QueueKey::Transfer, 8);
+        set.remove(s0);
+        let live: Vec<u64> = set.iter().copied().collect();
+        assert_eq!(live, vec![8]);
+    }
+}

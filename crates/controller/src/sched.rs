@@ -123,6 +123,16 @@ impl SchedPolicy {
     /// issuable op; `serviced` counts issue slots already granted per class
     /// (state for `Fair`). Returns the index *into `candidates`* of the op
     /// to issue, or `None` if the list is empty.
+    ///
+    /// The controller presents one candidate per pending queue — the first
+    /// issuable op of each `(class, tag)` FIFO, in ascending-`seq` order.
+    /// That is lossless for every policy here: within such a FIFO both
+    /// `seq` and `enqueued_at` are monotonic, so the first issuable op
+    /// dominates the rest of its queue under each ranking below (for EDF,
+    /// per-class deadlines are FIFO-ordered within a class). `Fair`
+    /// additionally relies on the caller's seq-ordering: among classes
+    /// with equal normalized service it keeps the first encountered, i.e.
+    /// the one whose head arrived earliest.
     pub fn select(
         &self,
         candidates: &[(OpClass, Option<u8>, SimTime, u64)],

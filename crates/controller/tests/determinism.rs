@@ -1,11 +1,16 @@
 //! Determinism regression: a fixed-seed mixed workload must produce
 //! byte-identical completions, counters and trace output across runs.
 //! Event-ordering bugs — easy to introduce with multi-step merge machinery
-//! — fail loudly here instead of as flaky experiment numbers.
+//! or with the slab/ready-queue dispatch structures — fail loudly here
+//! instead of as flaky experiment numbers.
+//!
+//! Coverage is the cross product that exercises every ordering decision:
+//! all three mapping schemes and all five `SchedPolicy` variants (the
+//! workload carries priority tags so `TagPriority` actually discriminates).
 
 use eagletree_controller::{
     Completion, Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RequestKind,
-    SsdRequest, WlConfig,
+    SchedPolicy, SsdRequest, WlConfig,
 };
 use eagletree_core::{SimRng, SimTime};
 use eagletree_flash::{Geometry, TimingSpec};
@@ -27,7 +32,7 @@ impl Driver {
         }
     }
 
-    fn submit(&mut self, kind: RequestKind, lpn: u64) {
+    fn submit(&mut self, kind: RequestKind, lpn: u64, tags: IoTags) {
         let id = self.next_id;
         self.next_id += 1;
         self.c.submit(
@@ -35,7 +40,7 @@ impl Driver {
                 id,
                 kind,
                 lpn,
-                tags: IoTags::none(),
+                tags,
             },
             self.now,
         );
@@ -52,13 +57,14 @@ impl Driver {
     }
 }
 
-/// Run a fixed-seed mixed write/trim/read workload and render everything
-/// observable into one string: completion stream, controller counters,
-/// per-class issue counts, merge counters, array counters and the visual
-/// trace.
-fn run_fingerprint(mapping: MappingKind) -> String {
+/// Run a fixed-seed mixed write/trim/read workload (every fifth request
+/// priority-tagged) and render everything observable into one string:
+/// completion stream, controller counters, per-class issue counts, merge
+/// counters, array counters and the visual trace.
+fn run_fingerprint(mapping: MappingKind, sched: SchedPolicy) -> String {
     let cfg = ControllerConfig {
         mapping,
+        sched,
         wl: WlConfig {
             check_every_erases: 16,
             young_delta: 4,
@@ -71,19 +77,27 @@ fn run_fingerprint(mapping: MappingKind) -> String {
     let mut d = Driver::new(Controller::new(Geometry::tiny(), TimingSpec::slc(), cfg).unwrap());
     let logical = d.c.logical_pages();
     let mut rng = SimRng::new(0xD17E_2B11);
-    let ops: Vec<(RequestKind, u64)> = (0..2000)
+    let ops: Vec<(RequestKind, u64, IoTags)> = (0..2000)
         .map(|i| {
             let lpn = rng.gen_range(logical);
+            let tags = if i % 5 == 0 {
+                IoTags::none().with_priority((i % 3) as u8)
+            } else {
+                IoTags::none()
+            };
             match i % 10 {
-                0..=5 => (RequestKind::Write, lpn),
-                6 => (RequestKind::Trim, lpn),
-                _ => (RequestKind::Read, lpn),
+                0..=5 => (RequestKind::Write, lpn, tags),
+                6 => (RequestKind::Trim, lpn, tags),
+                _ => (RequestKind::Read, lpn, tags),
             }
         })
         .collect();
-    for chunk in ops.chunks(24) {
-        for &(kind, lpn) in chunk {
-            d.submit(kind, lpn);
+    // Burst size trades run time against queue contention; 96 keeps every
+    // scheduling policy's decisions observable (deep enough queues that
+    // rankings disagree) while the whole suite stays fast.
+    for chunk in ops.chunks(96) {
+        for &(kind, lpn, tags) in chunk {
+            d.submit(kind, lpn, tags);
         }
         d.run();
     }
@@ -102,14 +116,24 @@ fn run_fingerprint(mapping: MappingKind) -> String {
     out
 }
 
+fn all_policies() -> Vec<(&'static str, SchedPolicy)> {
+    vec![
+        ("fifo", SchedPolicy::Fifo),
+        ("class_priority", SchedPolicy::reads_first()),
+        ("edf", SchedPolicy::edf_default()),
+        ("fair", SchedPolicy::fair_equal()),
+        ("tag_priority", SchedPolicy::TagPriority),
+    ]
+}
+
 #[test]
 fn hybrid_runs_are_byte_identical() {
     let mapping = MappingKind::Hybrid {
         log_blocks: 3,
         merge: MergePolicy::Fifo,
     };
-    let a = run_fingerprint(mapping);
-    let b = run_fingerprint(mapping);
+    let a = run_fingerprint(mapping, SchedPolicy::Fifo);
+    let b = run_fingerprint(mapping, SchedPolicy::Fifo);
     assert!(a == b, "hybrid run fingerprints diverged");
     assert!(a.contains("merge"), "fingerprint should include counters");
 }
@@ -124,8 +148,51 @@ fn all_schemes_run_deterministically() {
             merge: MergePolicy::MinValid,
         },
     ] {
-        let a = run_fingerprint(mapping);
-        let b = run_fingerprint(mapping);
+        let a = run_fingerprint(mapping, SchedPolicy::Fifo);
+        let b = run_fingerprint(mapping, SchedPolicy::Fifo);
         assert!(a == b, "{mapping:?} fingerprints diverged");
     }
+}
+
+#[test]
+fn all_sched_policies_run_deterministically() {
+    // Every policy, against the mapping with the most ordering hazards
+    // (hybrid: merges, fillers, erases compete with app IO) and the page
+    // map (GC + WL). A silent reorder in the ready-queue dispatch shows
+    // up as a fingerprint mismatch between repeated runs.
+    for mapping in [
+        MappingKind::PageMap,
+        MappingKind::Hybrid {
+            log_blocks: 3,
+            merge: MergePolicy::Fifo,
+        },
+    ] {
+        for (name, policy) in all_policies() {
+            let a = run_fingerprint(mapping, policy.clone());
+            let b = run_fingerprint(mapping, policy.clone());
+            assert!(a == b, "{mapping:?}/{name} fingerprints diverged");
+        }
+    }
+}
+
+#[test]
+fn sched_policies_actually_differ() {
+    // Sanity for the test itself: if every policy produced the same
+    // fingerprint the cross-product above would be vacuous (e.g. tags
+    // stripped, or ready-queues collapsing policy distinctions).
+    let prints: Vec<String> = all_policies()
+        .into_iter()
+        .map(|(_, p)| run_fingerprint(MappingKind::PageMap, p))
+        .collect();
+    let distinct: std::collections::HashSet<&String> = prints.iter().collect();
+    // On this mix reads are the minority class, so reads-first,
+    // EDF-with-default-deadlines and Fair legitimately converge on the
+    // same schedule; FIFO and TagPriority must still disagree with them
+    // and each other.
+    assert!(
+        distinct.len() >= 3,
+        "expected scheduling policies to produce distinct schedules, got {} distinct of {}",
+        distinct.len(),
+        prints.len()
+    );
 }
