@@ -86,5 +86,116 @@ fn bench_full_sim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_zipf, bench_flash_issue, bench_full_sim);
+/// Dispatch cost vs queue depth: submit random writes in windows of `qd`
+/// and drain. Pre-ready-queues this scaled quadratically in `qd`; now the
+/// per-op cost must be flat.
+fn bench_dispatch_qd(c: &mut Criterion) {
+    for qd in [1u64, 64, 512] {
+        c.bench_function(&format!("dispatch_random_writes_qd{qd}"), |b| {
+            b.iter(|| {
+                let mut ctrl = Controller::new(
+                    Geometry::demo(),
+                    TimingSpec::slc(),
+                    ControllerConfig::default(),
+                )
+                .unwrap();
+                let logical = ctrl.logical_pages();
+                let mut rng = SimRng::new(0xD15B);
+                let mut now = SimTime::ZERO;
+                for id in 0..2048u64 {
+                    ctrl.submit(
+                        SsdRequest {
+                            id,
+                            kind: RequestKind::Write,
+                            lpn: rng.gen_range(logical),
+                            tags: IoTags::none(),
+                        },
+                        now,
+                    );
+                    if id % qd == qd - 1 {
+                        while let Some(t) = ctrl.next_event_time() {
+                            now = t;
+                            ctrl.advance(t);
+                        }
+                    }
+                }
+                while let Some(t) = ctrl.next_event_time() {
+                    now = t;
+                    ctrl.advance(t);
+                }
+                black_box(now)
+            })
+        });
+    }
+}
+
+/// GC-trigger-heavy steady state: fill the device, then overwrite so every
+/// few writes force victim selection. Exercises the incremental victim
+/// index rather than the dispatch loop (qd stays modest).
+fn bench_gc_steady_state(c: &mut Criterion) {
+    c.bench_function("gc_steady_state_overwrite", |b| {
+        b.iter(|| {
+            let mut ctrl = Controller::new(
+                Geometry::tiny(),
+                TimingSpec::slc(),
+                ControllerConfig::default(),
+            )
+            .unwrap();
+            let logical = ctrl.logical_pages();
+            let mut now = SimTime::ZERO;
+            let mut id = 0u64;
+            let drain = |ctrl: &mut Controller, now: &mut SimTime| {
+                while let Some(t) = ctrl.next_event_time() {
+                    *now = t;
+                    ctrl.advance(t);
+                }
+            };
+            // Fill sequentially, then overwrite 2x the logical space.
+            for lpn in 0..logical {
+                ctrl.submit(
+                    SsdRequest {
+                        id,
+                        kind: RequestKind::Write,
+                        lpn,
+                        tags: IoTags::none(),
+                    },
+                    now,
+                );
+                id += 1;
+                if id.is_multiple_of(32) {
+                    drain(&mut ctrl, &mut now);
+                }
+            }
+            drain(&mut ctrl, &mut now);
+            let mut rng = SimRng::new(0x6C57);
+            for _ in 0..logical * 2 {
+                ctrl.submit(
+                    SsdRequest {
+                        id,
+                        kind: RequestKind::Write,
+                        lpn: rng.gen_range(logical),
+                        tags: IoTags::none(),
+                    },
+                    now,
+                );
+                id += 1;
+                if id.is_multiple_of(32) {
+                    drain(&mut ctrl, &mut now);
+                }
+            }
+            drain(&mut ctrl, &mut now);
+            black_box(ctrl.stats().gc_erases)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_zipf,
+    bench_flash_issue,
+    bench_full_sim,
+    bench_dispatch_qd,
+    bench_gc_steady_state
+);
 criterion_main!(benches);

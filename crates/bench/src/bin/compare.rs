@@ -1,0 +1,140 @@
+//! Bench-trajectory comparison: diff two harness `--json` files.
+//!
+//! ```text
+//! compare BASELINE.json CURRENT.json [--max-slowdown FACTOR]
+//! ```
+//!
+//! Prints a per-experiment delta report (wall seconds, speedup, events/sec
+//! where present) for CI to archive next to the raw JSON. With
+//! `--max-slowdown`, exits non-zero if any experiment common to both files
+//! ran slower than `base * FACTOR + 0.5s` — the absolute grace keeps
+//! millisecond-scale smoke experiments from flagging on runner noise.
+
+use std::collections::BTreeMap;
+
+/// Per-experiment numbers scraped from harness JSON.
+#[derive(Debug, Default, Clone)]
+struct Exp {
+    wall_seconds: f64,
+    events_per_sec: Option<f64>,
+}
+
+/// Minimal scraper for the harness's own hand-rolled JSON: the fields of
+/// interest each sit on their own line. Not a general JSON parser — the
+/// offline build container has no serde, and the input is machine-written
+/// by `harness --json`.
+fn scrape(path: &str) -> BTreeMap<String, Exp> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut out = BTreeMap::new();
+    let mut cur: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"id\": \"") {
+            cur = rest.strip_suffix('"').map(str::to_string);
+            if let Some(id) = &cur {
+                out.entry(id.clone()).or_insert_with(Exp::default);
+            }
+        } else if let Some(rest) = line.strip_prefix("\"wall_seconds\": ") {
+            if let (Some(id), Ok(v)) = (&cur, rest.parse::<f64>()) {
+                out.get_mut(id).expect("id seen first").wall_seconds = v;
+            }
+        } else if let Some(rest) = line.strip_prefix("\"events_per_sec\": ") {
+            if let (Some(id), Ok(v)) = (&cur, rest.parse::<f64>()) {
+                out.get_mut(id).expect("id seen first").events_per_sec = Some(v);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut max_slowdown: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-slowdown" => {
+                i += 1;
+                max_slowdown = args.get(i).and_then(|s| s.parse().ok());
+                if max_slowdown.is_none() {
+                    eprintln!("--max-slowdown needs a numeric factor");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: compare BASELINE.json CURRENT.json [--max-slowdown FACTOR]");
+                return;
+            }
+            p => paths.push(p),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: compare BASELINE.json CURRENT.json [--max-slowdown FACTOR]");
+        std::process::exit(2);
+    }
+    let base = scrape(paths[0]);
+    let cur = scrape(paths[1]);
+
+    println!(
+        "{:<6} {:>10} {:>10} {:>9}  {:>14} {:>14}",
+        "exp", "base_s", "cur_s", "speedup", "base_ev/s", "cur_ev/s"
+    );
+    let mut regressions = Vec::new();
+    for (id, c) in &cur {
+        let Some(b) = base.get(id) else {
+            println!(
+                "{:<6} {:>10} {:>10.3} {:>9}  {:>14} {:>14}",
+                id,
+                "-",
+                c.wall_seconds,
+                "new",
+                "-",
+                fmt_opt(c.events_per_sec)
+            );
+            continue;
+        };
+        let speedup = if c.wall_seconds > 0.0 {
+            b.wall_seconds / c.wall_seconds
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<6} {:>10.3} {:>10.3} {:>8.2}x  {:>14} {:>14}",
+            id,
+            b.wall_seconds,
+            c.wall_seconds,
+            speedup,
+            fmt_opt(b.events_per_sec),
+            fmt_opt(c.events_per_sec)
+        );
+        if let Some(factor) = max_slowdown {
+            if c.wall_seconds > b.wall_seconds * factor + 0.5 {
+                regressions.push((id.clone(), b.wall_seconds, c.wall_seconds));
+            }
+        }
+    }
+    for id in base.keys() {
+        if !cur.contains_key(id) {
+            println!("{id:<6} (missing from current run)");
+        }
+    }
+    if !regressions.is_empty() {
+        eprintln!("\nperformance regressions beyond tolerance:");
+        for (id, b, c) in &regressions {
+            eprintln!("  {id}: {b:.3}s -> {c:.3}s");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.0}"),
+        None => "-".to_string(),
+    }
+}

@@ -19,14 +19,17 @@ use crate::types::IoSource;
 ///
 /// Selection runs against the flash array's incremental victim index
 /// (live-page bucket lists maintained from program/invalidate/erase
-/// deltas), never a full device scan, and allocates nothing:
+/// deltas) and allocates nothing:
 ///
-/// * `Greedy` pops the lowest non-empty bucket — O(bucket) instead of
-///   O(blocks-per-LUN);
-/// * `Random` samples uniformly among indexed blocks (two index passes in
-///   address order, preserving the pre-index candidate numbering so
-///   fixed-seed victim sequences are unchanged);
-/// * `CostBenefit` scores each indexed candidate exactly once.
+/// * `Greedy` (the default) pops the lowest non-empty bucket — O(bucket)
+///   instead of O(blocks-per-LUN);
+/// * `Random` still walks the LUN's blocks — twice, in address order, to
+///   preserve the pre-index candidate numbering so fixed-seed victim
+///   sequences are unchanged — but each probe is an O(1) index-membership
+///   test instead of a `BlockInfo` fetch, and no candidate `Vec` is built;
+/// * `CostBenefit` walks the LUN once, scoring each candidate exactly
+///   once (`block_info` fetched only for blocks that pass the index
+///   test).
 ///
 /// Tie-breaks are identical to the historical full-scan implementation:
 /// Greedy minimizes `(live, address)`, CostBenefit maximizes score with

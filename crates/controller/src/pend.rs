@@ -10,8 +10,12 @@
 //! scheduling policy the queue's first *issuable* op dominates the rest
 //! of the queue; a policy therefore only ever compares queue heads
 //! (O(live queues), typically ≤ `OpClass::COUNT`) instead of every
-//! pending op. Insertion, removal and queue moves are O(1) and never
-//! allocate after warm-up (slots and queues are recycled).
+//! pending op. Finding a queue's first issuable op still probes its
+//! blocked prefix — O(position of the first issuable op), degrading to
+//! O(queue length) in rounds where an entire queue is blocked — but the
+//! common head-issuable case is O(1) and probes are cheap (memoized for
+//! unbound writes). Insertion and removal are O(1) and never allocate
+//! after warm-up (slots and queues are recycled).
 //!
 //! Determinism: queues are discovered in first-use order and slots are
 //! recycled LIFO, but selection never depends on either — candidates are
@@ -47,7 +51,6 @@ struct Slot<T> {
 struct Queue {
     head: u32,
     tail: u32,
-    len: u32,
 }
 
 /// Slab + intrusive FIFO queues of pending items.
@@ -76,7 +79,6 @@ impl<T> PendingSet<T> {
             queues: vec![Queue {
                 head: NO_SLOT,
                 tail: NO_SLOT,
-                len: 0,
             }],
             by_key,
             live: 0,
@@ -124,7 +126,6 @@ impl<T> PendingSet<T> {
                 self.queues.push(Queue {
                     head: NO_SLOT,
                     tail: NO_SLOT,
-                    len: 0,
                 });
                 self.by_key.insert(key, q);
                 q
@@ -154,7 +155,6 @@ impl<T> PendingSet<T> {
             self.slots[tail as usize].next = slot;
         }
         queue.tail = slot;
-        queue.len += 1;
         self.slot_queue.resize(self.slots.len(), NO_SLOT);
         self.slot_queue[slot as usize] = q;
         self.live += 1;
@@ -180,7 +180,6 @@ impl<T> PendingSet<T> {
         } else {
             self.slots[next as usize].prev = prev;
         }
-        queue.len -= 1;
         self.slot_queue[slot as usize] = NO_SLOT;
         self.free.push(slot);
         self.live -= 1;

@@ -87,11 +87,6 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Events scheduled on this queue so far.
-    pub fn scheduled(&self) -> u64 {
-        self.next_seq
-    }
-
     /// Events popped from this queue so far.
     pub fn popped(&self) -> u64 {
         self.popped

@@ -123,9 +123,11 @@ struct VictimNode {
 /// doubly-linked list of blocks per live-page count (`0..=pages_per_block`).
 ///
 /// Maintained from the program / invalidate / erase deltas the array
-/// already applies, so victim selection never rescans the device: Greedy
-/// pops the lowest non-empty bucket, Random and CostBenefit iterate only
-/// indexed (reclaimable) blocks. Moves between buckets are O(1).
+/// already applies. Greedy victim selection pops the lowest non-empty
+/// bucket without rescanning the device; Random and CostBenefit still
+/// walk a LUN's blocks in address order (their historical candidate
+/// numbering) but test membership here in O(1) instead of fetching
+/// `BlockInfo` per block. Moves between buckets are O(1).
 #[derive(Debug)]
 struct VictimIndex {
     /// Bucket heads, `lun * (ppb + 1) + live`.
