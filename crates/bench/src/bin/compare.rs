@@ -5,10 +5,15 @@
 //! ```
 //!
 //! Prints a per-experiment delta report (wall seconds, speedup, events/sec
-//! where present) for CI to archive next to the raw JSON. With
-//! `--max-slowdown`, exits non-zero if any experiment common to both files
-//! ran slower than `base * FACTOR + 0.5s` — the absolute grace keeps
-//! millisecond-scale smoke experiments from flagging on runner noise.
+//! where present) for CI to archive next to the raw JSON, followed by an
+//! explicit "not comparable" section listing experiments present in only
+//! one of the two files (new experiments vs. an older baseline, or
+//! removed/renamed ones) — so additions like E19/E20 show up loudly
+//! instead of silently diffing as noise. With `--max-slowdown`, exits
+//! non-zero if any experiment common to both files ran slower than
+//! `base * FACTOR + 0.5s` — the absolute grace keeps millisecond-scale
+//! smoke experiments from flagging on runner noise. Experiments in only
+//! one file never trip the gate.
 
 use std::collections::BTreeMap;
 
@@ -85,17 +90,10 @@ fn main() {
         "exp", "base_s", "cur_s", "speedup", "base_ev/s", "cur_ev/s"
     );
     let mut regressions = Vec::new();
+    let mut only_current: Vec<String> = Vec::new();
     for (id, c) in &cur {
         let Some(b) = base.get(id) else {
-            println!(
-                "{:<6} {:>10} {:>10.3} {:>9}  {:>14} {:>14}",
-                id,
-                "-",
-                c.wall_seconds,
-                "new",
-                "-",
-                fmt_opt(c.events_per_sec)
-            );
+            only_current.push(format!("{id} ({:.3}s)", c.wall_seconds));
             continue;
         };
         let speedup = if c.wall_seconds > 0.0 {
@@ -118,9 +116,26 @@ fn main() {
             }
         }
     }
-    for id in base.keys() {
-        if !cur.contains_key(id) {
-            println!("{id:<6} (missing from current run)");
+    let only_base: Vec<String> = base
+        .iter()
+        .filter(|(id, _)| !cur.contains_key(*id))
+        .map(|(id, b)| format!("{id} ({:.3}s)", b.wall_seconds))
+        .collect();
+    if !only_current.is_empty() || !only_base.is_empty() {
+        println!("\nnot comparable (present in one file only — excluded from the gate):");
+        if !only_current.is_empty() {
+            println!(
+                "  only in current ({}): {}",
+                paths[1],
+                only_current.join(", ")
+            );
+        }
+        if !only_base.is_empty() {
+            println!(
+                "  only in baseline ({}): {}",
+                paths[0],
+                only_base.join(", ")
+            );
         }
     }
     if !regressions.is_empty() {

@@ -1,7 +1,7 @@
 //! Experiment harness: regenerate the paper's figures/tables.
 //!
 //! ```text
-//! harness [IDS|all] [--scale smoke|demo|full] [--csv] [--json PATH]
+//! harness [IDS|all] [--scale smoke|demo|full] [--jobs [N]] [--csv] [--json PATH]
 //! ```
 //!
 //! Examples:
@@ -10,6 +10,14 @@
 //! * `harness game --csv` — the scheduling game as CSV.
 //! * `harness all --scale smoke --json BENCH_seed.json` — machine-readable
 //!   baseline (wall time + result rows per experiment) for perf tracking.
+//! * `harness all --scale smoke --jobs 0` — run independent experiments on
+//!   parallel threads (`0` = all available cores). Every simulation is
+//!   self-contained and deterministic, so results are identical to a
+//!   sequential run; only wall time changes. Per-experiment event counts
+//!   are omitted in parallel mode (the events counter is process-global).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use eagletree_experiments::{suite, Scale, Table};
 
@@ -19,6 +27,7 @@ fn main() {
     let mut scale = Scale::Demo;
     let mut csv = false;
     let mut json_path: Option<String> = None;
+    let mut jobs = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,8 +54,24 @@ fn main() {
                     }
                 }
             }
+            "--jobs" => {
+                // Optional numeric value; bare `--jobs` or `--jobs 0`
+                // mean "all available cores".
+                let n = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .inspect(|_| i += 1)
+                    .unwrap_or(0);
+                jobs = if n == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    n
+                };
+            }
             "--help" | "-h" => {
-                eprintln!("usage: harness [IDS|all] [--scale smoke|demo|full] [--csv] [--json PATH]");
+                eprintln!(
+                    "usage: harness [IDS|all] [--scale smoke|demo|full] [--jobs [N]] [--csv] [--json PATH]"
+                );
                 eprintln!("experiments:");
                 for e in suite::all() {
                     eprintln!("  {:>4}  {} ({})", e.id, e.title, e.hook);
@@ -60,43 +85,42 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|s| s == "all") {
         ids = suite::all().iter().map(|e| e.id.to_string()).collect();
     }
-    let mut results: Vec<ExperimentResult> = Vec::new();
-    for id in &ids {
-        let id = if id.eq_ignore_ascii_case("game") {
-            "G1"
-        } else {
-            id
-        };
-        match suite::by_id(id) {
-            None => {
+    let experiments: Vec<_> = ids
+        .iter()
+        .map(|id| {
+            let id = if id.eq_ignore_ascii_case("game") { "G1" } else { id };
+            suite::by_id(id).unwrap_or_else(|| {
                 eprintln!("unknown experiment `{id}` — try --help");
                 std::process::exit(2);
-            }
-            Some(e) => {
-                eprintln!("running {} ({:?}) …", e.id, scale);
-                let events_before = eagletree_core::global_events_popped();
-                let started = std::time::Instant::now();
-                let table = e.run(scale);
-                let secs = started.elapsed().as_secs_f64();
-                let events = eagletree_core::global_events_popped() - events_before;
-                let eps = if secs > 0.0 { events as f64 / secs } else { 0.0 };
-                eprintln!("  done in {secs:.1}s ({events} events, {eps:.0} events/s)");
-                if csv {
-                    println!("# {} — {}", table.id, table.title);
-                    print!("{}", table.to_csv());
-                } else if json_path.is_none() {
-                    println!("{}", table.render());
-                }
-                results.push(ExperimentResult {
-                    table,
-                    wall_seconds: secs,
-                    events_simulated: events,
-                });
-            }
+            })
+        })
+        .collect();
+    let print = |r: &ExperimentResult| {
+        if csv {
+            println!("# {} — {}", r.table.id, r.table.title);
+            print!("{}", r.table.to_csv());
+        } else if json_path.is_none() {
+            println!("{}", r.table.render());
         }
-    }
+    };
+    let total_started = std::time::Instant::now();
+    let results = if jobs > 1 {
+        // Buffered: tables print afterwards in suite order.
+        let results = run_parallel(&experiments, scale, jobs);
+        results.iter().for_each(&print);
+        results
+    } else {
+        // Streamed: each table prints as its experiment finishes.
+        run_sequential(&experiments, scale, &print)
+    };
+    let total_wall_seconds = total_started.elapsed().as_secs_f64();
+    eprintln!(
+        "{} experiments in {total_wall_seconds:.1}s ({jobs} job{})",
+        results.len(),
+        if jobs == 1 { "" } else { "s" }
+    );
     if let Some(path) = json_path {
-        let doc = to_json(&scale, &results);
+        let doc = to_json(&scale, jobs, total_wall_seconds, &results);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
@@ -105,38 +129,104 @@ fn main() {
     }
 }
 
+fn run_sequential(
+    experiments: &[eagletree_experiments::Experiment],
+    scale: Scale,
+    print: &dyn Fn(&ExperimentResult),
+) -> Vec<ExperimentResult> {
+    let mut results = Vec::new();
+    for e in experiments {
+        eprintln!("running {} ({:?}) …", e.id, scale);
+        let events_before = eagletree_core::global_events_popped();
+        let started = std::time::Instant::now();
+        let table = e.run(scale);
+        let secs = started.elapsed().as_secs_f64();
+        let events = eagletree_core::global_events_popped() - events_before;
+        let eps = if secs > 0.0 { events as f64 / secs } else { 0.0 };
+        eprintln!("  done in {secs:.1}s ({events} events, {eps:.0} events/s)");
+        let result = ExperimentResult {
+            table,
+            wall_seconds: secs,
+            events_simulated: Some(events),
+        };
+        print(&result);
+        results.push(result);
+    }
+    results
+}
+
+/// Run the experiments on `jobs` scoped worker threads pulling from a
+/// shared work list. Each simulation is self-contained, so results are
+/// identical to the sequential run; the process-global event counter
+/// interleaves across workers, so per-experiment event counts are omitted.
+fn run_parallel(
+    experiments: &[eagletree_experiments::Experiment],
+    scale: Scale,
+    jobs: usize,
+) -> Vec<ExperimentResult> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ExperimentResult>>> =
+        experiments.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(experiments.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(e) = experiments.get(i) else { break };
+                eprintln!("running {} ({:?}) …", e.id, scale);
+                let started = std::time::Instant::now();
+                let table = e.run(scale);
+                let secs = started.elapsed().as_secs_f64();
+                eprintln!("  {} done in {secs:.1}s", e.id);
+                *slots[i].lock().unwrap() = Some(ExperimentResult {
+                    table,
+                    wall_seconds: secs,
+                    events_simulated: None,
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
 /// One experiment's outcome: its result table plus simulator-throughput
-/// metadata (host wall time and events processed while it ran).
+/// metadata (host wall time and, in sequential runs, events processed).
 struct ExperimentResult {
     table: Table,
     wall_seconds: f64,
-    events_simulated: u64,
+    events_simulated: Option<u64>,
 }
 
 /// Hand-rolled JSON (no serde in the offline build container): one
 /// object per experiment with wall time, simulator throughput and the
 /// full result rows.
-fn to_json(scale: &Scale, results: &[ExperimentResult]) -> String {
+fn to_json(
+    scale: &Scale,
+    jobs: usize,
+    total_wall_seconds: f64,
+    results: &[ExperimentResult],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!(
+        "  \"total_wall_seconds\": {total_wall_seconds:.3},\n"
+    ));
     out.push_str("  \"experiments\": [\n");
     for (i, r) in results.iter().enumerate() {
         let (t, secs) = (&r.table, r.wall_seconds);
-        let eps = if secs > 0.0 {
-            r.events_simulated as f64 / secs
-        } else {
-            0.0
-        };
         out.push_str("    {\n");
         out.push_str(&format!("      \"id\": {},\n", json_str(&t.id)));
         out.push_str(&format!("      \"title\": {},\n", json_str(&t.title)));
         out.push_str(&format!("      \"param\": {},\n", json_str(&t.param)));
         out.push_str(&format!("      \"wall_seconds\": {secs:.3},\n"));
-        out.push_str(&format!(
-            "      \"events_simulated\": {},\n",
-            r.events_simulated
-        ));
-        out.push_str(&format!("      \"events_per_sec\": {},\n", json_num(eps)));
+        if let Some(events) = r.events_simulated {
+            let eps = if secs > 0.0 { events as f64 / secs } else { 0.0 };
+            out.push_str(&format!("      \"events_simulated\": {events},\n"));
+            out.push_str(&format!("      \"events_per_sec\": {},\n", json_num(eps)));
+        }
         out.push_str("      \"rows\": [\n");
         for (j, r) in t.rows.iter().enumerate() {
             let fields: Vec<String> = std::iter::once(format!("\"label\": {}", json_str(&r.label)))

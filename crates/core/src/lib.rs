@@ -29,6 +29,6 @@ pub mod trace;
 
 pub use event::{global_events_popped, EventQueue, ScheduledEvent};
 pub use rng::{SimRng, Zipf};
-pub use stats::{Histogram, OnlineStats, TimeSeries};
+pub use stats::{Histogram, OnlineStats, Tail, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceKind, TraceLog};

@@ -194,10 +194,11 @@ impl Histogram {
         }
     }
 
-    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket lower bound.
-    pub fn quantile(&self, q: f64) -> SimDuration {
+    /// The bucket holding the sample of rank `max(1, ceil(q·count))` —
+    /// the one rank rule both quantile edges share.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
         if self.count == 0 {
-            return SimDuration::ZERO;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         let target = ((q * self.count as f64).ceil() as u64).max(1);
@@ -205,10 +206,18 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return SimDuration::from_nanos(Self::value_of(i));
+                return Some(i);
             }
         }
-        SimDuration::from_nanos(Self::value_of(NUM_BUCKETS - 1))
+        Some(NUM_BUCKETS - 1)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket lower bound.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        match self.quantile_bucket(q) {
+            None => SimDuration::ZERO,
+            Some(i) => SimDuration::from_nanos(Self::value_of(i)),
+        }
     }
 
     /// Median.
@@ -216,9 +225,46 @@ impl Histogram {
         self.quantile(0.50)
     }
 
+    /// 95th percentile.
+    pub fn p95(&self) -> SimDuration {
+        self.quantile(0.95)
+    }
+
     /// 99th percentile.
     pub fn p99(&self) -> SimDuration {
         self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> SimDuration {
+        self.quantile(0.999)
+    }
+
+    /// The full tail summary (count, mean, p50/p95/p99/p99.9) in one call —
+    /// what per-tenant QoS accounting reports per op class.
+    pub fn tail(&self) -> Tail {
+        Tail {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.p50(),
+            p95: self.p95(),
+            p99: self.p99(),
+            p999: self.p999(),
+        }
+    }
+
+    /// Upper edge (exclusive) of the bucket a quantile query for `q` drew
+    /// its answer from. Together with [`Histogram::quantile`] (the bucket's
+    /// lower edge) this brackets the exact order-statistic: the histogram's
+    /// quantile error is bounded by the width of one bucket.
+    pub fn quantile_upper(&self, q: f64) -> SimDuration {
+        match self.quantile_bucket(q) {
+            None => SimDuration::ZERO,
+            Some(i) if i + 1 < NUM_BUCKETS => {
+                SimDuration::from_nanos(Self::value_of(i + 1))
+            }
+            Some(_) => SimDuration::from_nanos(u64::MAX),
+        }
     }
 
     /// Merge another histogram into this one.
@@ -229,6 +275,19 @@ impl Histogram {
         self.count += other.count;
         self.sum_ns += other.sum_ns;
     }
+}
+
+/// Tail-latency summary of one [`Histogram`]: the percentiles the
+/// multi-tenant experiments plot (each a bucket lower bound, so within one
+/// bucket width — ≤ ~12% relative — of the exact order statistic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tail {
+    pub count: u64,
+    pub mean: SimDuration,
+    pub p50: SimDuration,
+    pub p95: SimDuration,
+    pub p99: SimDuration,
+    pub p999: SimDuration,
 }
 
 /// Fixed-interval time series of a metric over virtual time.

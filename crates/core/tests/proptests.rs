@@ -59,6 +59,47 @@ proptest! {
     }
 
     #[test]
+    fn histogram_matches_exact_percentile_oracle_within_bucket_width(
+        mut samples in prop::collection::vec(1u64..10_000_000_000, 1..500),
+    ) {
+        // The exact oracle: percentile = the sample of rank
+        // max(1, ceil(q·n)) in the sorted vector (the histogram's own
+        // rank rule). The histogram answer must equal the lower edge of
+        // the bucket holding that sample, i.e. the error is bounded by
+        // one bucket's width: answer ≤ exact < upper edge of the
+        // answer's bucket.
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        samples.sort_unstable();
+        let n = samples.len() as f64;
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let rank = ((q * n).ceil() as usize).max(1);
+            let exact = samples[rank - 1];
+            let est = h.quantile(q).as_nanos();
+            let upper = h.quantile_upper(q).as_nanos();
+            prop_assert!(
+                est <= exact && exact < upper,
+                "q={q}: estimate {est} / upper {upper} do not bracket exact {exact}"
+            );
+            // Bucket width ≤ 1/8 of the lower edge (8 sub-buckets per
+            // power of two) once past the exact range: ≤ ~12.5% relative
+            // quantile error.
+            if est >= 16 {
+                prop_assert!(upper - est <= est.div_ceil(8));
+            }
+        }
+        // The one-call tail summary agrees with individual queries.
+        let tail = h.tail();
+        prop_assert_eq!(tail.count, samples.len() as u64);
+        prop_assert_eq!(tail.p50, h.quantile(0.5));
+        prop_assert_eq!(tail.p95, h.quantile(0.95));
+        prop_assert_eq!(tail.p99, h.quantile(0.99));
+        prop_assert_eq!(tail.p999, h.quantile(0.999));
+    }
+
+    #[test]
     fn histogram_merge_equals_combined(
         a in prop::collection::vec(1u64..1_000_000, 0..100),
         b in prop::collection::vec(1u64..1_000_000, 0..100),

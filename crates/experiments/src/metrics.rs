@@ -4,7 +4,8 @@
 //! [`Table`] renders swept series as the aligned text / CSV "rows the paper
 //! would plot".
 
-use eagletree_controller::{wear_summary, MergeCounters};
+use eagletree_controller::{wear_summary, ClassTable, MergeCounters, OpClass};
+use eagletree_core::Histogram;
 use eagletree_os::{Os, ThreadStats};
 
 /// Condensed metrics of one simulation run, over a set of measured threads.
@@ -21,6 +22,18 @@ pub struct Measured {
     pub write_mean_us: f64,
     pub write_p99_us: f64,
     pub write_stddev_us: f64,
+    /// Tail percentiles over the *merged* latency histogram of all
+    /// measured threads (unlike `read_p99_us`/`write_p99_us`, which keep
+    /// their historical per-thread-max semantics).
+    pub read_p50_us: f64,
+    pub read_p95_us: f64,
+    pub read_p999_us: f64,
+    pub write_p50_us: f64,
+    pub write_p95_us: f64,
+    pub write_p999_us: f64,
+    /// Internal (non-application) flash ops issued: GC + WL + mapping +
+    /// merge traffic, the interference QoS experiments trace.
+    pub internal_ops: u64,
     /// Mean OS queue wait (µs).
     pub queue_wait_us: f64,
     /// Flash programs (incl. copy-back & translation) per app write.
@@ -51,6 +64,10 @@ pub struct CounterSnapshot {
     pub mapping_fetches: u64,
     pub mapping_writebacks: u64,
     pub merges: MergeCounters,
+    /// Flash ops issued per [`OpClass`] (scheduler's `issued` table), so
+    /// steady-phase deltas can attribute device traffic to app vs. GC vs.
+    /// WL vs. mapping vs. merge classes.
+    pub issued_per_class: ClassTable,
 }
 
 /// Snapshot the controller counters now.
@@ -67,7 +84,17 @@ pub fn snapshot(os: &Os) -> CounterSnapshot {
         mapping_fetches: s.mapping_fetches,
         mapping_writebacks: s.mapping_writebacks,
         merges: c.merge_counters(),
+        issued_per_class: s.issued,
     }
+}
+
+/// Internal-class (non-application) ops in an issued table.
+fn internal_ops(issued: &ClassTable) -> u64 {
+    OpClass::ALL
+        .iter()
+        .filter(|c| c.is_internal())
+        .map(|&c| issued[c as usize])
+        .sum()
 }
 
 /// Extract metrics for the measured threads, with controller counters
@@ -82,6 +109,8 @@ pub fn measure_since(os: &Os, threads: &[usize], base: &CounterSnapshot) -> Meas
     m.wl_erases = now.wl_erases - base.wl_erases;
     m.mapping_fetches = now.mapping_fetches - base.mapping_fetches;
     m.mapping_writebacks = now.mapping_writebacks - base.mapping_writebacks;
+    m.internal_ops =
+        internal_ops(&now.issued_per_class) - internal_ops(&base.issued_per_class);
     m.merges = MergeCounters {
         switch_merges: now.merges.switch_merges - base.merges.switch_merges,
         partial_merges: now.merges.partial_merges - base.merges.partial_merges,
@@ -110,8 +139,12 @@ pub fn measure(os: &Os, threads: &[usize]) -> Measured {
     let mut write_p99 = 0.0f64;
     let mut wait = 0.0;
     let mut n_stats = 0.0;
+    let mut read_hist = Histogram::new();
+    let mut write_hist = Histogram::new();
     for &t in threads {
         let s: &ThreadStats = os.thread_stats(t);
+        read_hist.merge(&s.read_latency);
+        write_hist.merge(&s.write_latency);
         reads += s.reads_completed;
         writes += s.writes_completed;
         completed += s.completed();
@@ -148,6 +181,7 @@ pub fn measure(os: &Os, threads: &[usize]) -> Measured {
     let ctrl = os.controller();
     let cs = ctrl.stats();
     let wear = wear_summary(ctrl.array());
+    let (rt, wt) = (read_hist.tail(), write_hist.tail());
     Measured {
         iops,
         reads,
@@ -158,6 +192,13 @@ pub fn measure(os: &Os, threads: &[usize]) -> Measured {
         write_mean_us: if wn > 0.0 { write_mean / wn } else { 0.0 },
         write_p99_us: write_p99,
         write_stddev_us: if wn > 0.0 { write_sd / wn } else { 0.0 },
+        read_p50_us: rt.p50.as_micros_f64(),
+        read_p95_us: rt.p95.as_micros_f64(),
+        read_p999_us: rt.p999.as_micros_f64(),
+        write_p50_us: wt.p50.as_micros_f64(),
+        write_p95_us: wt.p95.as_micros_f64(),
+        write_p999_us: wt.p999.as_micros_f64(),
+        internal_ops: internal_ops(&cs.issued),
         queue_wait_us: if n_stats > 0.0 { wait / n_stats } else { 0.0 },
         write_amplification: ctrl.write_amplification(),
         gc_erases: cs.gc_erases,

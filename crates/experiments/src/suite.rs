@@ -9,14 +9,14 @@ use eagletree_controller::{
 };
 use eagletree_core::SimTime;
 use eagletree_flash::{Geometry, TimingSpec};
-use eagletree_os::{Os, OsSchedPolicy, Workload};
+use eagletree_os::{Os, OsSchedPolicy, QosPolicy, Workload};
 use eagletree_workloads::{
     precondition::sequential_fill, GraceHashJoin, MixedGen, Pumped, RandReadGen, RandWriteGen,
-    Region, ZipfGen, ZipfKind,
+    Region, SeqWriteGen, TenantProfile, ZipfGen, ZipfKind,
 };
 
 use crate::experiment::{Experiment, Scale};
-use crate::metrics::{measure_since, snapshot, Row, Table};
+use crate::metrics::{measure, measure_since, snapshot, Row, Table};
 use crate::setup::Setup;
 
 /// All predefined experiments, in index order.
@@ -40,6 +40,8 @@ pub fn all() -> Vec<Experiment> {
         Experiment::new("E16", "Cached-program pipelining", "§2.2 advanced commands (pipelining)", e16_pipelining),
         Experiment::new("E17", "Hybrid log-block budget sweep", "§2.2 mapping design space (merge costs)", e17_log_budget),
         Experiment::new("E18", "Simulator throughput: events/sec vs geometry × queue depth", "§1 'as fast as the hardware allows' (sweep affordability)", e18_sim_throughput),
+        Experiment::new("E19", "Noisy neighbor: reader-tenant tails vs a flooding writer, per QoS policy", "§2.2 OS scheduler × consolidation (tenant isolation)", e19_noisy_neighbor),
+        Experiment::new("E20", "QoS design sweep: policy × weights × tenant count", "§1-Q1 design space, extended to the serving side", e20_qos_sweep),
         Experiment::new("G1", "The scheduling game", "§3 demonstration game", g1_game),
     ]
 }
@@ -897,6 +899,195 @@ fn e18_sim_throughput(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E19 — noisy neighbor
+
+/// The QoS policies E19/E20 sweep (every scale runs all of them — the
+/// whole point is the cross-policy comparison).
+fn qos_policies() -> Vec<(&'static str, QosPolicy)> {
+    vec![
+        ("none", QosPolicy::None),
+        ("wfq", QosPolicy::Wfq),
+        ("token_bucket", QosPolicy::TokenBucket),
+        ("strict_tiers", QosPolicy::StrictTiers { starvation_us: 50_000 }),
+    ]
+}
+
+/// "What does tenant A's p99 look like when tenant B misbehaves?" — a
+/// latency-sensitive Zipf reader tenant shares the device with a
+/// sequential-flood writer tenant. Swept over the tenant QoS policy: flat
+/// dispatch (no isolation) vs WFQ vs token-bucket rate capping vs strict
+/// tiers. The reader's tail percentiles are the paper-style y-axis.
+fn e19_noisy_neighbor(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E19",
+        "Reader-tenant tail latency under a flooding writer neighbor",
+        "qos",
+    );
+    for (name, qos) in qos_policies() {
+        let mut setup = Setup::small();
+        setup.os.qos = qos;
+        setup.os.queue_depth = 32;
+        setup.ctrl.wl.static_enabled = false;
+        let logical = setup.logical_pages();
+        let mut os = setup.build();
+        os.add_thread(sequential_fill(32));
+        os.run();
+        // Latency-sensitive tenant: skewed reads, small in-flight window,
+        // high WFQ weight / top tier / no rate cap.
+        let r_ios = scale.ios(logical / 2);
+        let (reader, reader_tids) = TenantProfile::new("reader", 2048)
+            .weight(8)
+            .tier(0)
+            .thread(
+                Pumped::new(
+                    ZipfGen::new(Region::whole(), r_ios, 0.99, ZipfKind::Reads),
+                    4,
+                    0xE19,
+                )
+                .named("zipf-reader"),
+            )
+            .install(&mut os);
+        // Misbehaving neighbor: a sequential flood with a huge window,
+        // low weight / lower tier / a 4k-IOPS cap under the token bucket.
+        let w_ios = scale.ios(logical * 3);
+        let (writer, writer_tids) = TenantProfile::new("flooder", 4096)
+            .weight(1)
+            .tier(1)
+            .iops_limit(4_000.0)
+            .burst(4.0)
+            .thread(
+                Pumped::new(SeqWriteGen::new(Region::whole(), w_ios), 256, 0x91E)
+                    .named("seq-flooder"),
+            )
+            .install(&mut os);
+        let base = snapshot(&os);
+        os.run();
+        let rm = measure_since(&os, &reader_tids, &base);
+        let wm = measure_since(&os, &writer_tids, &base);
+        let tail = os
+            .tenant_stats(reader)
+            .tail(eagletree_controller::OpClass::AppRead);
+        t.rows.push(
+            Row::new(name.to_string())
+                .push("reader_p50_us", tail.p50.as_micros_f64())
+                .push("reader_p95_us", tail.p95.as_micros_f64())
+                .push("reader_p99_us", tail.p99.as_micros_f64())
+                .push("reader_p999_us", tail.p999.as_micros_f64())
+                .push("reader_iops", rm.iops)
+                .push("flooder_iops", wm.iops)
+                .push("internal_ops", wm.internal_ops as f64)
+                .push("reader_util", os.namespace_utilization(reader))
+                .push("flooder_util", os.namespace_utilization(writer)),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E20 — QoS design sweep
+
+/// The serving-side design space: QoS policy × victim weight × tenant
+/// count, with one flooding writer and `n-1` latency-sensitive readers.
+/// Reports the worst reader p99, Jain fairness over per-tenant
+/// throughput, and aggregate IOPS — the isolation-vs-utilization
+/// trade-off grid.
+fn e20_qos_sweep(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E20",
+        "Worst reader p99 / fairness / aggregate IOPS over the QoS grid",
+        "policy/weight/tenants",
+    );
+    let weights = scale.thin(&[1u32, 2, 4]);
+    let counts = scale.thin(&[2usize, 3, 4]);
+    for (pname, qos) in qos_policies() {
+        for &w in &weights {
+            for &n in &counts {
+                let mut setup = Setup::small();
+                setup.os.qos = qos.clone();
+                setup.os.queue_depth = 32;
+                setup.ctrl.wl.static_enabled = false;
+                let logical = setup.logical_pages();
+                let mut os = setup.build();
+                os.add_thread(sequential_fill(32));
+                os.run();
+                let (_, writer_tids) = TenantProfile::new("flooder", 2048)
+                    .weight(1)
+                    .tier(1)
+                    .iops_limit(4_000.0)
+                    .burst(4.0)
+                    .thread(
+                        Pumped::new(
+                            SeqWriteGen::new(Region::whole(), scale.ios(logical * 2)),
+                            256,
+                            0x20,
+                        )
+                        .named("seq-flooder"),
+                    )
+                    .install(&mut os);
+                let readers: Vec<_> = (0..n - 1)
+                    .map(|i| {
+                        TenantProfile::new(format!("reader{i}"), 1024)
+                            .weight(w)
+                            .tier(0)
+                            .thread(
+                                Pumped::new(
+                                    ZipfGen::new(
+                                        Region::whole(),
+                                        scale.ios(logical / 4),
+                                        0.99,
+                                        ZipfKind::Reads,
+                                    ),
+                                    4,
+                                    0xE20 + i as u64,
+                                )
+                                .named("zipf-reader"),
+                            )
+                            .install(&mut os)
+                    })
+                    .collect();
+                let base = snapshot(&os);
+                os.run();
+                let worst_p99 = readers
+                    .iter()
+                    .map(|(tid, _)| {
+                        os.tenant_stats(*tid)
+                            .tail(eagletree_controller::OpClass::AppRead)
+                            .p99
+                            .as_micros_f64()
+                    })
+                    .fold(0.0f64, f64::max);
+                // Jain fairness over per-tenant throughput.
+                let th: Vec<f64> = std::iter::once(&writer_tids)
+                    .chain(readers.iter().map(|(_, tids)| tids))
+                    .map(|tids| measure(&os, tids).iops)
+                    .collect();
+                let sum: f64 = th.iter().sum();
+                let sumsq: f64 = th.iter().map(|x| x * x).sum();
+                let jain = if sumsq == 0.0 {
+                    0.0
+                } else {
+                    sum * sum / (th.len() as f64 * sumsq)
+                };
+                let all_tids: Vec<usize> = writer_tids
+                    .iter()
+                    .chain(readers.iter().flat_map(|(_, tids)| tids))
+                    .copied()
+                    .collect();
+                let all = measure_since(&os, &all_tids, &base);
+                t.rows.push(
+                    Row::new(format!("{pname}/w{w}/n{n}"))
+                        .push("worst_reader_p99_us", worst_p99)
+                        .push("jain", jain)
+                        .push("total_iops", all.iops)
+                        .push("WA", all.write_amplification),
+                );
+            }
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // G1 — the game
 
 /// The demo game: grid-search scheduling-related knobs and score each
@@ -969,18 +1160,65 @@ mod tests {
     #[test]
     fn suite_is_complete_and_indexed() {
         let s = all();
-        assert_eq!(s.len(), 19);
+        assert_eq!(s.len(), 21);
         let ids: Vec<&str> = s.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
-                "E13", "E14", "E15", "E16", "E17", "E18", "G1"
+                "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "G1"
             ]
         );
         assert!(by_id("e3").is_some());
         assert!(by_id("G1").is_some());
         assert!(by_id("E99").is_none());
+    }
+
+    #[test]
+    fn smoke_e19_qos_isolates_the_reader_tenant() {
+        let t = e19_noisy_neighbor(Scale::Smoke);
+        let p99 = |label: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.label == label)
+                .unwrap()
+                .get("reader_p99_us")
+                .unwrap()
+        };
+        let (none, wfq, tb) = (p99("none"), p99("wfq"), p99("token_bucket"));
+        // The acceptance bar: WFQ or the token bucket must cut the
+        // reader's p99 under a flooding neighbor at least 2x.
+        assert!(
+            none >= 2.0 * wfq.min(tb),
+            "no >=2x isolation win: none={none:.0}us wfq={wfq:.0}us tb={tb:.0}us\n{}",
+            t.render()
+        );
+        // Namespace accounting: the flooder writes, the reader does not.
+        let row = t.rows.iter().find(|r| r.label == "none").unwrap();
+        assert!(row.get("flooder_util").unwrap() > 0.0);
+        assert_eq!(row.get("reader_util").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn smoke_e20_covers_the_policy_grid() {
+        let t = e20_qos_sweep(Scale::Smoke);
+        // 4 policies × thinned weights {1,4} × thinned counts {2,4}.
+        assert_eq!(t.rows.len(), 16);
+        for r in &t.rows {
+            assert!(r.get("worst_reader_p99_us").unwrap() > 0.0, "{}", t.render());
+            let jain = r.get("jain").unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&jain));
+        }
+        // Isolation must show up in the grid too: some QoS row beats the
+        // flat dispatcher on the worst reader p99.
+        let flat = t.rows.iter().find(|r| r.label.starts_with("none/")).unwrap();
+        let best_qos = t
+            .rows
+            .iter()
+            .filter(|r| !r.label.starts_with("none/"))
+            .map(|r| r.get("worst_reader_p99_us").unwrap())
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_qos < flat.get("worst_reader_p99_us").unwrap());
     }
 
     #[test]

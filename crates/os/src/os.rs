@@ -7,6 +7,14 @@
 //! "interrupts": it updates the dispatching thread's statistics and invokes
 //! its `call_back`, which may submit further IOs — the paper's reactive
 //! thread model.
+//!
+//! Threads are grouped into [tenants](crate::tenant): each tenant owns a
+//! namespace (tenant-relative LBAs, translated and bounds-checked here at
+//! the OS boundary) and per-tenant QoS parameters. When a [`QosPolicy`]
+//! other than `None` is configured, dispatch is two-stage: the QoS layer
+//! picks the tenant, then the [`OsSchedPolicy`] picks among that tenant's
+//! thread queues. Both stages work over reused scratch buffers — no
+//! allocation per dispatched IO.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -15,7 +23,9 @@ use eagletree_controller::{
 };
 use eagletree_core::{EventQueue, Histogram, OnlineStats, SimDuration, SimTime, TimeSeries};
 
+use crate::qos::{self, QosPolicy, QosSlot, TenantCand};
 use crate::sched::{DispatchCandidate, OsSchedPolicy};
+use crate::tenant::{Namespace, TenantConfig, TenantId, TenantStats};
 use crate::thread::{CompletedIo, OsIo, ThreadCtx, ThreadId, Workload};
 
 /// OS-layer configuration.
@@ -25,6 +35,9 @@ pub struct OsConfig {
     pub queue_depth: usize,
     /// Dispatch policy across thread queues.
     pub policy: OsSchedPolicy,
+    /// Tenant-selection policy above `policy`. `None` keeps the flat
+    /// single-tenant behavior (all thread queues compete directly).
+    pub qos: QosPolicy,
     /// Unlock the open interface: pass tags/messages through to the SSD.
     /// When `false`, the OS strips all hints — a traditional block device.
     pub open_interface: bool,
@@ -39,6 +52,7 @@ impl Default for OsConfig {
         OsConfig {
             queue_depth: 32,
             policy: OsSchedPolicy::Fifo,
+            qos: QosPolicy::None,
             open_interface: false,
             timeline_interval: None,
         }
@@ -113,9 +127,25 @@ struct ThreadState {
     workload: Box<dyn Workload>,
     queue: VecDeque<QueuedIo>,
     deps: Vec<ThreadId>,
+    tenant: TenantId,
     started: bool,
     finished: bool,
     stats: ThreadStats,
+}
+
+/// One tenant's OS-side state: its namespace window, member threads and
+/// accounting. QoS state lives in the parallel `qos_slots` vector.
+struct TenantEntry {
+    name: String,
+    ns: Namespace,
+    threads: Vec<ThreadId>,
+    /// Queued (not yet dispatched) IOs across this tenant's threads.
+    backlog: usize,
+    /// IOs dispatched to the device and not yet completed.
+    inflight: usize,
+    stats: TenantStats,
+    /// The implicit whole-device tenant (identity translation).
+    is_default: bool,
 }
 
 struct Inflight {
@@ -130,12 +160,23 @@ pub struct Os {
     ctrl: Controller,
     cfg: OsConfig,
     threads: Vec<ThreadState>,
+    tenants: Vec<TenantEntry>,
+    qos_slots: Vec<QosSlot>,
+    /// Index of the implicit whole-device tenant, once created.
+    default_tenant: Option<TenantId>,
+    /// Next free logical page for namespace carving.
+    ns_watermark: u64,
+    /// WFQ virtual clock: virtual start time of the last dispatched IO.
+    vclock: f64,
     inflight: HashMap<RequestId, Inflight>,
     timers: EventQueue<ThreadId>,
     now: SimTime,
     next_req_id: RequestId,
     next_seq: u64,
     last_served: ThreadId,
+    /// Dispatch scratch (reused; no per-IO allocation).
+    scratch_heads: Vec<DispatchCandidate>,
+    scratch_tenants: Vec<TenantCand>,
 }
 
 impl Os {
@@ -146,23 +187,149 @@ impl Os {
             ctrl,
             cfg,
             threads: Vec::new(),
+            tenants: Vec::new(),
+            qos_slots: Vec::new(),
+            default_tenant: None,
+            ns_watermark: 0,
+            vclock: 0.0,
             inflight: HashMap::new(),
             timers: EventQueue::new(),
             now: SimTime::ZERO,
             next_req_id: 0,
             next_seq: 0,
             last_served: 0,
+            scratch_heads: Vec::new(),
+            scratch_tenants: Vec::new(),
         }
     }
 
-    /// Register a thread that starts immediately.
+    /// Create a tenant: carves its namespace from the next free logical
+    /// pages (setup-time operation). Panics when the device has too few
+    /// logical pages left.
+    pub fn add_tenant(&mut self, cfg: TenantConfig) -> TenantId {
+        assert!(cfg.namespace_pages > 0, "namespace must have pages");
+        let base = self.ns_watermark;
+        assert!(
+            base + cfg.namespace_pages <= self.ctrl.logical_pages(),
+            "tenant `{}`: namespace of {} pages does not fit ({} of {} logical pages already carved)",
+            cfg.name,
+            cfg.namespace_pages,
+            base,
+            self.ctrl.logical_pages()
+        );
+        self.ns_watermark = base + cfg.namespace_pages;
+        self.tenants.push(TenantEntry {
+            name: cfg.name,
+            ns: Namespace {
+                base,
+                len: cfg.namespace_pages,
+            },
+            threads: Vec::new(),
+            backlog: 0,
+            inflight: 0,
+            stats: TenantStats::new(cfg.namespace_pages),
+            is_default: false,
+        });
+        self.qos_slots.push(QosSlot::new(cfg.qos));
+        self.tenants.len() - 1
+    }
+
+    /// Resize a tenant's namespace (setup-time: panics while the tenant
+    /// has queued or in-flight IOs). Grows in place when the namespace is
+    /// the most recently carved one, otherwise relocates it to fresh
+    /// logical pages; shrinking always happens in place. A relocated
+    /// namespace is a fresh, logically empty window — previously written
+    /// pages are left behind at the old location, so the tenant's
+    /// valid-page accounting is cleared.
+    pub fn resize_namespace(&mut self, t: TenantId, new_pages: u64) {
+        assert!(new_pages > 0, "namespace must have pages");
+        let e = &self.tenants[t];
+        assert!(!e.is_default, "the default tenant always spans the whole device");
+        assert!(
+            e.backlog == 0 && e.inflight == 0,
+            "resize is a setup-time operation: tenant `{}` has IOs outstanding",
+            e.name
+        );
+        let old = e.ns;
+        let last_carved = old.base + old.len == self.ns_watermark;
+        if new_pages <= old.len {
+            self.tenants[t].ns.len = new_pages;
+            if last_carved {
+                self.ns_watermark = old.base + new_pages;
+            }
+        } else if last_carved && old.base + new_pages <= self.ctrl.logical_pages() {
+            self.tenants[t].ns.len = new_pages;
+            self.ns_watermark = old.base + new_pages;
+        } else {
+            let base = self.ns_watermark;
+            assert!(
+                base + new_pages <= self.ctrl.logical_pages(),
+                "tenant `{}`: cannot grow namespace to {} pages",
+                self.tenants[t].name,
+                new_pages
+            );
+            self.ns_watermark = base + new_pages;
+            self.tenants[t].ns = Namespace {
+                base,
+                len: new_pages,
+            };
+            // The new window holds none of the tenant's old writes.
+            self.tenants[t].stats.clear_valid();
+        }
+        self.tenants[t].stats.resize(new_pages);
+    }
+
+    /// The implicit whole-device tenant (identity namespace), created on
+    /// first use. Threads registered through [`Os::add_thread`] belong to
+    /// it, which keeps single-tenant setups working unchanged.
+    fn ensure_default_tenant(&mut self) -> TenantId {
+        if let Some(t) = self.default_tenant {
+            return t;
+        }
+        self.tenants.push(TenantEntry {
+            name: "default".to_string(),
+            ns: Namespace {
+                base: 0,
+                len: self.ctrl.logical_pages(),
+            },
+            threads: Vec::new(),
+            backlog: 0,
+            inflight: 0,
+            stats: TenantStats::new(self.ctrl.logical_pages()),
+            is_default: true,
+        });
+        self.qos_slots.push(QosSlot::new(crate::QosParams::default()));
+        let t = self.tenants.len() - 1;
+        self.default_tenant = Some(t);
+        t
+    }
+
+    /// Register a thread that starts immediately (default tenant).
     pub fn add_thread(&mut self, workload: Box<dyn Workload>) -> ThreadId {
         self.add_thread_after(workload, Vec::new())
     }
 
     /// Register a thread that starts once all of `deps` have finished —
-    /// the preconditioning mechanism of §2.3.
+    /// the preconditioning mechanism of §2.3 (default tenant).
     pub fn add_thread_after(&mut self, workload: Box<dyn Workload>, deps: Vec<ThreadId>) -> ThreadId {
+        let t = self.ensure_default_tenant();
+        self.add_tenant_thread_after(t, workload, deps)
+    }
+
+    /// Register a thread owned by tenant `t`; its IOs address the tenant's
+    /// namespace (`ThreadCtx::logical_pages` reports the namespace size).
+    pub fn add_tenant_thread(&mut self, t: TenantId, workload: Box<dyn Workload>) -> ThreadId {
+        self.add_tenant_thread_after(t, workload, Vec::new())
+    }
+
+    /// Tenant-owned thread with start dependencies.
+    pub fn add_tenant_thread_after(
+        &mut self,
+        t: TenantId,
+        workload: Box<dyn Workload>,
+        deps: Vec<ThreadId>,
+    ) -> ThreadId {
+        assert!(t < self.tenants.len(), "unknown tenant {t}");
         for &d in &deps {
             assert!(d < self.threads.len(), "dependency on unknown thread {d}");
         }
@@ -170,11 +337,14 @@ impl Os {
             workload,
             queue: VecDeque::new(),
             deps,
+            tenant: t,
             started: false,
             finished: false,
             stats: ThreadStats::new(),
         });
-        self.threads.len() - 1
+        let tid = self.threads.len() - 1;
+        self.tenants[t].threads.push(tid);
+        tid
     }
 
     /// Current virtual time.
@@ -203,6 +373,38 @@ impl Os {
         self.threads[t].finished
     }
 
+    /// Number of tenants (including the implicit default tenant, if any
+    /// thread was registered without an explicit tenant).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// A tenant's name.
+    pub fn tenant_name(&self, t: TenantId) -> &str {
+        &self.tenants[t].name
+    }
+
+    /// A tenant's namespace window.
+    pub fn namespace(&self, t: TenantId) -> Namespace {
+        self.tenants[t].ns
+    }
+
+    /// A tenant's accounting: completion counts, per-class tail-latency
+    /// histograms, namespace utilization.
+    pub fn tenant_stats(&self, t: TenantId) -> &TenantStats {
+        &self.tenants[t].stats
+    }
+
+    /// A tenant's namespace utilization (valid pages / namespace pages).
+    pub fn namespace_utilization(&self, t: TenantId) -> f64 {
+        self.tenants[t].stats.utilization(self.tenants[t].ns.len)
+    }
+
+    /// Threads owned by tenant `t`.
+    pub fn tenant_threads(&self, t: TenantId) -> &[ThreadId] {
+        &self.tenants[t].threads
+    }
+
     /// Run until no further progress is possible (all queues empty, no
     /// in-flight IOs, no timers, controller idle).
     pub fn run(&mut self) {
@@ -218,11 +420,13 @@ impl Os {
         self.try_start_threads();
         self.pump();
         loop {
-            let next = match (self.ctrl.next_event_time(), self.timers.peek_time()) {
-                (None, None) => break,
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (Some(a), Some(b)) => a.min(b),
+            let wake = [
+                self.ctrl.next_event_time(),
+                self.timers.peek_time(),
+                self.qos_next_ready(),
+            ];
+            let Some(next) = wake.into_iter().flatten().min() else {
+                break;
             };
             if let Some(h) = horizon {
                 if next > h {
@@ -257,27 +461,120 @@ impl Os {
         }
     }
 
+    /// Earliest token-refill instant the main loop must wake for: only
+    /// meaningful under `TokenBucket` with free device-queue slots and a
+    /// rate-blocked backlog.
+    fn qos_next_ready(&mut self) -> Option<SimTime> {
+        if self.cfg.qos != QosPolicy::TokenBucket
+            || self.inflight.len() >= self.cfg.queue_depth
+        {
+            return None;
+        }
+        self.scratch_tenants.clear();
+        for (t, e) in self.tenants.iter().enumerate() {
+            if e.backlog > 0 {
+                self.scratch_tenants.push(TenantCand {
+                    tenant: t,
+                    head_seq: 0,
+                    head_enqueued_at: SimTime::ZERO,
+                });
+            }
+        }
+        qos::next_ready_time(
+            &self.cfg.qos,
+            &self.scratch_tenants,
+            &mut self.qos_slots,
+            self.now,
+        )
+    }
+
+    /// Collect the head-of-queue candidates of the given threads into the
+    /// reused scratch buffer.
+    fn collect_heads(threads: &[ThreadState], tids: impl Iterator<Item = ThreadId>, out: &mut Vec<DispatchCandidate>) {
+        out.clear();
+        for tid in tids {
+            if let Some(q) = threads[tid].queue.front() {
+                out.push(DispatchCandidate {
+                    thread: tid,
+                    kind: q.io.kind,
+                    enqueued_at: q.enqueued_at,
+                    seq: q.seq,
+                });
+            }
+        }
+    }
+
+    /// Pick the next thread to serve, or `None` when nothing is
+    /// dispatchable. Stage 1 (QoS) chooses the tenant, stage 2 (the OS
+    /// policy) chooses among that tenant's thread queues; under
+    /// `QosPolicy::None` all thread queues compete flat, exactly as in the
+    /// pre-tenant dispatcher.
+    fn pick_thread(&mut self) -> Option<ThreadId> {
+        if self.cfg.qos == QosPolicy::None {
+            let n = self.threads.len();
+            Self::collect_heads(&self.threads, 0..n, &mut self.scratch_heads);
+            let pick = self.cfg.policy.select(&self.scratch_heads, self.last_served)?;
+            return Some(self.scratch_heads[pick].thread);
+        }
+        self.scratch_tenants.clear();
+        for (t, e) in self.tenants.iter().enumerate() {
+            if e.backlog == 0 {
+                continue;
+            }
+            // The tenant's oldest queued IO (min arrival seq over heads).
+            let mut head: Option<(u64, SimTime)> = None;
+            for &tid in &e.threads {
+                if let Some(q) = self.threads[tid].queue.front() {
+                    if head.is_none_or(|(s, _)| q.seq < s) {
+                        head = Some((q.seq, q.enqueued_at));
+                    }
+                }
+            }
+            let (head_seq, head_enqueued_at) = head.expect("backlogged tenant has a head");
+            self.scratch_tenants.push(TenantCand {
+                tenant: t,
+                head_seq,
+                head_enqueued_at,
+            });
+        }
+        let pick = qos::select(
+            &self.cfg.qos,
+            &self.scratch_tenants,
+            &mut self.qos_slots,
+            self.now,
+            self.vclock,
+        )?;
+        let tenant = self.scratch_tenants[pick].tenant;
+        Self::collect_heads(
+            &self.threads,
+            self.tenants[tenant].threads.iter().copied(),
+            &mut self.scratch_heads,
+        );
+        let pick = self
+            .cfg
+            .policy
+            .select(&self.scratch_heads, self.last_served)
+            .expect("backlogged tenant has dispatchable heads");
+        Some(self.scratch_heads[pick].thread)
+    }
+
     /// Move queued IOs to the SSD while device-queue slots are free.
     fn dispatch(&mut self) {
         while self.inflight.len() < self.cfg.queue_depth {
-            let heads: Vec<DispatchCandidate> = self
-                .threads
-                .iter()
-                .enumerate()
-                .filter_map(|(tid, t)| {
-                    t.queue.front().map(|q| DispatchCandidate {
-                        thread: tid,
-                        kind: q.io.kind,
-                        enqueued_at: q.enqueued_at,
-                        seq: q.seq,
-                    })
-                })
-                .collect();
-            let Some(pick) = self.cfg.policy.select(&heads, self.last_served) else {
+            let Some(tid) = self.pick_thread() else {
                 break;
             };
-            let tid = heads[pick].thread;
             let q = self.threads[tid].queue.pop_front().expect("head exists");
+            let tenant = self.threads[tid].tenant;
+            self.tenants[tenant].backlog -= 1;
+            self.tenants[tenant].inflight += 1;
+            self.vclock = qos::charge(
+                &self.cfg.qos,
+                &mut self.qos_slots,
+                tenant,
+                self.now,
+                self.vclock,
+            );
             self.last_served = tid;
             let id = self.next_req_id;
             self.next_req_id += 1;
@@ -286,10 +583,12 @@ impl Os {
             } else {
                 IoTags::none()
             };
-            self.threads[tid]
-                .stats
-                .queue_wait_us
-                .record(self.now.saturating_since(q.enqueued_at).as_micros_f64());
+            let wait_us = self.now.saturating_since(q.enqueued_at).as_micros_f64();
+            self.threads[tid].stats.queue_wait_us.record(wait_us);
+            self.tenants[tenant].stats.queue_wait_us.record(wait_us);
+            // Namespace translation: queues hold tenant-relative LBAs
+            // (bounds-checked at submission); the device sees absolute ones.
+            let lpn = self.tenants[tenant].ns.base + q.io.lpn;
             self.inflight.insert(
                 id,
                 Inflight {
@@ -303,7 +602,7 @@ impl Os {
                 SsdRequest {
                     id,
                     kind: q.io.kind,
-                    lpn: q.io.lpn,
+                    lpn,
                     tags,
                 },
                 self.now,
@@ -322,6 +621,13 @@ impl Os {
             dispatched_at: inf.dispatched_at,
             completed_at: c.at,
         };
+        {
+            let tenant = self.threads[inf.thread].tenant;
+            let te = &mut self.tenants[tenant];
+            te.inflight -= 1;
+            te.stats
+                .record_completion(inf.io.kind, inf.io.lpn, done.latency());
+        }
         {
             let stats = &mut self.threads[inf.thread].stats;
             match inf.io.kind {
@@ -374,29 +680,43 @@ impl Os {
     }
 
     /// Invoke a workload callback with a fresh context, then apply the
-    /// buffered effects (submissions, timers, finish).
+    /// buffered effects (submissions, timers, finish). Submissions are
+    /// bounds-checked against the thread's namespace here — the OS
+    /// boundary no tenant-relative LBA crosses unchecked.
     fn call_workload(&mut self, tid: ThreadId, f: impl FnOnce(&mut dyn Workload, &mut ThreadCtx)) {
+        let tenant = self.threads[tid].tenant;
+        let ns = self.tenants[tenant].ns;
         let mut submissions = Vec::new();
         let mut timer_delays = Vec::new();
         let mut finished = self.threads[tid].finished;
         {
             let mut ctx = ThreadCtx {
                 now: self.now,
-                logical_pages: self.ctrl.logical_pages(),
+                logical_pages: ns.len,
                 submissions: &mut submissions,
                 timers: &mut timer_delays,
                 finished: &mut finished,
             };
             f(self.threads[tid].workload.as_mut(), &mut ctx);
         }
-        for io in submissions {
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            self.threads[tid].queue.push_back(QueuedIo {
-                io,
-                enqueued_at: self.now,
-                seq,
-            });
+        if !submissions.is_empty() {
+            if self.tenants[tenant].backlog == 0 {
+                // Idle → backlogged: sync the WFQ virtual time.
+                self.qos_slots[tenant].on_backlogged(self.vclock);
+            }
+            for io in submissions {
+                // Bounds check (panics on violation); translation to the
+                // device-absolute LBA happens at dispatch.
+                ns.translate(io.lpn, &self.tenants[tenant].name);
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.threads[tid].queue.push_back(QueuedIo {
+                    io,
+                    enqueued_at: self.now,
+                    seq,
+                });
+                self.tenants[tenant].backlog += 1;
+            }
         }
         for d in timer_delays {
             self.timers.schedule(self.now + d, tid);
@@ -654,6 +974,182 @@ mod tests {
     fn bad_dependency_panics() {
         let mut o = os(OsConfig::default());
         o.add_thread_after(Box::new(SeqWriter::new(1, 1)), vec![5]);
+    }
+
+    #[test]
+    fn tenants_get_disjoint_namespaces_and_isolated_stats() {
+        use crate::tenant::TenantConfig;
+        let mut o = os(OsConfig::default());
+        let a = o.add_tenant(TenantConfig::new("a", 64));
+        let b = o.add_tenant(TenantConfig::new("b", 32));
+        assert_eq!(o.namespace(a).base, 0);
+        assert_eq!(o.namespace(b).base, 64);
+        o.add_tenant_thread(a, Box::new(SeqWriter::new(64, 4)));
+        o.add_tenant_thread(b, Box::new(SeqWriter::new(10, 2)));
+        o.run();
+        assert_eq!(o.tenant_stats(a).writes_completed, 64);
+        assert_eq!(o.tenant_stats(b).writes_completed, 10);
+        // Utilization counts distinct namespace pages.
+        assert_eq!(o.tenant_stats(a).valid_pages(), 64);
+        assert_eq!(o.namespace_utilization(a), 1.0);
+        assert!((o.namespace_utilization(b) - 10.0 / 32.0).abs() < 1e-12);
+        assert!(o.tenant_stats(a).tail(eagletree_controller::OpClass::AppWrite).p99
+            > SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its 8-page namespace")]
+    fn tenant_lba_out_of_namespace_panics_at_the_boundary() {
+        use crate::tenant::TenantConfig;
+        let mut o = os(OsConfig::default());
+        let t = o.add_tenant(TenantConfig::new("tiny", 8));
+        // SeqWriter writes LBAs 0..16: the 9th violates the namespace.
+        o.add_tenant_thread(t, Box::new(SeqWriter::new(16, 1)));
+        o.run();
+    }
+
+    #[test]
+    fn namespace_resize_at_setup_grows_and_relocates() {
+        use crate::tenant::TenantConfig;
+        let mut o = os(OsConfig::default());
+        let a = o.add_tenant(TenantConfig::new("a", 16));
+        let b = o.add_tenant(TenantConfig::new("b", 16));
+        // `b` is the last carved: grows in place.
+        o.resize_namespace(b, 32);
+        assert_eq!(o.namespace(b), crate::tenant::Namespace { base: 16, len: 32 });
+        // `a` is not: relocates past the watermark. Pages written before
+        // the relocation are left behind, so valid-page accounting resets.
+        let w = o.add_tenant_thread(a, Box::new(SeqWriter::new(4, 2)));
+        o.run();
+        assert_eq!(o.tenant_stats(a).valid_pages(), 4);
+        let _ = w;
+        o.resize_namespace(a, 24);
+        assert_eq!(o.namespace(a), crate::tenant::Namespace { base: 48, len: 24 });
+        assert_eq!(o.tenant_stats(a).valid_pages(), 0, "relocated window is empty");
+        // Shrink is always in place.
+        o.resize_namespace(a, 8);
+        assert_eq!(o.namespace(a), crate::tenant::Namespace { base: 48, len: 8 });
+        o.add_tenant_thread(a, Box::new(SeqWriter::new(8, 2)));
+        o.run();
+        // 4 pre-relocation writes + 8 in the new window (counters are
+        // cumulative; only the valid-page bitmap was reset).
+        assert_eq!(o.tenant_stats(a).writes_completed, 12);
+        assert_eq!(o.tenant_stats(a).valid_pages(), 8);
+    }
+
+    #[test]
+    fn wfq_isolates_a_modest_tenant_from_a_flooder() {
+        use crate::qos::QosPolicy;
+        use crate::tenant::TenantConfig;
+        // Tenant "hog" floods 600 writes up front; tenant "victim" issues
+        // a trickle. Under WFQ the victim's queue wait must collapse
+        // relative to the flat (None) dispatch.
+        let victim_wait = |qos: QosPolicy, hog_weight: u32, victim_weight: u32| {
+            let mut o = os(OsConfig {
+                queue_depth: 8,
+                qos,
+                ..OsConfig::default()
+            });
+            let mut hog_cfg = TenantConfig::new("hog", 32);
+            hog_cfg.qos.weight = hog_weight;
+            let mut victim_cfg = TenantConfig::new("victim", 32);
+            victim_cfg.qos.weight = victim_weight;
+            let hog = o.add_tenant(hog_cfg);
+            let victim = o.add_tenant(victim_cfg);
+            struct Flood {
+                n: u64,
+            }
+            impl Workload for Flood {
+                fn init(&mut self, ctx: &mut ThreadCtx) {
+                    for i in 0..self.n {
+                        ctx.submit(OsIo::write(i % ctx.logical_pages()));
+                    }
+                }
+                fn call_back(&mut self, ctx: &mut ThreadCtx, _d: CompletedIo) {
+                    ctx.finish();
+                }
+            }
+            o.add_tenant_thread(hog, Box::new(Flood { n: 600 }));
+            let v = o.add_tenant_thread(victim, Box::new(SeqWriter::new(30, 2)));
+            o.run();
+            let _ = v;
+            o.tenant_stats(victim).queue_wait_us.mean()
+        };
+        let flat = victim_wait(QosPolicy::None, 1, 1);
+        let wfq = victim_wait(QosPolicy::Wfq, 1, 1);
+        assert!(
+            wfq < flat / 2.0,
+            "wfq victim wait {wfq:.0}us not clearly better than flat {flat:.0}us"
+        );
+    }
+
+    #[test]
+    fn token_bucket_caps_tenant_throughput() {
+        use crate::qos::QosPolicy;
+        use crate::tenant::TenantConfig;
+        // One tenant capped at 10k IOPS must take ≥ ~100µs per IO of
+        // virtual time even though the device is much faster.
+        let mut o = os(OsConfig {
+            qos: QosPolicy::TokenBucket,
+            ..OsConfig::default()
+        });
+        let mut cfg = TenantConfig::new("capped", 64);
+        cfg.qos.iops_limit = Some(10_000.0);
+        cfg.qos.burst = 1.0;
+        let t = o.add_tenant(cfg);
+        o.add_tenant_thread(t, Box::new(SeqWriter::new(50, 8)));
+        o.run();
+        let makespan_us = o.now().as_nanos() as f64 / 1e3;
+        assert!(
+            makespan_us >= 49.0 * 100.0,
+            "50 IOs at 10k IOPS must span ≥4.9ms of virtual time, got {makespan_us:.0}us"
+        );
+        assert_eq!(o.tenant_stats(t).writes_completed, 50);
+    }
+
+    #[test]
+    fn strict_tiers_prefer_low_tier_and_never_starve() {
+        use crate::qos::QosPolicy;
+        use crate::tenant::TenantConfig;
+        let mut o = os(OsConfig {
+            queue_depth: 4,
+            qos: QosPolicy::StrictTiers {
+                starvation_us: 50_000,
+            },
+            ..OsConfig::default()
+        });
+        let mut hi = TenantConfig::new("hi", 256);
+        hi.qos.tier = 0;
+        let mut lo = TenantConfig::new("lo", 64);
+        lo.qos.tier = 3;
+        let hi = o.add_tenant(hi);
+        let lo = o.add_tenant(lo);
+        o.add_tenant_thread(hi, Box::new(SeqWriter::new(200, 16)));
+        o.add_tenant_thread(lo, Box::new(SeqWriter::new(50, 16)));
+        o.run();
+        // Both finish (starvation guard), and the high tier waits less.
+        assert_eq!(o.tenant_stats(hi).writes_completed, 200);
+        assert_eq!(o.tenant_stats(lo).writes_completed, 50);
+        assert!(
+            o.tenant_stats(hi).queue_wait_us.mean()
+                < o.tenant_stats(lo).queue_wait_us.mean()
+        );
+    }
+
+    #[test]
+    fn default_tenant_coexists_with_named_tenants() {
+        use crate::tenant::TenantConfig;
+        let mut o = os(OsConfig::default());
+        // Preconditioning-style whole-device thread (default tenant) plus
+        // a carved tenant.
+        let fill = o.add_thread(Box::new(SeqWriter::new(100, 8)));
+        let t = o.add_tenant(TenantConfig::new("t", 32));
+        o.add_tenant_thread(t, Box::new(SeqWriter::new(32, 4)));
+        o.run();
+        assert_eq!(o.thread_stats(fill).writes_completed, 100);
+        assert_eq!(o.tenant_stats(t).writes_completed, 32);
+        assert_eq!(o.tenant_count(), 2);
+        assert_eq!(o.tenant_name(t), "t");
     }
 
     #[test]

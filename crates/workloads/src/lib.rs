@@ -19,12 +19,17 @@
 //! * [`lsm`] — LSM-tree insertions (the paper's motivating example §1):
 //!   memtable flushes plus leveled compactions.
 //! * [`trace`] — record/replay of explicit IO traces with think times.
+//! * [`tenant`] — the tenant-profile builder: declare a tenant's
+//!   namespace, QoS parameters and member threads, then install the whole
+//!   profile onto an [`Os`](eagletree_os::Os) in one call (the
+//!   multi-tenant experiments' setup vocabulary).
 
 pub mod fs;
 pub mod gen;
 pub mod grace_join;
 pub mod lsm;
 pub mod precondition;
+pub mod tenant;
 pub mod trace;
 
 pub use fs::FileSystemThread;
@@ -35,4 +40,5 @@ pub use gen::{
 pub use grace_join::GraceHashJoin;
 pub use lsm::LsmTreeThread;
 pub use precondition::{random_fill, sequential_fill};
+pub use tenant::TenantProfile;
 pub use trace::{TraceEntry, TraceThread};

@@ -20,7 +20,9 @@
 //!    policies (FIFO / round-robin / priorities / deadline), a bounded
 //!    device queue, and the *open interface*: optional priority /
 //!    temperature / update-locality messages that cross the block-device
-//!    boundary when unlocked.
+//!    boundary when unlocked. Threads belong to *tenants* with NVMe-style
+//!    namespaces and a QoS layer (weighted fair queuing, token-bucket
+//!    rate caps, strict tiers) for multi-tenant isolation studies.
 //! 4. **Applications** ([`workloads`]) — the thread framework
 //!    (`init`/`call_back`) with generators, preconditioning threads,
 //!    a file-system thread, a Grace hash join, LSM-tree insertions, and
@@ -71,11 +73,12 @@ pub mod prelude {
     };
     pub use eagletree_flash::{CellType, Geometry, TimingSpec};
     pub use eagletree_os::{
-        CompletedIo, Message, Os, OsConfig, OsIo, OsSchedPolicy, ThreadCtx, Workload,
+        CompletedIo, Message, Os, OsConfig, OsIo, OsSchedPolicy, QosParams, QosPolicy,
+        TenantConfig, TenantId, ThreadCtx, Workload,
     };
     pub use eagletree_workloads::{
         precondition, FileSystemThread, GraceHashJoin, LsmTreeThread, MixedGen, Pumped,
-        RandReadGen, RandWriteGen, Region, SeqReadGen, SeqWriteGen, TraceEntry, TraceThread,
-        ZipfGen, ZipfKind,
+        RandReadGen, RandWriteGen, Region, SeqReadGen, SeqWriteGen, TenantProfile, TraceEntry,
+        TraceThread, ZipfGen, ZipfKind,
     };
 }
