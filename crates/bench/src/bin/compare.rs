@@ -5,7 +5,10 @@
 //! ```
 //!
 //! Prints a per-experiment delta report (wall seconds, speedup, events/sec
-//! where present) for CI to archive next to the raw JSON, followed by an
+//! where present) for CI to archive next to the raw JSON, an informational
+//! "event-count drift" section for experiments whose deterministic
+//! `events_simulated` changed (the simulation itself, not just its speed —
+//! counts are per-thread, so sequential and `--jobs N` runs agree), and an
 //! explicit "not comparable" section listing experiments present in only
 //! one of the two files (new experiments vs. an older baseline, or
 //! removed/renamed ones) — so additions like E19/E20 show up loudly
@@ -21,6 +24,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Default, Clone)]
 struct Exp {
     wall_seconds: f64,
+    events_simulated: Option<u64>,
     events_per_sec: Option<f64>,
 }
 
@@ -49,6 +53,10 @@ fn scrape(path: &str) -> BTreeMap<String, Exp> {
         } else if let Some(rest) = line.strip_prefix("\"events_per_sec\": ") {
             if let (Some(id), Ok(v)) = (&cur, rest.parse::<f64>()) {
                 out.get_mut(id).expect("id seen first").events_per_sec = Some(v);
+            }
+        } else if let Some(rest) = line.strip_prefix("\"events_simulated\": ") {
+            if let (Some(id), Ok(v)) = (&cur, rest.parse::<u64>()) {
+                out.get_mut(id).expect("id seen first").events_simulated = Some(v);
             }
         }
     }
@@ -114,6 +122,29 @@ fn main() {
             if c.wall_seconds > b.wall_seconds * factor + 0.5 {
                 regressions.push((id.clone(), b.wall_seconds, c.wall_seconds));
             }
+        }
+    }
+    // Event counts are deterministic per experiment (and, since the
+    // per-thread counter, identical between sequential and parallel
+    // runs): a differing count means the simulation itself changed, which
+    // is worth calling out next to pure wall-clock noise. Informational
+    // only — never gates.
+    let drifted: Vec<String> = cur
+        .iter()
+        .filter_map(|(id, c)| {
+            let b = base.get(id)?;
+            match (b.events_simulated, c.events_simulated) {
+                (Some(be), Some(ce)) if be != ce => {
+                    Some(format!("{id} ({be} -> {ce} events)"))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    if !drifted.is_empty() {
+        println!("\nevent-count drift (simulation behavior changed, not just speed):");
+        for d in &drifted {
+            println!("  {d}");
         }
     }
     let only_base: Vec<String> = base

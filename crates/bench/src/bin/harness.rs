@@ -13,8 +13,10 @@
 //! * `harness all --scale smoke --jobs 0` — run independent experiments on
 //!   parallel threads (`0` = all available cores). Every simulation is
 //!   self-contained and deterministic, so results are identical to a
-//!   sequential run; only wall time changes. Per-experiment event counts
-//!   are omitted in parallel mode (the events counter is process-global).
+//!   sequential run; only wall time changes. Event counts are measured
+//!   with a per-thread counter, so `events_simulated` (and hence the JSON
+//!   shape) matches the sequential run; `events_per_sec` reflects the
+//!   parallel run's (contended) wall clock.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -137,28 +139,36 @@ fn run_sequential(
     let mut results = Vec::new();
     for e in experiments {
         eprintln!("running {} ({:?}) …", e.id, scale);
-        let events_before = eagletree_core::global_events_popped();
-        let started = std::time::Instant::now();
-        let table = e.run(scale);
-        let secs = started.elapsed().as_secs_f64();
-        let events = eagletree_core::global_events_popped() - events_before;
+        let result = run_one(e, scale);
+        let (secs, events) = (result.wall_seconds, result.events_simulated.unwrap_or(0));
         let eps = if secs > 0.0 { events as f64 / secs } else { 0.0 };
         eprintln!("  done in {secs:.1}s ({events} events, {eps:.0} events/s)");
-        let result = ExperimentResult {
-            table,
-            wall_seconds: secs,
-            events_simulated: Some(events),
-        };
         print(&result);
         results.push(result);
     }
     results
 }
 
+/// Run one experiment, attributing exactly its own simulation events via
+/// the per-thread event counter — correct in both sequential and parallel
+/// modes (each experiment runs wholly on one worker thread).
+fn run_one(e: &eagletree_experiments::Experiment, scale: Scale) -> ExperimentResult {
+    let events_before = eagletree_core::thread_events_popped();
+    let started = std::time::Instant::now();
+    let table = e.run(scale);
+    let secs = started.elapsed().as_secs_f64();
+    let events = eagletree_core::thread_events_popped() - events_before;
+    ExperimentResult {
+        table,
+        wall_seconds: secs,
+        events_simulated: Some(events),
+    }
+}
+
 /// Run the experiments on `jobs` scoped worker threads pulling from a
-/// shared work list. Each simulation is self-contained, so results are
-/// identical to the sequential run; the process-global event counter
-/// interleaves across workers, so per-experiment event counts are omitted.
+/// shared work list. Each simulation is self-contained, so results —
+/// including per-experiment event counts, measured per worker thread —
+/// are identical to the sequential run; only wall clock differs.
 fn run_parallel(
     experiments: &[eagletree_experiments::Experiment],
     scale: Scale,
@@ -173,15 +183,9 @@ fn run_parallel(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(e) = experiments.get(i) else { break };
                 eprintln!("running {} ({:?}) …", e.id, scale);
-                let started = std::time::Instant::now();
-                let table = e.run(scale);
-                let secs = started.elapsed().as_secs_f64();
-                eprintln!("  {} done in {secs:.1}s", e.id);
-                *slots[i].lock().unwrap() = Some(ExperimentResult {
-                    table,
-                    wall_seconds: secs,
-                    events_simulated: None,
-                });
+                let result = run_one(e, scale);
+                eprintln!("  {} done in {:.1}s", e.id, result.wall_seconds);
+                *slots[i].lock().unwrap() = Some(result);
             });
         }
     });
@@ -192,7 +196,8 @@ fn run_parallel(
 }
 
 /// One experiment's outcome: its result table plus simulator-throughput
-/// metadata (host wall time and, in sequential runs, events processed).
+/// metadata (host wall time and events processed, measured per thread so
+/// parallel runs report the same counts as sequential ones).
 struct ExperimentResult {
     table: Table,
     wall_seconds: f64,

@@ -86,6 +86,25 @@ impl Allocator {
         }
     }
 
+    /// An allocator with *no* free blocks: the mount-time starting point.
+    /// Recovery hands back each block it found erased (with its surviving
+    /// erase count) via [`Allocator::block_freed`].
+    pub fn empty(geometry: Geometry, policy: WriteAllocPolicy, dynamic_wl: bool) -> Self {
+        Allocator {
+            geometry,
+            luns: vec![
+                LunAlloc {
+                    free: Vec::new(),
+                    active: HashMap::new(),
+                };
+                geometry.total_luns() as usize
+            ],
+            policy,
+            dynamic_wl,
+            rr_cursor: 0,
+        }
+    }
+
     /// Number of wholly-free blocks on a LUN.
     pub fn free_blocks(&self, lun: u32) -> usize {
         self.luns[lun as usize].free.len()

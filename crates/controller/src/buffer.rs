@@ -87,6 +87,17 @@ impl WriteBuffer {
         // `order` is lazily cleaned in `next_flush_candidates`.
     }
 
+    /// The buffered logical pages, oldest first. Battery-backed RAM
+    /// survives a power cut; remount re-installs exactly this list.
+    pub fn resident_lpns(&self) -> Vec<Lpn> {
+        let mut seen = std::collections::HashSet::new();
+        self.order
+            .iter()
+            .filter(|l| self.entries.contains_key(l) && seen.insert(**l))
+            .copied()
+            .collect()
+    }
+
     /// Whether the buffer is at/over capacity and should flush.
     pub fn needs_flush(&self) -> bool {
         self.entries.len() >= self.capacity

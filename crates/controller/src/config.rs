@@ -158,6 +158,14 @@ pub struct ControllerConfig {
     pub ram_bytes: u64,
     /// Battery-backed RAM budget in bytes (write buffer).
     pub battery_ram_bytes: u64,
+    /// Write a mapping checkpoint to reserved blocks every this many page
+    /// programs (0 disables checkpointing). A committed checkpoint lets
+    /// mount-time recovery replay only the OOB entries written after it,
+    /// instead of scanning the whole device; the trade-off is periodic
+    /// checkpoint write traffic and two reserved block groups. Crash-safe:
+    /// a checkpoint interrupted by a power cut is discarded and the
+    /// previous committed one (or a full scan) is used instead.
+    pub checkpoint_interval_programs: u64,
     /// RNG seed for randomized policies (victim selection).
     pub seed: u64,
     /// Capture a per-IO visual trace of up to this many events
@@ -179,6 +187,7 @@ impl Default for ControllerConfig {
             interleaving: true,
             use_cached_program: true,
             write_buffer_pages: 0,
+            checkpoint_interval_programs: 0,
             ram_bytes: 64 << 20,
             battery_ram_bytes: 1 << 20,
             seed: 0xEA61E,

@@ -11,12 +11,12 @@
 //! the configured [`crate::sched::SchedPolicy`] and write allocator — precisely
 //! the design space the paper exposes.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use eagletree_core::{EventQueue, OnlineStats, SimRng, SimTime, TraceKind, TraceLog};
 use eagletree_flash::{
-    BlockAddr, FlashArray, FlashCommand, Geometry, MemoryKind, MemoryManager, PageState,
-    PhysicalAddr, TimingSpec,
+    BlockAddr, FlashArray, FlashCommand, Geometry, MemoryKind, MemoryManager, OobEntry,
+    OobTag, PageState, PhysicalAddr, TimingSpec,
 };
 
 use crate::alloc::{Allocator, Stream};
@@ -28,6 +28,7 @@ use crate::ftl::{
 };
 use crate::gc::{pick_victim, FoldPlan, FoldState, MergeJob, ReclaimJob};
 use crate::pend::{PendingSet, QueueKey, NO_SLOT};
+use crate::recovery::{self, CheckpointRecord, CrashImage, RecoveryMode, RecoveryReport};
 use crate::sched::{class_index, class_table, ClassTable};
 use crate::temperature::MultiBloomDetector;
 use crate::types::{
@@ -51,6 +52,8 @@ pub enum PageContent {
     Data(Lpn),
     /// A DFTL translation page.
     Translation(u64),
+    /// A page of a mapping checkpoint in one of the reserved slots.
+    Checkpoint(u8),
 }
 
 /// Completion-event payloads: what finished and what to do next.
@@ -74,6 +77,8 @@ enum DoneWhat {
     MergeXfer { mj: usize, from: PhysicalAddr },
     MergeProgDone { mj: usize, from: Option<Ppn>, dest: Ppn },
     MergeEraseDone { source: IoSource, block: BlockAddr, job: Option<usize> },
+    CkptWriteDone,
+    CkptEraseDone { block: BlockAddr },
 }
 
 enum CtrlEvent {
@@ -136,6 +141,11 @@ enum PendKind {
     /// Erase of a merge-retired block. `job`: set for the victim log
     /// block whose erase completes merge job `mj`.
     MergeErase { source: IoSource, block: BlockAddr, job: Option<usize> },
+    /// Program of the in-flight checkpoint's next snapshot page into its
+    /// reserved slot (destination derived from the checkpoint job).
+    CkptWrite,
+    /// Erase of a reserved block whose checkpoint a newer commit retired.
+    CkptErase { block: BlockAddr },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -166,6 +176,37 @@ struct FetchJob {
 struct WbJob {
     tvpn: u64,
     old_ppn: Option<Ppn>,
+}
+
+/// Runtime state of the periodic mapping checkpoint
+/// (`ControllerConfig::checkpoint_interval_programs > 0`).
+///
+/// Two reserved block groups double-buffer the snapshot: the next
+/// checkpoint programs into `slots[next_slot]` page by page through the
+/// scheduler, commits when its last program lands, and only then retires
+/// (erases) the previous committed slot — so at every instant, either the
+/// old or the new checkpoint is whole on flash.
+struct CkptState {
+    /// Program stamps between checkpoints.
+    interval: u64,
+    /// Pages one snapshot serializes to.
+    pages_per_snapshot: u32,
+    /// Reserved blocks per slot (never in the allocator's free pool).
+    slots: [Vec<BlockAddr>; 2],
+    /// Slot the next checkpoint writes into.
+    next_slot: usize,
+    /// The last committed checkpoint — what a power cut recovers from.
+    committed: Option<CheckpointRecord>,
+    /// Snapshot currently being programmed, if any.
+    job: Option<CkptJob>,
+    /// Stamp-counter value at the last checkpoint trigger.
+    last_stamp: u64,
+}
+
+struct CkptJob {
+    record: CheckpointRecord,
+    /// Next snapshot page to program, `0..pages_per_snapshot`.
+    next_page: u32,
 }
 
 /// Merge observability: scheme-level merge kinds (from the hybrid FTL)
@@ -214,6 +255,10 @@ pub struct CtrlStats {
     pub merge_erases: u64,
     /// Blocks retired after exhausting erase endurance.
     pub bad_blocks_retired: u64,
+    /// Mapping checkpoints committed (crash-recovery anchors).
+    pub checkpoints_committed: u64,
+    /// Snapshot pages programmed into the reserved checkpoint slots.
+    pub checkpoint_pages: u64,
 }
 
 impl CtrlStats {
@@ -263,6 +308,16 @@ pub struct Controller {
     stats: CtrlStats,
     erases_since_wl: u32,
     completions: Vec<Completion>,
+    /// Next OOB program stamp (monotone over the device's whole life —
+    /// remount resumes it above every stamp the scan saw).
+    stamp_next: u64,
+    /// Stamps of data/translation programs whose mapping effect has not
+    /// landed yet; their minimum bounds the checkpoint watermark, so a
+    /// snapshot never claims to cover an entry it cannot contain.
+    inflight_stamps: BTreeSet<u64>,
+    stamp_by_ppn: HashMap<Ppn, u64>,
+    /// Periodic mapping checkpoint, when configured.
+    ckpt: Option<CkptState>,
 }
 
 impl Controller {
@@ -320,7 +375,13 @@ impl Controller {
             None
         };
         let array = FlashArray::new(geometry, timing);
-        let alloc = Allocator::new(geometry, cfg.write_alloc, cfg.wl.dynamic_enabled);
+        let mut alloc = Allocator::new(geometry, cfg.write_alloc, cfg.wl.dynamic_enabled);
+        let tvpns = match &ftl {
+            FtlKind::Dftl(d) => d.tvpn_count(),
+            _ => 0,
+        };
+        let ckpt =
+            Self::checkpoint_state(&cfg, &geometry, logical_pages, tvpns, &mut mem, &mut alloc)?;
         let tracer = if cfg.trace_events > 0 {
             Some(TraceLog::new(cfg.trace_events))
         } else {
@@ -358,7 +419,51 @@ impl Controller {
             stats: CtrlStats::new(),
             erases_since_wl: 0,
             completions: Vec::new(),
+            stamp_next: 1,
+            inflight_stamps: BTreeSet::new(),
+            stamp_by_ppn: HashMap::new(),
+            ckpt,
         })
+    }
+
+    /// Reserve the double-buffered checkpoint slots and account their
+    /// staging RAM, when checkpointing is configured.
+    fn checkpoint_state(
+        cfg: &ControllerConfig,
+        geometry: &Geometry,
+        logical_pages: u64,
+        tvpns: u64,
+        mem: &mut MemoryManager,
+        alloc: &mut Allocator,
+    ) -> Result<Option<CkptState>, String> {
+        if cfg.checkpoint_interval_programs == 0 {
+            return Ok(None);
+        }
+        let bytes = (logical_pages + tvpns) * 8;
+        let pages = bytes.div_ceil(geometry.page_size as u64).max(1);
+        let blocks_per_slot = pages.div_ceil(geometry.pages_per_block as u64).max(1) as usize;
+        mem.reserve(MemoryKind::Ram, "checkpoint-staging", bytes)?;
+        let mut slots = [Vec::new(), Vec::new()];
+        for slot in &mut slots {
+            for _ in 0..blocks_per_slot {
+                let Some((b, _)) = alloc.take_block() else {
+                    return Err(format!(
+                        "checkpoint reservation does not fit: need {} spare blocks",
+                        2 * blocks_per_slot
+                    ));
+                };
+                slot.push(b);
+            }
+        }
+        Ok(Some(CkptState {
+            interval: cfg.checkpoint_interval_programs,
+            pages_per_snapshot: pages as u32,
+            slots,
+            next_slot: 0,
+            committed: None,
+            job: None,
+            last_stamp: 0,
+        }))
     }
 
     /// Number of logical pages the device exports.
@@ -771,12 +876,72 @@ impl Controller {
         self.reverse[ppn as usize] = None;
     }
 
+    // ----- OOB stamping (the durable half of the mapping) -----------------
+
+    fn fresh_stamp(&mut self) -> u64 {
+        let s = self.stamp_next;
+        self.stamp_next += 1;
+        s
+    }
+
+    /// The content version a relocation inherits from its source page.
+    fn source_seq(&self, src_ppn: Ppn) -> u64 {
+        self.array
+            .oob(self.array.geometry().page_at(src_ppn))
+            .expect("live relocation source carries OOB")
+            .seq
+    }
+
+    /// Persist the OOB record of a data/translation program the scheduler
+    /// just issued, and track its stamp until the mapping effect lands
+    /// (the minimum outstanding stamp bounds the checkpoint watermark).
+    /// `seq`: `None` = fresh content version (host/translation write),
+    /// `Some` = inherited from a relocation source (GC / WL / merge copy —
+    /// the copy must never outrank a newer host write).
+    fn stamp_program(&mut self, addr: PhysicalAddr, tag: OobTag, seq: Option<u64>) {
+        let stamp = self.fresh_stamp();
+        let seq = seq.unwrap_or(stamp);
+        self.array.set_oob(addr, OobEntry { tag, seq, stamp });
+        let ppn = self.array.geometry().page_index(addr);
+        self.inflight_stamps.insert(stamp);
+        let prev = self.stamp_by_ppn.insert(ppn, stamp);
+        debug_assert!(prev.is_none(), "page programmed twice without landing");
+    }
+
+    /// The program at `ppn` has landed (mapping effect applied or
+    /// discarded): release its stamp from the watermark bound.
+    fn stamp_landed(&mut self, ppn: Ppn) {
+        if let Some(s) = self.stamp_by_ppn.remove(&ppn) {
+            self.inflight_stamps.remove(&s);
+        }
+    }
+
+    /// OOB tag for a page holding `content`.
+    fn content_tag(content: PageContent) -> OobTag {
+        match content {
+            PageContent::Data(lpn) => OobTag::Data { lpn },
+            PageContent::Translation(tvpn) => OobTag::Translation { tvpn },
+            PageContent::Checkpoint(slot) => OobTag::Checkpoint { slot },
+        }
+    }
+
     // ----- garbage collection & wear leveling ----------------------------
 
     fn reclaim_skip_set(&self) -> impl Fn(BlockAddr) -> bool + '_ {
         move |b: BlockAddr| {
-            self.victims.contains(&b) || self.alloc.is_free(b) || self.alloc.is_active(b)
+            self.victims.contains(&b)
+                || self.alloc.is_free(b)
+                || self.alloc.is_active(b)
+                || self.is_ckpt_reserved(b)
         }
+    }
+
+    /// Whether `b` is one of the reserved checkpoint blocks (never a GC or
+    /// wear-leveling victim; its pages are retired by checkpoint commits).
+    fn is_ckpt_reserved(&self, b: BlockAddr) -> bool {
+        self.ckpt
+            .as_ref()
+            .is_some_and(|c| c.slots.iter().any(|s| s.contains(&b)))
     }
 
     /// Effective GC trigger threshold: collect while `free < floor`.
@@ -918,63 +1083,81 @@ impl Controller {
         }));
         lpns.sort_unstable();
         for &(_, lpn) in &lpns {
-            match self.hybrid_mut().place(lpn) {
-                // Appends issue through the scheduler; stream waiters hold
-                // until the sequential fill catches up (or the quiescence
-                // fallback in `run_sched` merges the wedged stream).
-                HybridPlace::Append(_) | HybridPlace::AwaitSequential => {}
-                HybridPlace::NeedsLogBlock { sequential } => {
-                    if let Some((block, _)) = self.alloc.take_block() {
-                        let base = self.array.geometry().page_index(block.page(0));
-                        let lbn = sequential.then(|| lpn / self.ppb());
-                        self.hybrid_mut().open_log(base, lbn);
+            // A switch merge can resolve *synchronously* (the SW block
+            // becomes the data block: no copies, no erase, no event). The
+            // write that triggered it must then be re-placed in the same
+            // pass, or it would sit unissuable over an empty agenda and
+            // wedge the simulation. Bounded: each extra round consumes
+            // the SW block or ends in a non-merge placement.
+            let mut rounds = 0u32;
+            while rounds < 4 {
+                rounds += 1;
+                match self.hybrid_mut().place(lpn) {
+                    // Appends issue through the scheduler; stream waiters
+                    // hold until the sequential fill catches up (or the
+                    // quiescence fallback in `run_sched` merges the
+                    // wedged stream).
+                    HybridPlace::Append(_) | HybridPlace::AwaitSequential => {}
+                    HybridPlace::NeedsLogBlock { sequential } => {
+                        if let Some((block, _)) = self.alloc.take_block() {
+                            let base = self.array.geometry().page_index(block.page(0));
+                            let lbn = sequential.then(|| lpn / self.ppb());
+                            self.hybrid_mut().open_log(base, lbn);
+                        }
+                        // No free block: a pending erase will return one.
                     }
-                    // No free block: a pending erase will return one.
+                    HybridPlace::NeedsSeqMerge => {
+                        let lbn = lpn / self.ppb();
+                        if self.hybrid_mut().retarget_empty_sw(lbn) {
+                            break; // the empty SW block changed streams
+                        }
+                        self.hybrid_mut().seal_sw();
+                        if self.merge_active {
+                            break;
+                        }
+                        if let Some(plan) = self.hybrid_mut().take_sw_for_merge() {
+                            let fold = FoldPlan {
+                                lbn: plan.lbn,
+                                reuse: plan.reuse_from.map(|_| plan.base),
+                                start: plan.reuse_from.unwrap_or(0),
+                            };
+                            // A superseded prefix cannot be completed in
+                            // place: fold elsewhere, then erase the log
+                            // block.
+                            let victim = plan.reuse_from.is_none().then_some(plan.base);
+                            self.start_merge_job(
+                                MergeJob::new(IoSource::Merge, victim, vec![fold]),
+                                now,
+                            );
+                            if !self.merge_active {
+                                // Instant switch: the SW slot freed with
+                                // no event pending — re-place this write.
+                                continue;
+                            }
+                        }
+                    }
+                    HybridPlace::NeedsMerge => {
+                        if self.merge_active {
+                            break;
+                        }
+                        if let Some(plan) = self.hybrid_mut().take_merge_victim() {
+                            let folds = plan
+                                .lbns
+                                .iter()
+                                .map(|&lbn| FoldPlan {
+                                    lbn,
+                                    reuse: None,
+                                    start: 0,
+                                })
+                                .collect();
+                            self.start_merge_job(
+                                MergeJob::new(IoSource::Merge, Some(plan.victim), folds),
+                                now,
+                            );
+                        }
+                    }
                 }
-                HybridPlace::NeedsSeqMerge => {
-                    let lbn = lpn / self.ppb();
-                    if self.hybrid_mut().retarget_empty_sw(lbn) {
-                        continue; // the empty SW block changed streams
-                    }
-                    self.hybrid_mut().seal_sw();
-                    if self.merge_active {
-                        continue;
-                    }
-                    if let Some(plan) = self.hybrid_mut().take_sw_for_merge() {
-                        let fold = FoldPlan {
-                            lbn: plan.lbn,
-                            reuse: plan.reuse_from.map(|_| plan.base),
-                            start: plan.reuse_from.unwrap_or(0),
-                        };
-                        // A superseded prefix cannot be completed in
-                        // place: fold elsewhere, then erase the log block.
-                        let victim = plan.reuse_from.is_none().then_some(plan.base);
-                        self.start_merge_job(
-                            MergeJob::new(IoSource::Merge, victim, vec![fold]),
-                            now,
-                        );
-                    }
-                }
-                HybridPlace::NeedsMerge => {
-                    if self.merge_active {
-                        continue;
-                    }
-                    if let Some(plan) = self.hybrid_mut().take_merge_victim() {
-                        let folds = plan
-                            .lbns
-                            .iter()
-                            .map(|&lbn| FoldPlan {
-                                lbn,
-                                reuse: None,
-                                start: 0,
-                            })
-                            .collect();
-                        self.start_merge_job(
-                            MergeJob::new(IoSource::Merge, Some(plan.victim), folds),
-                            now,
-                        );
-                    }
-                }
+                break;
             }
         }
         self.hybrid_scratch = lpns;
@@ -1173,6 +1356,100 @@ impl Controller {
         );
     }
 
+    // ----- periodic mapping checkpoints -----------------------------------
+
+    /// Number of translation virtual pages the scheme persists (DFTL).
+    fn tvpn_count(&self) -> u64 {
+        match &self.ftl {
+            FtlKind::Dftl(d) => d.tvpn_count(),
+            _ => 0,
+        }
+    }
+
+    /// Start a checkpoint when the interval elapsed, no snapshot is in
+    /// flight, and the target slot is fully erased (its previous
+    /// contents' erases may still be queued). Runs at the top of every
+    /// scheduling pass.
+    fn maybe_checkpoint(&mut self, now: SimTime) {
+        let Some(ck) = &self.ckpt else { return };
+        if ck.job.is_some() || self.stamp_next.saturating_sub(ck.last_stamp) < ck.interval {
+            return;
+        }
+        let slot = ck.next_slot;
+        let ppb = self.array.geometry().pages_per_block as u64;
+        if (ck.slots[slot].len() as u64) * ppb < ck.pages_per_snapshot as u64 {
+            return; // slot lost blocks to wear-out and found no spares
+        }
+        let erased = ck.slots[slot].iter().all(|b| {
+            let info = self.array.block_info(*b);
+            info.write_ptr == 0 && !info.bad && !self.array.block_needs_erase(*b)
+        });
+        if !erased {
+            return;
+        }
+        let record = self.snapshot_record(slot);
+        let ck = self.ckpt.as_mut().expect("checked above");
+        ck.last_stamp = self.stamp_next;
+        ck.job = Some(CkptJob {
+            record,
+            next_page: 0,
+        });
+        self.enqueue(OpClass::MappingWrite, None, now, PendKind::CkptWrite);
+    }
+
+    /// Capture the mapping snapshot the next checkpoint persists. The
+    /// watermark is held below every outstanding (issued-but-unlanded)
+    /// program stamp, so replay re-scans any block that could hold an
+    /// entry this snapshot does not yet reflect.
+    fn snapshot_record(&self, slot: usize) -> CheckpointRecord {
+        let watermark = self
+            .inflight_stamps
+            .first()
+            .map(|&s| s - 1)
+            .unwrap_or(self.stamp_next - 1);
+        let data = (0..self.logical_pages).map(|l| self.ftl.peek(l)).collect();
+        let trans = (0..self.tvpn_count())
+            .map(|t| self.ftl.translation_location(t))
+            .collect();
+        let ck = self.ckpt.as_ref().expect("snapshot without checkpoint state");
+        CheckpointRecord {
+            watermark,
+            data,
+            trans,
+            slot: slot as u8,
+            blocks: ck.slots[slot].clone(),
+        }
+    }
+
+    /// Destination page of the in-flight checkpoint's next program.
+    fn ckpt_dest(&self) -> PhysicalAddr {
+        let ck = self.ckpt.as_ref().expect("ckpt write without state");
+        let job = ck.job.as_ref().expect("ckpt write without job");
+        let ppb = self.array.geometry().pages_per_block;
+        let block = ck.slots[job.record.slot as usize][(job.next_page / ppb) as usize];
+        block.page(job.next_page % ppb)
+    }
+
+    /// A newer checkpoint committed: the previous one's pages are garbage.
+    /// Invalidate them and queue the slot's erases (the slot becomes the
+    /// target of the checkpoint after next once they land).
+    fn retire_checkpoint_slot(&mut self, old: CheckpointRecord, now: SimTime) {
+        for block in old.blocks {
+            let info = self.array.block_info(block);
+            if info.write_ptr == 0 {
+                continue;
+            }
+            let g = *self.array.geometry();
+            let base = g.page_index(block.page(0));
+            for p in 0..info.write_ptr as u64 {
+                if self.array.page_state(g.page_at(base + p)) == PageState::Valid {
+                    self.invalidate_ppn(base + p);
+                }
+            }
+            self.enqueue(OpClass::Erase, None, now, PendKind::CkptErase { block });
+        }
+    }
+
     // ----- the scheduler ---------------------------------------------------
 
     /// Channel usable under the interleaving policy: with interleaving off
@@ -1345,6 +1622,10 @@ impl Controller {
             PendKind::MergeErase { block, .. } => {
                 self.cmd_resources_free(&FlashCommand::Erase(block), now)
             }
+            PendKind::CkptWrite => self.program_ok(self.ckpt_dest(), now),
+            PendKind::CkptErase { block } => {
+                self.cmd_resources_free(&FlashCommand::Erase(block), now)
+            }
         }
     }
 
@@ -1363,6 +1644,7 @@ impl Controller {
                 }
             }
         }
+        self.maybe_checkpoint(now);
         // Each round compares at most one candidate per live queue (the
         // first issuable op dominates the rest of its FIFO under every
         // policy), so per-issue cost tracks the number of live (class,
@@ -1395,6 +1677,10 @@ impl Controller {
             if cand.is_empty() {
                 self.sched_cand = cand;
                 if self.unwedge_sequential_stream(now) {
+                    // The freed writes may now need log blocks (or the
+                    // merge may have resolved instantly): re-run
+                    // maintenance before re-scanning the queues.
+                    self.hybrid_maintenance(now);
                     continue;
                 }
                 break;
@@ -1509,6 +1795,13 @@ impl Controller {
                 };
                 self.reverse[ppn as usize] = Some(content);
                 let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                // Relocations inherit the source's content version; host
+                // and translation writes get a fresh one.
+                let seq = match what {
+                    WriteWhat::Gc { from_ppn, .. } => Some(self.source_seq(from_ppn)),
+                    _ => None,
+                };
+                self.stamp_program(addr, Self::content_tag(content), seq);
                 let done = match what {
                     WriteWhat::App { id, lpn } => DoneWhat::AppWriteDone { id, lpn, ppn },
                     WriteWhat::Gc { job, from_ppn, content } => DoneWhat::GcWriteDone {
@@ -1543,7 +1836,9 @@ impl Controller {
                     if let Some(to) = self.alloc.alloc_in_plane(lun, from.plane, Stream::Gc) {
                         self.reverse[self.array.geometry().page_index(to) as usize] =
                             Some(content);
+                        let seq = self.source_seq(from_ppn);
                         let out = self.issue_cmd(FlashCommand::CopyBack { from, to }, now, op.seq);
+                        self.stamp_program(to, Self::content_tag(content), Some(seq));
                         self.finish_issue(
                             op.class,
                             DoneWhat::GcCopyBackDone { job, from, to, content },
@@ -1562,6 +1857,7 @@ impl Controller {
                 let addr = self.array.geometry().page_at(ppn);
                 self.reverse[ppn as usize] = Some(PageContent::Data(lpn));
                 let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                self.stamp_program(addr, OobTag::Data { lpn }, None);
                 let done = match what {
                     HybridWhat::App { id, lpn } => DoneWhat::AppWriteDone { id, lpn, ppn },
                     HybridWhat::Flush { lpn, version } => {
@@ -1606,6 +1902,21 @@ impl Controller {
                     self.reverse[dest as usize] = Some(PageContent::Data(lpn));
                 }
                 let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                match from {
+                    Some(src) => {
+                        let seq = self.source_seq(src);
+                        self.stamp_program(addr, OobTag::Data { lpn }, Some(seq));
+                    }
+                    None => {
+                        // Fillers carry no logical content; recovery skips
+                        // them.
+                        let stamp = self.fresh_stamp();
+                        self.array.set_oob(
+                            addr,
+                            OobEntry { tag: OobTag::Filler, seq: stamp, stamp },
+                        );
+                    }
+                }
                 self.finish_issue(op.class, DoneWhat::MergeProgDone { mj, from, dest }, out);
             }
             PendKind::MergeErase { source, block, job } => {
@@ -1615,6 +1926,33 @@ impl Controller {
                     DoneWhat::MergeEraseDone { source, block, job },
                     out,
                 );
+            }
+            PendKind::CkptWrite => {
+                let addr = self.ckpt_dest();
+                let slot = {
+                    let ck = self.ckpt.as_ref().expect("ckpt write without state");
+                    ck.job.as_ref().expect("ckpt write without job").record.slot
+                };
+                let ppn = self.array.geometry().page_index(addr);
+                self.reverse[ppn as usize] = Some(PageContent::Checkpoint(slot));
+                let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                // Checkpoint pages carry no mapping entry of their own:
+                // stamped (for block probes) but never replayed.
+                let stamp = self.fresh_stamp();
+                self.array.set_oob(
+                    addr,
+                    OobEntry {
+                        tag: OobTag::Checkpoint { slot },
+                        seq: stamp,
+                        stamp,
+                    },
+                );
+                self.stats.checkpoint_pages += 1;
+                self.finish_issue(op.class, DoneWhat::CkptWriteDone, out);
+            }
+            PendKind::CkptErase { block } => {
+                let out = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
+                self.finish_issue(op.class, DoneWhat::CkptEraseDone { block }, out);
             }
         }
     }
@@ -1661,6 +1999,7 @@ impl Controller {
             }
             DoneWhat::AppReadXfer { id } => self.complete_app(id, now),
             DoneWhat::AppWriteDone { id, lpn, ppn } => {
+                self.stamp_landed(ppn);
                 let old = self.ftl.update(lpn, ppn);
                 if let Some(old) = old {
                     debug_assert_eq!(
@@ -1807,6 +2146,7 @@ impl Controller {
             DoneWhat::WbWrite { wb, new } => {
                 let job = self.wb_jobs[wb].take().expect("live wb job");
                 let new_ppn = self.array.geometry().page_index(new);
+                self.stamp_landed(new_ppn);
                 let old = self.ftl.translation_written(job.tvpn, new_ppn);
                 if let Some(old) = old {
                     if self.reverse[old as usize] == Some(PageContent::Translation(job.tvpn)) {
@@ -1815,6 +2155,7 @@ impl Controller {
                 }
             }
             DoneWhat::FlushDone { lpn, version, ppn } => {
+                self.stamp_landed(ppn);
                 self.ftl.unpin(lpn);
                 self.flushes_inflight -= 1;
                 let current = self
@@ -1865,6 +2206,7 @@ impl Controller {
                 );
             }
             DoneWhat::MergeProgDone { mj, from, dest } => {
+                self.stamp_landed(dest);
                 let cur = self.merge_cur(mj);
                 let source = self.merge_jobs[mj].as_ref().unwrap().source;
                 let lpn = cur.lbn * self.ppb() + cur.next as u64;
@@ -1916,6 +2258,52 @@ impl Controller {
                     self.hybrid_maybe_wl(now);
                 }
             }
+            DoneWhat::CkptWriteDone => {
+                let more = {
+                    let ck = self.ckpt.as_mut().expect("ckpt done without state");
+                    let job = ck.job.as_mut().expect("ckpt done without job");
+                    job.next_page += 1;
+                    job.next_page < ck.pages_per_snapshot
+                };
+                if more {
+                    self.enqueue(OpClass::MappingWrite, None, now, PendKind::CkptWrite);
+                    return;
+                }
+                // The snapshot's last page landed: commit, then retire the
+                // previous committed slot — old-before-new never holds a
+                // window where neither checkpoint is whole.
+                let old = {
+                    let ck = self.ckpt.as_mut().expect("ckpt done without state");
+                    let job = ck.job.take().expect("ckpt done without job");
+                    ck.next_slot ^= 1;
+                    ck.committed.replace(job.record)
+                };
+                self.stats.checkpoints_committed += 1;
+                if let Some(old) = old {
+                    self.retire_checkpoint_slot(old, now);
+                }
+            }
+            DoneWhat::CkptEraseDone { block } => {
+                let info = self.array.block_info(block);
+                if info.bad {
+                    // A reserved block wore out: replace it from the free
+                    // pool (checkpointing pauses if none is available).
+                    self.stats.bad_blocks_retired += 1;
+                    let replacement = self.alloc.take_block();
+                    if let Some(ck) = &mut self.ckpt {
+                        for slot in &mut ck.slots {
+                            if let Some(pos) = slot.iter().position(|b| *b == block) {
+                                slot.swap_remove(pos);
+                                if let Some((b, _)) = replacement {
+                                    slot.push(b);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Otherwise the block stays reserved, erased and ready.
+            }
         }
     }
 
@@ -1949,10 +2337,14 @@ impl Controller {
         now: SimTime,
     ) {
         let new_ppn = self.array.geometry().page_index(new);
+        self.stamp_landed(new_ppn);
         let still_current = match content {
             PageContent::Data(lpn) => self.ftl.peek(lpn) == Some(from_ppn),
             PageContent::Translation(tvpn) => {
                 self.ftl.translation_location(tvpn) == Some(from_ppn)
+            }
+            PageContent::Checkpoint(_) => {
+                unreachable!("checkpoint pages are never GC-migrated")
             }
         };
         if still_current {
@@ -1961,6 +2353,7 @@ impl Controller {
                 PageContent::Translation(tvpn) => {
                     self.ftl.translation_written(tvpn, new_ppn);
                 }
+                PageContent::Checkpoint(_) => unreachable!("checked above"),
             }
             self.invalidate_ppn(from_ppn);
             let j = self.jobs[job].as_ref().expect("live job");
@@ -1988,6 +2381,211 @@ impl Controller {
         }
     }
 
+    // ----- power failure & remount ----------------------------------------
+
+    /// Pull the plug at virtual instant `at`. Everything volatile dies with
+    /// the controller — pending operations, the event agenda, the RAM
+    /// mapping state, unacknowledged requests — and the flash array loses
+    /// exactly the operations still in flight (partially-programmed pages
+    /// become torn, interrupted erases leave their block unusable; see
+    /// [`FlashArray::power_cut`]). What survives is the returned
+    /// [`CrashImage`]: the dead medium, the last *committed* mapping
+    /// checkpoint, and the battery-backed write buffer's contents.
+    ///
+    /// Pass the image to [`Controller::remount`] to rebuild a controller.
+    pub fn power_cut(mut self, at: SimTime) -> CrashImage {
+        let cut = self.array.power_cut(at);
+        CrashImage {
+            buffered: self
+                .buffer
+                .as_ref()
+                .map(|b| b.resident_lpns())
+                .unwrap_or_default(),
+            checkpoint: self.ckpt.and_then(|c| c.committed),
+            flash: self.array,
+            cut,
+        }
+    }
+
+    /// Mount a controller on a crashed medium, rebuilding the mapping per
+    /// `mode` (full OOB scan, or checkpoint replay when the image holds a
+    /// committed checkpoint). See [`crate::recovery`] for the algorithm
+    /// and guarantees. The returned [`RecoveryReport`] carries the modeled
+    /// mount time and scan counts.
+    ///
+    /// `cfg` need not match the pre-crash configuration: OOB records are
+    /// scheme-independent, so a device written under one mapping scheme
+    /// can remount under another (the new scheme's structures are rebuilt
+    /// around the recovered map).
+    pub fn remount(
+        image: CrashImage,
+        cfg: ControllerConfig,
+        mode: RecoveryMode,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let CrashImage {
+            mut flash,
+            checkpoint,
+            buffered,
+            cut,
+        } = image;
+        let geometry = *flash.geometry();
+        cfg.validate()?;
+        let logical_pages =
+            ((geometry.total_pages() as f64) * cfg.logical_capacity).floor() as u64;
+        if logical_pages == 0 {
+            return Err("logical capacity rounds to zero pages".into());
+        }
+        let entries_per_tp = (geometry.page_size as u64 / 8).max(1);
+        let tvpns = logical_pages.div_ceil(entries_per_tp).max(1);
+        let keep_translation = matches!(cfg.mapping, MappingKind::Dftl { .. });
+        let is_hybrid = matches!(cfg.mapping, MappingKind::Hybrid { .. });
+        let record = match mode {
+            RecoveryMode::Checkpoint => checkpoint.as_ref(),
+            RecoveryMode::FullScan => None,
+        };
+        let rec = recovery::recover_medium(
+            &mut flash,
+            record,
+            logical_pages,
+            tvpns,
+            keep_translation,
+            is_hybrid,
+        );
+        let data_entries = rec.data_map.iter().filter(|e| e.is_some()).count() as u64;
+        let translation_entries =
+            rec.trans_map.iter().filter(|e| e.is_some()).count() as u64;
+
+        let ftl = match cfg.mapping {
+            MappingKind::PageMap => FtlKind::PageMap(PageMap::restore(rec.data_map)),
+            MappingKind::Dftl { cmt_entries } => FtlKind::Dftl(Box::new(Dftl::restore(
+                logical_pages,
+                cmt_entries,
+                entries_per_tp,
+                rec.data_map,
+                rec.trans_map,
+            ))),
+            MappingKind::Hybrid { log_blocks, merge } => {
+                let layout = recovery::classify_hybrid(&flash, &rec.reverse, logical_pages);
+                FtlKind::Hybrid(Box::new(Hybrid::restore(
+                    logical_pages,
+                    geometry.pages_per_block,
+                    log_blocks,
+                    merge,
+                    rec.data_map,
+                    layout.dir,
+                    layout.logs,
+                )))
+            }
+        };
+
+        let mut mem = MemoryManager::new(cfg.ram_bytes, cfg.battery_ram_bytes);
+        mem.reserve(MemoryKind::Ram, "mapping", ftl.ram_bytes())?;
+        let mut buffer = if cfg.write_buffer_pages > 0 {
+            mem.reserve(
+                MemoryKind::BatteryBackedRam,
+                "write-buffer",
+                cfg.write_buffer_pages * geometry.page_size as u64,
+            )?;
+            Some(WriteBuffer::new(cfg.write_buffer_pages as usize))
+        } else {
+            None
+        };
+        // The battery held: re-install every buffered (acknowledged but
+        // unflushed) write.
+        if let Some(b) = &mut buffer {
+            for lpn in buffered {
+                if lpn < logical_pages {
+                    b.write(lpn);
+                }
+            }
+        }
+
+        // Free pool: exactly the blocks the medium reports erased, with
+        // their surviving wear counts.
+        let mut alloc = Allocator::empty(geometry, cfg.write_alloc, cfg.wl.dynamic_enabled);
+        for block in geometry.blocks() {
+            let info = flash.block_info(block);
+            if info.write_ptr == 0 && !info.bad && !flash.block_needs_erase(block) {
+                alloc.block_freed(block, info.erase_count);
+            }
+        }
+        // Size the checkpoint exactly as a fresh mount would: only DFTL
+        // persists translation pages worth snapshotting.
+        let ckpt_tvpns = if keep_translation { tvpns } else { 0 };
+        let mut ckpt = Self::checkpoint_state(
+            &cfg,
+            &geometry,
+            logical_pages,
+            ckpt_tvpns,
+            &mut mem,
+            &mut alloc,
+        )?;
+        let stamp_next = rec.max_stamp + 1;
+        if let Some(ck) = &mut ckpt {
+            // A fresh interval starts at mount; the first new checkpoint
+            // comes after `interval` further programs.
+            ck.last_stamp = stamp_next;
+        }
+        let tracer = if cfg.trace_events > 0 {
+            Some(TraceLog::new(cfg.trace_events))
+        } else {
+            None
+        };
+        let report = RecoveryReport {
+            mode,
+            used_checkpoint: rec.used_checkpoint,
+            oob_scanned: rec.oob_scanned,
+            blocks_probed: rec.blocks_probed,
+            torn_pages: cut.torn_pages,
+            interrupted_erases: cut.interrupted_erases,
+            blocks_erased: rec.blocks_erased,
+            data_entries,
+            translation_entries,
+            mount_time: rec.mount_time,
+        };
+        let mut c = Controller {
+            reverse: rec.reverse,
+            reclaim_active: vec![0; geometry.total_luns() as usize],
+            rng: SimRng::new(cfg.seed),
+            detector: MultiBloomDetector::default_detector(),
+            array: flash,
+            ftl,
+            alloc,
+            cfg,
+            mem,
+            events: EventQueue::new(),
+            pending: PendingSet::new(),
+            sched_cand: Vec::new(),
+            sched_keys: Vec::new(),
+            write_memo: Vec::new(),
+            hybrid_scratch: Vec::new(),
+            op_seq: 0,
+            app: HashMap::new(),
+            jobs: Vec::new(),
+            merge_jobs: Vec::new(),
+            merge_active: false,
+            fetches: HashMap::new(),
+            wb_jobs: Vec::new(),
+            victims: HashSet::new(),
+            buffer,
+            flushes_inflight: 0,
+            tracer,
+            logical_pages,
+            serviced: class_table(0),
+            stats: CtrlStats::new(),
+            erases_since_wl: 0,
+            completions: Vec::new(),
+            stamp_next,
+            inflight_stamps: BTreeSet::new(),
+            stamp_by_ppn: HashMap::new(),
+            ckpt,
+        };
+        // Kick background flushes for a re-installed buffer already at
+        // capacity; they issue once the simulation starts advancing.
+        c.maybe_flush(SimTime::ZERO);
+        Ok((c, report))
+    }
+
     // ----- test support ----------------------------------------------------
 
     /// Verify cross-structure invariants. Intended for tests at quiescent
@@ -2013,6 +2611,13 @@ impl Controller {
                         self.ftl.translation_location(tvpn),
                         Some(ppn),
                         "GTD disagrees with reverse map for tvpn {tvpn}"
+                    );
+                }
+                Some(PageContent::Checkpoint(_)) => {
+                    assert_eq!(state, PageState::Valid);
+                    assert!(
+                        self.is_ckpt_reserved(addr.block_addr()),
+                        "checkpoint page outside the reserved slots"
                     );
                 }
                 None => {

@@ -79,6 +79,26 @@ impl Dftl {
         }
     }
 
+    /// Rebuild a DFTL from recovered state (mount-time OOB scan or
+    /// checkpoint replay): the authoritative data map plus the flash
+    /// locations of surviving translation pages. The CMT starts cold and
+    /// the pending set empty — the first lookups after a remount pay
+    /// translation fetches, exactly the cost model a cold mount implies.
+    pub fn restore(
+        logical_pages: u64,
+        cmt_entries: usize,
+        entries_per_tp: u64,
+        map: Vec<Option<Ppn>>,
+        gtd: Vec<Option<Ppn>>,
+    ) -> Self {
+        let mut d = Dftl::new(logical_pages, cmt_entries, entries_per_tp);
+        assert_eq!(map.len(), d.map.len());
+        assert_eq!(gtd.len(), d.gtd.len());
+        d.map = map;
+        d.gtd = gtd;
+        d
+    }
+
     /// Cost-model counters.
     pub fn stats(&self) -> DftlStats {
         self.stats

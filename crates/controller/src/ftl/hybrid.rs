@@ -193,6 +193,41 @@ impl Hybrid {
         }
     }
 
+    /// Rebuild a hybrid FTL from recovered state (mount-time OOB scan).
+    ///
+    /// `dir` registers the blocks recovery classified as data blocks (all
+    /// live pages at their logical offsets, one logical block each);
+    /// `logs` re-registers every other block still holding live pages as a
+    /// random log block `(base, entries)`, where `entries[o]` is the OOB
+    /// logical page of offset `o` (superseded entries included, exactly as
+    /// the live page table would have recorded them). No sequential log
+    /// block survives a crash — the next offset-0 stream opens a fresh
+    /// one. `logs` may exceed the budget: the controller then full-merges
+    /// the excess down before accepting new random writes, the recovery
+    /// merge storm a crashed log pool implies.
+    pub fn restore(
+        logical_pages: u64,
+        pages_per_block: u32,
+        log_blocks: usize,
+        policy: MergePolicy,
+        map: Vec<Option<Ppn>>,
+        dir: Vec<Option<Ppn>>,
+        logs: Vec<(Ppn, Vec<Lpn>)>,
+    ) -> Self {
+        let mut h = Hybrid::new(logical_pages, pages_per_block, log_blocks, policy);
+        assert_eq!(map.len(), h.map.len());
+        assert_eq!(dir.len(), h.dir.len());
+        h.map = map;
+        h.dir = dir;
+        for (base, entries) in logs {
+            let mut lb = LogBlock::new(base);
+            lb.fill = entries.len() as u32;
+            lb.entries = entries;
+            h.rw.push(lb);
+        }
+        h
+    }
+
     /// Scheme-level merge counters.
     pub fn stats(&self) -> HybridStats {
         self.stats

@@ -25,6 +25,12 @@ impl PageMap {
     pub fn mapped_count(&self) -> u64 {
         self.map.iter().filter(|m| m.is_some()).count() as u64
     }
+
+    /// Rebuild a map from a recovered logical→physical table (mount-time
+    /// OOB scan or checkpoint replay).
+    pub fn restore(map: Vec<Option<Ppn>>) -> Self {
+        PageMap { map }
+    }
 }
 
 impl Ftl for PageMap {

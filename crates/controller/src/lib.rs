@@ -16,6 +16,9 @@
 //!   wear leveling lives in the allocator's age-aware block selection.
 //! * [`temperature`] — multi-bloom-filter hot-data identification.
 //! * [`sched`] — the pluggable IO scheduling policies.
+//! * [`recovery`] — crash consistency: OOB-stamped programs, periodic
+//!   mapping checkpoints to reserved blocks, and mount-time recovery
+//!   (full OOB scan or checkpoint replay) after a power cut.
 //! * [`Controller`] — the orchestrator tying it all to the flash array.
 
 pub mod alloc;
@@ -25,6 +28,7 @@ pub mod controller;
 pub mod ftl;
 pub mod gc;
 mod pend;
+pub mod recovery;
 pub mod sched;
 pub mod temperature;
 pub mod types;
@@ -38,6 +42,7 @@ pub use config::{
 };
 pub use controller::{Controller, CtrlStats, MergeCounters, PageContent};
 pub use ftl::HybridStats;
+pub use recovery::{CheckpointRecord, CrashImage, RecoveryMode, RecoveryReport};
 pub use sched::{class_index, class_table, ClassTable, SchedPolicy};
 pub use temperature::MultiBloomDetector;
 pub use types::{

@@ -1,0 +1,369 @@
+//! Crash-recovery property tests: power-cut a random workload at an
+//! arbitrary event boundary, remount, and check the recovery guarantees —
+//! for every mapping scheme (page map, DFTL, hybrid log-block) and both
+//! recovery modes (full OOB scan, checkpoint replay):
+//!
+//! 1. **No acknowledged write lost** — a logical page whose last
+//!    acknowledged operation was a write is mapped after the remount, and
+//!    its physical page is readable (valid, not torn) with a matching OOB
+//!    record.
+//! 2. **No double mapping** — no two logical pages share a physical page.
+//! 3. **Consistency** — the rebuilt controller passes the same
+//!    cross-structure `check_invariants` the live controller does, and
+//!    keeps working: post-recovery IO completes and re-verifies.
+//!
+//! (Trims are RAM-only and may be resurrected by a crash, exactly like on
+//! real FTLs without trim journaling — so the suite never requires a
+//! trimmed page to stay unmapped across a cut.)
+
+use std::collections::HashMap;
+
+use eagletree_controller::{
+    Completion, Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RecoveryMode,
+    RequestKind, SsdRequest, WlConfig,
+};
+use eagletree_core::SimTime;
+use eagletree_flash::{Geometry, OobTag, PageState, TimingSpec};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write(u64),
+    Trim(u64),
+    Read(u64),
+}
+
+fn schemes() -> Vec<(&'static str, MappingKind)> {
+    vec![
+        ("page_map", MappingKind::PageMap),
+        ("dftl", MappingKind::Dftl { cmt_entries: 24 }),
+        (
+            "hybrid",
+            MappingKind::Hybrid {
+                log_blocks: 3,
+                merge: MergePolicy::Fifo,
+            },
+        ),
+    ]
+}
+
+fn config(mapping: MappingKind, checkpoint_interval: u64) -> ControllerConfig {
+    ControllerConfig {
+        mapping,
+        checkpoint_interval_programs: checkpoint_interval,
+        wl: WlConfig {
+            check_every_erases: 16,
+            young_delta: 4,
+            idle_factor: 0.5,
+            ..WlConfig::default()
+        },
+        ..ControllerConfig::default()
+    }
+}
+
+/// Per-lpn acknowledgment ledger: what the host may rely on at the cut.
+#[derive(Default)]
+struct Ledger {
+    /// Completion instant of the last acknowledged write per lpn.
+    write_ack: HashMap<u64, SimTime>,
+    /// Submission (= completion) instant of the last trim per lpn.
+    trim_ack: HashMap<u64, SimTime>,
+}
+
+impl Ledger {
+    /// Logical pages whose last acknowledged operation was a write —
+    /// recovery must map them. Ties (write ack and trim at the same
+    /// instant) are ambiguous and not required either way.
+    fn must_be_mapped(&self) -> Vec<u64> {
+        self.write_ack
+            .iter()
+            .filter(|(lpn, &w)| self.trim_ack.get(lpn).is_none_or(|&t| w > t))
+            .map(|(&lpn, _)| lpn)
+            .collect()
+    }
+}
+
+struct Driver {
+    c: Controller,
+    now: SimTime,
+    next_id: u64,
+    writes: HashMap<u64, u64>, // request id -> lpn
+    ledger: Ledger,
+}
+
+impl Driver {
+    fn new(c: Controller) -> Self {
+        Driver {
+            c,
+            now: SimTime::ZERO,
+            next_id: 0,
+            writes: HashMap::new(),
+            ledger: Ledger::default(),
+        }
+    }
+
+    fn submit(&mut self, kind: RequestKind, lpn: u64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        if kind == RequestKind::Write {
+            self.writes.insert(id, lpn);
+        }
+        if kind == RequestKind::Trim {
+            // Trims acknowledge instantly at submission.
+            self.ledger.trim_ack.insert(lpn, self.now);
+        }
+        self.c.submit(
+            SsdRequest {
+                id,
+                kind,
+                lpn,
+                tags: IoTags::none(),
+            },
+            self.now,
+        );
+    }
+
+    fn note(&mut self, batch: Vec<Completion>) {
+        for comp in batch {
+            if let Some(&lpn) = self.writes.get(&comp.id) {
+                let slot = self.ledger.write_ack.entry(lpn).or_insert(comp.at);
+                *slot = (*slot).max(comp.at);
+            }
+        }
+    }
+
+    /// Process up to `budget` event boundaries; returns the unused budget
+    /// (zero means the cut point was reached mid-stream).
+    fn step(&mut self, mut budget: u64) -> u64 {
+        while budget > 0 {
+            let Some(t) = self.c.next_event_time() else { break };
+            budget -= 1;
+            self.now = t;
+            let batch = self.c.advance(t);
+            self.note(batch);
+        }
+        budget
+    }
+}
+
+/// Drive `ops`, cut power after `crash_step` event boundaries (or at
+/// quiescence if the workload is shorter), and verify both recovery modes
+/// from the same captured medium.
+fn check_crash(
+    name: &str,
+    mapping: MappingKind,
+    checkpoint_interval: u64,
+    ops: &[Op],
+    qd: usize,
+    crash_step: u64,
+) -> Result<(), TestCaseError> {
+    let cfg = config(mapping, checkpoint_interval);
+    let mut d = Driver::new(
+        Controller::new(Geometry::tiny(), TimingSpec::slc(), cfg.clone()).unwrap(),
+    );
+    let logical = d.c.logical_pages();
+    let mut budget = crash_step;
+    'drive: for chunk in ops.chunks(qd) {
+        for op in chunk {
+            match *op {
+                Op::Write(l) => d.submit(RequestKind::Write, l % logical),
+                Op::Trim(l) => d.submit(RequestKind::Trim, l % logical),
+                Op::Read(l) => d.submit(RequestKind::Read, l % logical),
+            }
+        }
+        budget = d.step(budget);
+        if budget == 0 {
+            break 'drive;
+        }
+    }
+    if budget > 0 {
+        // Workload ended first: cut at quiescence (every write acked).
+        d.step(u64::MAX);
+    }
+    let cut_at = d.now;
+    let must_mapped = d.ledger.must_be_mapped();
+    let image = d.c.power_cut(cut_at);
+
+    for mode in [RecoveryMode::FullScan, RecoveryMode::Checkpoint] {
+        let (c2, report) = Controller::remount(image.clone(), cfg.clone(), mode)
+            .map_err(|e| TestCaseError::fail(format!("{name}: remount failed: {e}")))?;
+        prop_assert_eq!(
+            report.used_checkpoint,
+            mode == RecoveryMode::Checkpoint && image.has_checkpoint(),
+            "{}: unexpected recovery path",
+            name
+        );
+
+        // 1. No acknowledged write lost, and every mapping is readable.
+        let g = *c2.array().geometry();
+        for &lpn in &must_mapped {
+            let mapped = c2.peek_mapping(lpn);
+            prop_assert!(
+                mapped.is_some(),
+                "{}/{:?}: acknowledged write of lpn {} lost (cut at {:?}, step {})",
+                name,
+                mode,
+                lpn,
+                cut_at,
+                crash_step
+            );
+        }
+        for lpn in 0..logical {
+            let Some(ppn) = c2.peek_mapping(lpn) else { continue };
+            let addr = g.page_at(ppn);
+            prop_assert_eq!(
+                c2.array().page_state(addr),
+                PageState::Valid,
+                "{}/{:?}: lpn {} maps to a non-valid page",
+                name,
+                mode,
+                lpn
+            );
+            prop_assert!(
+                !c2.array().is_torn(addr),
+                "{}/{:?}: lpn {} maps to a torn page",
+                name,
+                mode,
+                lpn
+            );
+            let oob = c2.array().oob(addr);
+            prop_assert!(
+                matches!(oob, Some(e) if e.tag == (OobTag::Data { lpn })),
+                "{}/{:?}: lpn {} maps to a page whose OOB says {:?}",
+                name,
+                mode,
+                lpn,
+                oob
+            );
+        }
+
+        // 2. No double-mapped physical page.
+        let mut owners: HashMap<u64, u64> = HashMap::new();
+        for lpn in 0..logical {
+            if let Some(ppn) = c2.peek_mapping(lpn) {
+                if let Some(prev) = owners.insert(ppn, lpn) {
+                    return Err(TestCaseError::fail(format!(
+                        "{name}/{mode:?}: lpns {prev} and {lpn} both map to ppn {ppn}"
+                    )));
+                }
+            }
+        }
+
+        // 3. Cross-structure consistency, before and after further IO.
+        c2.check_invariants();
+        let mut d2 = Driver::new(c2);
+        for (i, &lpn) in must_mapped.iter().take(16).enumerate() {
+            d2.submit(RequestKind::Read, lpn);
+            d2.submit(RequestKind::Write, (i as u64 * 37) % logical);
+        }
+        d2.submit(RequestKind::Write, 0);
+        d2.step(u64::MAX);
+        prop_assert!(
+            d2.c.is_quiescent(),
+            "{}/{:?}: post-recovery IO did not drain",
+            name,
+            mode
+        );
+        d2.c.check_invariants();
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Clustered overwrites (GC/merge pressure) cut at a random boundary.
+    #[test]
+    fn power_cut_preserves_acknowledged_writes(
+        ops in prop::collection::vec(
+            prop_oneof![
+                8 => (0u64..96).prop_map(Op::Write),
+                1 => (0u64..96).prop_map(Op::Trim),
+                2 => (0u64..96).prop_map(Op::Read),
+            ],
+            300..700,
+        ),
+        qd in 1usize..24,
+        crash_step in 1u64..1500,
+    ) {
+        for (name, mapping) in schemes() {
+            // Checkpoints every 64 programs: several commit before the cut.
+            check_crash(name, mapping, 64, &ops, qd, crash_step)?;
+        }
+    }
+
+    /// Uniform traffic without checkpointing (pure full-scan recovery).
+    #[test]
+    fn power_cut_without_checkpoints_recovers_by_full_scan(
+        ops in prop::collection::vec(
+            prop_oneof![
+                5 => (0u64..4096).prop_map(Op::Write),
+                1 => (0u64..4096).prop_map(Op::Trim),
+            ],
+            200..500,
+        ),
+        qd in 1usize..32,
+        crash_step in 1u64..1000,
+    ) {
+        for (name, mapping) in schemes() {
+            check_crash(name, mapping, 0, &ops, qd, crash_step)?;
+        }
+    }
+}
+
+/// The battery-backed write buffer survives a power cut: buffered
+/// (acknowledged, unflushed) writes are re-installed at remount and remain
+/// readable.
+#[test]
+fn battery_backed_buffer_survives_power_cut() {
+    let cfg = ControllerConfig {
+        write_buffer_pages: 8,
+        ..ControllerConfig::default()
+    };
+    let mut d = Driver::new(
+        Controller::new(Geometry::tiny(), TimingSpec::slc(), cfg.clone()).unwrap(),
+    );
+    for lpn in 0..4 {
+        d.submit(RequestKind::Write, lpn);
+    }
+    // Buffered writes acknowledge instantly; cut before anything flushes.
+    let batch = d.c.advance(SimTime::ZERO);
+    assert_eq!(batch.len(), 4);
+    let image = d.c.power_cut(SimTime::ZERO);
+    let (c2, _) = Controller::remount(image, cfg, RecoveryMode::FullScan).unwrap();
+    for lpn in 0..4 {
+        assert!(c2.is_buffered(lpn), "buffered write of lpn {lpn} lost");
+    }
+}
+
+/// OOB records are scheme-independent: a device written under the page map
+/// remounts under DFTL (and vice versa) with the same mapping.
+#[test]
+fn remount_across_mapping_schemes() {
+    let mut d = Driver::new(
+        Controller::new(
+            Geometry::tiny(),
+            TimingSpec::slc(),
+            config(MappingKind::PageMap, 0),
+        )
+        .unwrap(),
+    );
+    let logical = d.c.logical_pages();
+    for lpn in 0..64 {
+        d.submit(RequestKind::Write, lpn % logical);
+    }
+    d.step(u64::MAX);
+    let expected: Vec<Option<u64>> = (0..logical).map(|l| d.c.peek_mapping(l)).collect();
+    let image = d.c.power_cut(d.now);
+    let (c2, report) = Controller::remount(
+        image,
+        config(MappingKind::Dftl { cmt_entries: 24 }, 0),
+        RecoveryMode::FullScan,
+    )
+    .unwrap();
+    assert_eq!(report.data_entries, 64);
+    for lpn in 0..logical {
+        assert_eq!(c2.peek_mapping(lpn), expected[lpn as usize]);
+    }
+    c2.check_invariants();
+}

@@ -20,9 +20,24 @@ use crate::time::SimTime;
 /// single-threaded per run and the harness only reads between runs.
 static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
 
+std::thread_local! {
+    /// Per-thread count of events popped. Each simulation runs wholly on
+    /// one thread, so deltas of this attribute events to the *experiment*
+    /// even when the harness runs several experiments on parallel worker
+    /// threads (the process-global counter interleaves there).
+    static THREAD_EVENTS_POPPED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Total events popped across all queues since process start.
 pub fn global_events_popped() -> u64 {
     EVENTS_POPPED.load(AtomicOrdering::Relaxed)
+}
+
+/// Events popped by queues on the *calling thread* since it started.
+/// Deltas around a simulation give its exact event count regardless of
+/// what other worker threads run concurrently.
+pub fn thread_events_popped() -> u64 {
+    THREAD_EVENTS_POPPED.with(|c| c.get())
 }
 
 /// An event that has been scheduled on the queue.
@@ -119,6 +134,7 @@ impl<E> EventQueue<E> {
         self.now = ev.time;
         self.popped += 1;
         EVENTS_POPPED.fetch_add(1, AtomicOrdering::Relaxed);
+        THREAD_EVENTS_POPPED.with(|c| c.set(c.get() + 1));
         Some(ev)
     }
 

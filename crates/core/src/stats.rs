@@ -196,11 +196,24 @@ impl Histogram {
 
     /// The bucket holding the sample of rank `max(1, ceil(q·count))` —
     /// the one rank rule both quantile edges share.
+    ///
+    /// `q` outside `[0, 1]` is a caller bug: debug builds assert, release
+    /// builds clamp to the nearest edge instead of silently mis-indexing
+    /// through the float→int cast. NaN is asserted too and clamps to 0
+    /// (the `partial_cmp` below is false for NaN, leaving the minimum).
     fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        debug_assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile fraction must be in [0, 1], got {q}"
+        );
         if self.count == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater) {
+            q.min(1.0)
+        } else {
+            0.0 // negative or NaN
+        };
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut acc = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -213,6 +226,10 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket lower bound.
+    ///
+    /// An empty histogram returns [`SimDuration::ZERO`] for every `q`.
+    /// Out-of-range or NaN `q` asserts in debug builds and clamps into
+    /// `[0, 1]` (NaN to 0) in release builds.
     pub fn quantile(&self, q: f64) -> SimDuration {
         match self.quantile_bucket(q) {
             None => SimDuration::ZERO,
@@ -415,6 +432,24 @@ mod tests {
         h.record(SimDuration::from_nanos(100));
         h.record(SimDuration::from_nanos(300));
         assert_eq!(h.mean().as_nanos(), 200);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "quantile fraction must be in [0, 1]")]
+    fn quantile_out_of_range_asserts_in_debug() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(1));
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "quantile fraction must be in [0, 1]")]
+    fn quantile_nan_asserts_in_debug() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(1));
+        let _ = h.quantile(f64::NAN);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * [`metrics`] — per-run measurement extraction ([`metrics::Measured`])
 //!   and tabular output ([`metrics::Table`], aligned text and CSV).
 //! * [`experiment`] — the generic sweep template.
-//! * [`suite`] — the predefined experiments E1–E20 and the G1 "game"
+//! * [`suite`] — the predefined experiments E1–E22 and the G1 "game"
 //!   (see DESIGN.md for the per-experiment index).
 
 pub mod experiment;

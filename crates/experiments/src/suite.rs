@@ -1,13 +1,14 @@
-//! The predefined experiment suite: E1–E12 and the G1 game.
+//! The predefined experiment suite: E1–E22 and the G1 game.
 //!
 //! Each experiment reproduces one question the paper poses (see the
 //! per-experiment index in DESIGN.md, and EXPERIMENTS.md for measured
 //! results). All experiments are deterministic for a fixed [`Scale`].
 
 use eagletree_controller::{
-    IoTags, MappingKind, MergePolicy, SchedPolicy, TemperatureMode, WriteAllocPolicy,
+    Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RecoveryMode, RequestKind,
+    SchedPolicy, SsdRequest, TemperatureMode, WriteAllocPolicy,
 };
-use eagletree_core::SimTime;
+use eagletree_core::{SimRng, SimTime};
 use eagletree_flash::{Geometry, TimingSpec};
 use eagletree_os::{Os, OsSchedPolicy, QosPolicy, Workload};
 use eagletree_workloads::{
@@ -42,6 +43,8 @@ pub fn all() -> Vec<Experiment> {
         Experiment::new("E18", "Simulator throughput: events/sec vs geometry × queue depth", "§1 'as fast as the hardware allows' (sweep affordability)", e18_sim_throughput),
         Experiment::new("E19", "Noisy neighbor: reader-tenant tails vs a flooding writer, per QoS policy", "§2.2 OS scheduler × consolidation (tenant isolation)", e19_noisy_neighbor),
         Experiment::new("E20", "QoS design sweep: policy × weights × tenant count", "§1-Q1 design space, extended to the serving side", e20_qos_sweep),
+        Experiment::new("E21", "Crash recovery: mount time vs checkpoint interval × device fill", "§2.2 controller modules, extended to crash consistency (durability vs mount-time trade-off)", e21_mount_time),
+        Experiment::new("E22", "Crash-point sweep during GC/merge: no acknowledged write lost", "§1-Q2 internal ops × crash atomicity", e22_crash_sweep),
         Experiment::new("G1", "The scheduling game", "§3 demonstration game", g1_game),
     ]
 }
@@ -1088,6 +1091,262 @@ fn e20_qos_sweep(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E21 — crash recovery: mount time vs checkpoint interval × fill
+
+/// The durability-vs-mount-time trade-off: fill a device to varying
+/// levels (with overwrite churn on top), pull the plug through the OS
+/// layer, and remount the captured medium under both recovery modes. A
+/// full OOB scan reads every written page's spare area, so mount time
+/// grows with fill; checkpointed recovery replays the last committed
+/// snapshot and re-scans only blocks holding post-watermark entries, at
+/// the cost of periodic checkpoint writes during normal operation.
+fn e21_mount_time(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E21",
+        "Mount time and OOB reads: full scan vs checkpoint replay, per fill × interval",
+        "fill/interval",
+    );
+    let fills: Vec<f64> = vec![0.25, 0.5, 1.0];
+    let intervals: Vec<u64> = vec![256, 512, 1024];
+    for &fill in &scale.thin(&fills) {
+        for &interval in &scale.thin(&intervals) {
+            let mut setup = Setup::small();
+            setup.ctrl.checkpoint_interval_programs = interval;
+            setup.ctrl.wl.static_enabled = false;
+            let logical = setup.logical_pages();
+            let pages = ((logical as f64) * fill) as u64;
+            let region = Region::new(0, pages);
+            let mut os = setup.build();
+            os.add_thread(Box::new(
+                Pumped::new(SeqWriteGen::new(region, pages), 32, 0xE21).named("filler"),
+            ));
+            os.run();
+            // Overwrite churn: garbage + post-checkpoint entries to replay.
+            os.add_thread(Box::new(
+                Pumped::new(RandWriteGen::new(region, pages / 2), 32, 0x21E)
+                    .named("churner"),
+            ));
+            os.run();
+            let ckpt_writes = os.controller().stats().checkpoint_pages;
+            let image = os.power_cut();
+            let (_, full) = Controller::remount(
+                image.clone(),
+                setup.ctrl.clone(),
+                RecoveryMode::FullScan,
+            )
+            .expect("full-scan remount");
+            let (c2, ck) =
+                Controller::remount(image, setup.ctrl.clone(), RecoveryMode::Checkpoint)
+                    .expect("checkpoint remount");
+            c2.check_invariants();
+            t.rows.push(
+                Row::new(format!("f{}/i{interval}", (fill * 100.0) as u32))
+                    .push("entries", full.data_entries as f64)
+                    .push("full_oob", full.oob_scanned as f64)
+                    .push("full_mount_us", full.mount_time.as_micros_f64())
+                    .push("ckpt_oob", ck.oob_scanned as f64)
+                    .push("ckpt_mount_us", ck.mount_time.as_micros_f64())
+                    .push("ckpt_probes", ck.blocks_probed as f64)
+                    .push("used_ckpt", if ck.used_checkpoint { 1.0 } else { 0.0 })
+                    .push("ckpt_pages_written", ckpt_writes as f64),
+            );
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E22 — crash-point sweep during GC/merge
+
+/// Controller-level crash driver: submits a scripted workload in windows
+/// and advances one event boundary at a time, so a power cut can land at
+/// any chosen point of the event stream — including mid-GC and mid-merge.
+struct CrashDriver {
+    c: Controller,
+    now: SimTime,
+    next_id: u64,
+    writes: std::collections::HashMap<u64, u64>,
+    /// Logical pages with at least one acknowledged write.
+    acked: std::collections::HashSet<u64>,
+}
+
+impl CrashDriver {
+    fn new(cfg: ControllerConfig) -> Self {
+        CrashDriver {
+            c: Controller::new(Geometry::tiny(), TimingSpec::slc(), cfg)
+                .expect("E22 setup"),
+            now: SimTime::ZERO,
+            next_id: 0,
+            writes: std::collections::HashMap::new(),
+            acked: std::collections::HashSet::new(),
+        }
+    }
+
+    fn write(&mut self, lpn: u64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writes.insert(id, lpn);
+        self.c.submit(
+            SsdRequest {
+                id,
+                kind: RequestKind::Write,
+                lpn,
+                tags: IoTags::none(),
+            },
+            self.now,
+        );
+    }
+
+    /// Advance up to `budget` event boundaries; returns the unused budget.
+    fn step(&mut self, mut budget: u64) -> u64 {
+        while budget > 0 {
+            let Some(t) = self.c.next_event_time() else { break };
+            budget -= 1;
+            self.now = t;
+            for comp in self.c.advance(t) {
+                if let Some(&lpn) = self.writes.get(&comp.id) {
+                    self.acked.insert(lpn);
+                }
+            }
+        }
+        budget
+    }
+
+    /// Sequentially fill the whole logical space (GC preconditioning).
+    fn fill(&mut self) {
+        let logical = self.c.logical_pages();
+        for chunk_start in (0..logical).step_by(32) {
+            for lpn in chunk_start..(chunk_start + 32).min(logical) {
+                self.write(lpn);
+            }
+            self.step(u64::MAX);
+        }
+        self.acked.clear(); // measure only the churn phase
+        self.writes.clear();
+    }
+
+    /// Run the churn workload, cutting after `crash_step` event
+    /// boundaries (`u64::MAX` = run to quiescence). Returns remaining
+    /// budget.
+    fn churn(&mut self, ops: &[u64], qd: usize, crash_step: u64) -> u64 {
+        let mut budget = crash_step;
+        for chunk in ops.chunks(qd) {
+            for &lpn in chunk {
+                self.write(lpn);
+            }
+            budget = self.step(budget);
+            if budget == 0 {
+                return 0;
+            }
+        }
+        budget
+    }
+}
+
+/// The churn script: clustered overwrites on a full device — every write
+/// forces reclamation (generic GC or log-block merges), so crash points
+/// land inside GC reads/writes/erases and merge folds.
+fn e22_ops(scale: Scale) -> Vec<u64> {
+    let mut rng = SimRng::new(0xE22);
+    (0..scale.ios(2048))
+        .map(|_| rng.gen_range(96))
+        .collect()
+}
+
+/// Pull the plug at evenly spaced points of a GC/merge-heavy event
+/// stream, remount under both recovery modes, and verify that *every*
+/// acknowledged write survives — the crash-atomicity proof for GC and
+/// merge relocation (copies are sequence-stamped; victims are erased only
+/// after all live copies landed). `lost` must be zero everywhere.
+fn e22_crash_sweep(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E22",
+        "Acknowledged writes surviving a power cut during GC/merge, per scheme × recovery mode",
+        "scheme/mode",
+    );
+    let schemes: Vec<(&str, MappingKind)> = vec![
+        ("page_map", MappingKind::PageMap),
+        ("dftl", MappingKind::Dftl { cmt_entries: 24 }),
+        (
+            "hybrid",
+            MappingKind::Hybrid {
+                log_blocks: 3,
+                merge: MergePolicy::Fifo,
+            },
+        ),
+    ];
+    let points = match scale {
+        Scale::Smoke => 6u64,
+        Scale::Demo => 12,
+        Scale::Full => 24,
+    };
+    let ops = e22_ops(scale);
+    let qd = 16;
+    for (sname, mapping) in schemes {
+        let cfg = ControllerConfig {
+            mapping,
+            checkpoint_interval_programs: 128,
+            ..ControllerConfig::default()
+        };
+        // Rehearsal: total event boundaries of the churn phase.
+        let mut d = CrashDriver::new(cfg.clone());
+        d.fill();
+        let left = d.churn(&ops, qd, u64::MAX);
+        let total_steps = u64::MAX - left;
+        let internal_erases =
+            d.c.stats().gc_erases + d.c.stats().merge_erases + d.c.stats().wl_erases;
+        for mode in [RecoveryMode::FullScan, RecoveryMode::Checkpoint] {
+            let mut verified = 0u64;
+            let mut lost = 0u64;
+            let mut torn = 0u64;
+            let mut interrupted = 0u64;
+            let mut mount_us = 0.0f64;
+            let mut oob = 0u64;
+            for k in 1..=points {
+                let crash_step = (k * total_steps / (points + 1)).max(1);
+                let mut d = CrashDriver::new(cfg.clone());
+                d.fill();
+                d.churn(&ops, qd, crash_step);
+                let acked = std::mem::take(&mut d.acked);
+                let image = d.c.power_cut(d.now);
+                let (c2, rep) = Controller::remount(image, cfg.clone(), mode)
+                    .expect("E22 remount");
+                let g = *c2.array().geometry();
+                for &lpn in &acked {
+                    let survives = c2.peek_mapping(lpn).is_some_and(|ppn| {
+                        let addr = g.page_at(ppn);
+                        c2.array().page_state(addr) == eagletree_flash::PageState::Valid
+                            && !c2.array().is_torn(addr)
+                    });
+                    if survives {
+                        verified += 1;
+                    } else {
+                        lost += 1;
+                    }
+                }
+                c2.check_invariants();
+                torn += rep.torn_pages;
+                interrupted += rep.interrupted_erases;
+                mount_us += rep.mount_time.as_micros_f64();
+                oob += rep.oob_scanned;
+            }
+            t.rows.push(
+                Row::new(format!("{sname}/{}", mode.name()))
+                    .push("crash_points", points as f64)
+                    .push("acked_verified", verified as f64)
+                    .push("lost", lost as f64)
+                    .push("torn_pages", torn as f64)
+                    .push("interrupted_erases", interrupted as f64)
+                    .push("mean_mount_us", mount_us / points as f64)
+                    .push("mean_oob", oob as f64 / points as f64)
+                    .push("pre_cut_internal_erases", internal_erases as f64),
+            );
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // G1 — the game
 
 /// The demo game: grid-search scheduling-related knobs and score each
@@ -1160,18 +1419,75 @@ mod tests {
     #[test]
     fn suite_is_complete_and_indexed() {
         let s = all();
-        assert_eq!(s.len(), 21);
+        assert_eq!(s.len(), 23);
         let ids: Vec<&str> = s.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
-                "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "G1"
+                "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "G1"
             ]
         );
         assert!(by_id("e3").is_some());
         assert!(by_id("G1").is_some());
         assert!(by_id("E99").is_none());
+    }
+
+    #[test]
+    fn smoke_e21_checkpoint_cuts_mount_scan() {
+        let t = e21_mount_time(Scale::Smoke);
+        assert!(!t.rows.is_empty());
+        for r in &t.rows {
+            assert_eq!(
+                r.get("used_ckpt").unwrap(),
+                1.0,
+                "a checkpoint must commit before the cut: {}",
+                t.render()
+            );
+            // The acceptance bar: checkpointed recovery scans strictly
+            // fewer OOB entries than the full scan, and mounts no slower.
+            assert!(
+                r.get("ckpt_oob").unwrap() < r.get("full_oob").unwrap(),
+                "checkpoint replay must scan less than a full scan: {}",
+                t.render()
+            );
+            assert!(
+                r.get("ckpt_mount_us").unwrap() <= r.get("full_mount_us").unwrap(),
+                "checkpoint replay must not mount slower: {}",
+                t.render()
+            );
+            assert!(r.get("ckpt_pages_written").unwrap() > 0.0);
+        }
+        // Fuller devices pay more for the full scan.
+        let first = t.rows.first().unwrap().get("full_oob").unwrap();
+        let last = t.rows.last().unwrap().get("full_oob").unwrap();
+        assert!(last > first, "full-scan cost should grow with fill");
+    }
+
+    #[test]
+    fn smoke_e22_no_acknowledged_write_lost() {
+        let t = e22_crash_sweep(Scale::Smoke);
+        assert_eq!(t.rows.len(), 6, "3 schemes x 2 recovery modes");
+        let mut torn_total = 0.0;
+        for r in &t.rows {
+            assert_eq!(
+                r.get("lost").unwrap(),
+                0.0,
+                "acknowledged writes lost across a power cut: {}",
+                t.render()
+            );
+            assert!(r.get("acked_verified").unwrap() > 0.0);
+            assert!(
+                r.get("pre_cut_internal_erases").unwrap() > 0.0,
+                "the sweep must actually crash into GC/merge activity"
+            );
+            torn_total += r.get("torn_pages").unwrap();
+        }
+        assert!(
+            torn_total > 0.0,
+            "some crash point should land mid-program: {}",
+            t.render()
+        );
     }
 
     #[test]

@@ -14,12 +14,20 @@
 //! * a block is erased only when it holds no live pages,
 //! * reads only target written pages; transfers only follow reads,
 //! * copy-back stays within one plane and requires chip support.
+//!
+//! The array also models the *durable* half of crash consistency: every
+//! program carries an [`OobEntry`] in the page's spare area, and
+//! [`FlashArray::power_cut`] destroys exactly the operations still in
+//! flight at the cut — partially-programmed pages become unreadable
+//! (torn), interrupted erases leave their block unusable until erased
+//! again, and everything already completed survives.
 
 use eagletree_core::{SimDuration, SimTime};
 
 use crate::address::{BlockAddr, Geometry, PhysicalAddr};
 use crate::command::FlashCommand;
 use crate::error::FlashError;
+use crate::oob::OobEntry;
 use crate::timing::TimingSpec;
 
 /// Lifecycle of a physical page between erases.
@@ -70,6 +78,17 @@ enum LunStatus {
     /// register holds data that must be transferred out before the LUN can
     /// accept any other command.
     HoldingData(PhysicalAddr),
+}
+
+/// A power-cut report: what the cut destroyed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowerCutReport {
+    /// Pages whose program was still in flight: left partially programmed
+    /// and unreadable (torn).
+    pub torn_pages: u64,
+    /// Blocks whose erase was still in flight: left in an undefined state
+    /// and unusable until erased again.
+    pub interrupted_erases: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -128,7 +147,7 @@ struct VictimNode {
 /// walk a LUN's blocks in address order (their historical candidate
 /// numbering) but test membership here in O(1) instead of fetching
 /// `BlockInfo` per block. Moves between buckets are O(1).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct VictimIndex {
     /// Bucket heads, `lun * (ppb + 1) + live`.
     heads: Vec<u32>,
@@ -207,6 +226,10 @@ impl VictimIndex {
 }
 
 /// The simulated flash memory array.
+///
+/// Cloneable so experiments can remount one captured post-crash medium
+/// under several recovery modes.
+#[derive(Clone)]
 pub struct FlashArray {
     geometry: Geometry,
     timing: TimingSpec,
@@ -217,6 +240,20 @@ pub struct FlashArray {
     blocks: Vec<BlockInfo>,
     victim_index: VictimIndex,
     counters: OpCounters,
+    /// Per-page OOB spare-area records (persisted with each program; the
+    /// durable side of the mapping). `None` for unwritten or torn pages.
+    oob: Vec<Option<OobEntry>>,
+    /// Pages left partially programmed by a power cut: unreadable until
+    /// their block is erased.
+    torn: Vec<bool>,
+    /// Blocks whose erase a power cut interrupted: unusable (no programs)
+    /// until erased again.
+    needs_erase: Vec<bool>,
+    /// Programs issued but not yet complete, for power-cut injection.
+    /// Pruned lazily at each issue.
+    inflight_programs: Vec<(PhysicalAddr, SimTime)>,
+    /// Erases issued but not yet complete.
+    inflight_erases: Vec<(BlockAddr, SimTime)>,
 }
 
 impl FlashArray {
@@ -242,6 +279,11 @@ impl FlashArray {
             blocks: vec![BlockInfo::new(); geometry.total_blocks() as usize],
             victim_index: VictimIndex::new(&geometry),
             counters: OpCounters::default(),
+            oob: vec![None; geometry.total_pages() as usize],
+            torn: vec![false; geometry.total_pages() as usize],
+            needs_erase: vec![false; geometry.total_blocks() as usize],
+            inflight_programs: Vec::new(),
+            inflight_erases: Vec::new(),
         }
     }
 
@@ -360,6 +402,9 @@ impl FlashArray {
         now: SimTime,
     ) -> Result<IssueOutcome, FlashError> {
         self.check_range(&cmd)?;
+        // Completed operations can no longer be destroyed by a power cut.
+        self.inflight_programs.retain(|&(_, done)| done > now);
+        self.inflight_erases.retain(|&(_, done)| done > now);
         let ch = cmd.channel() as usize;
         if self.channels[ch] > now {
             return Err(FlashError::ChannelBusy {
@@ -399,6 +444,9 @@ impl FlashArray {
                 if self.page_state(addr) == PageState::Free {
                     return Err(FlashError::ReadUnwritten(addr));
                 }
+                if self.is_torn(addr) {
+                    return Err(FlashError::TornPage(addr));
+                }
                 let channel_free = now + t.read_channel_time();
                 let data_ready = now + t.read_lun_time();
                 self.occupy(ch, slot, channel_free, data_ready);
@@ -434,6 +482,7 @@ impl FlashArray {
                 self.occupy(ch, slot, channel_free, done);
                 self.luns[slot].programming = Some(addr.block_addr());
                 self.mark_programmed(addr);
+                self.inflight_programs.push((addr, done));
                 self.counters.programs += 1;
                 Ok(IssueOutcome {
                     done_at: done,
@@ -454,6 +503,7 @@ impl FlashArray {
                 self.occupy(ch, slot, channel_free, done);
                 self.luns[slot].programming = None;
                 self.reset_block(block, done);
+                self.inflight_erases.push((block, done));
                 self.counters.erases += 1;
                 Ok(IssueOutcome {
                     done_at: done,
@@ -475,12 +525,16 @@ impl FlashArray {
                 if self.page_state(from) == PageState::Free {
                     return Err(FlashError::ReadUnwritten(from));
                 }
+                if self.is_torn(from) {
+                    return Err(FlashError::TornPage(from));
+                }
                 self.check_programmable(to)?;
                 let channel_free = now + t.copyback_channel_time();
                 let done = now + t.copyback_lun_time();
                 self.occupy(ch, slot, channel_free, done);
                 self.luns[slot].programming = None;
                 self.mark_programmed(to);
+                self.inflight_programs.push((to, done));
                 self.counters.copybacks += 1;
                 Ok(IssueOutcome {
                     done_at: done,
@@ -528,6 +582,9 @@ impl FlashArray {
         if info.bad {
             return Err(FlashError::BadBlock(addr.block_addr()));
         }
+        if self.needs_erase[self.geometry.block_index(addr.block_addr()) as usize] {
+            return Err(FlashError::NeedsErase(addr.block_addr()));
+        }
         if info.write_ptr != addr.page {
             return Err(FlashError::NonSequentialProgram {
                 addr,
@@ -572,10 +629,141 @@ impl FlashArray {
         if info.erase_count >= endurance {
             info.bad = true;
         }
+        self.needs_erase[bi] = false;
         let base = bi * self.geometry.pages_per_block as usize;
-        for s in &mut self.page_state[base..base + self.geometry.pages_per_block as usize] {
+        let end = base + self.geometry.pages_per_block as usize;
+        for s in &mut self.page_state[base..end] {
             *s = PageState::Free;
         }
+        for o in &mut self.oob[base..end] {
+            *o = None;
+        }
+        for t in &mut self.torn[base..end] {
+            *t = false;
+        }
+    }
+
+    // ----- OOB metadata & power-failure injection -------------------------
+
+    /// Record the OOB spare-area entry of a page the controller just
+    /// programmed. The controller calls this alongside every `Program` /
+    /// `CopyBack` issue; the entry persists until the block is erased.
+    pub fn set_oob(&mut self, addr: PhysicalAddr, entry: OobEntry) {
+        let pi = self.geometry.page_index(addr) as usize;
+        debug_assert_ne!(
+            self.page_state[pi],
+            PageState::Free,
+            "OOB write to unprogrammed page {addr:?}"
+        );
+        self.oob[pi] = Some(entry);
+    }
+
+    /// The OOB entry of a page: `None` for unwritten or torn pages (a torn
+    /// page's spare area is as unreadable as its payload).
+    pub fn oob(&self, addr: PhysicalAddr) -> Option<OobEntry> {
+        let pi = self.geometry.page_index(addr) as usize;
+        if self.torn[pi] {
+            return None;
+        }
+        self.oob[pi]
+    }
+
+    /// Whether a page was left partially programmed by a power cut.
+    pub fn is_torn(&self, addr: PhysicalAddr) -> bool {
+        self.torn[self.geometry.page_index(addr) as usize]
+    }
+
+    /// Whether a power cut interrupted this block's erase: it must be
+    /// erased again before any page of it can be programmed.
+    pub fn block_needs_erase(&self, block: BlockAddr) -> bool {
+        self.needs_erase[self.geometry.block_index(block) as usize]
+    }
+
+    /// Cut power at virtual instant `at`: every program still in flight
+    /// leaves its page partially programmed (torn — unreadable payload and
+    /// OOB), every erase still in flight leaves its block in an undefined
+    /// state (unusable until erased again), and all transient controller
+    /// ↔ array state (busy windows, held page registers, program
+    /// pipelines) is lost. Completed operations are durable.
+    ///
+    /// The array afterwards models the dead medium a remount starts from;
+    /// wear state (erase counts, bad-block masks) survives.
+    pub fn power_cut(&mut self, at: SimTime) -> PowerCutReport {
+        let mut report = PowerCutReport::default();
+        let inflight: Vec<(PhysicalAddr, SimTime)> = std::mem::take(&mut self.inflight_programs);
+        for (addr, done) in inflight {
+            if done <= at {
+                continue;
+            }
+            let pi = self.geometry.page_index(addr) as usize;
+            self.torn[pi] = true;
+            self.oob[pi] = None;
+            if self.page_state[pi] == PageState::Valid {
+                // The partial program holds nothing readable: it is garbage
+                // from birth (live-page accounting and the victim index
+                // follow, exactly as for an invalidation).
+                self.page_state[pi] = PageState::Invalid;
+                let bi = self.geometry.block_index(addr.block_addr()) as usize;
+                debug_assert!(self.blocks[bi].live_pages > 0);
+                self.blocks[bi].live_pages -= 1;
+                self.victim_index
+                    .move_to(bi as u32, self.blocks[bi].live_pages);
+            }
+            report.torn_pages += 1;
+        }
+        let inflight: Vec<(BlockAddr, SimTime)> = std::mem::take(&mut self.inflight_erases);
+        for (block, done) in inflight {
+            if done <= at {
+                continue;
+            }
+            self.needs_erase[self.geometry.block_index(block) as usize] = true;
+            report.interrupted_erases += 1;
+        }
+        // Power off: every channel and LUN is idle, registers are empty.
+        for ch in &mut self.channels {
+            *ch = SimTime::ZERO;
+        }
+        for lun in &mut self.luns {
+            lun.busy_until = SimTime::ZERO;
+            lun.status = LunStatus::Idle;
+            lun.programming = None;
+        }
+        report
+    }
+
+    /// Mount-time erase, outside the scheduler: reset `block` immediately.
+    /// Used by recovery for interrupted-erase blocks and blocks holding no
+    /// live data; the erase's virtual-time cost is accounted by the
+    /// recovery report, not by array occupancy. Requires a block with no
+    /// valid pages.
+    pub fn recovery_erase(&mut self, block: BlockAddr) {
+        let info = self.block_info(block);
+        assert_eq!(info.live_pages, 0, "recovery erase of a live block {block:?}");
+        self.reset_block(block, SimTime::ZERO);
+        self.counters.erases += 1;
+    }
+
+    /// Mount-time reconciliation: recovery determined that this (written,
+    /// non-torn) page holds the live copy of its logical content, but the
+    /// pre-crash controller had marked it superseded. Validity is
+    /// controller RAM state, not medium state — the rebuilt controller's
+    /// view wins. Live-page accounting and the victim index follow.
+    pub fn recovery_set_valid(&mut self, addr: PhysicalAddr) {
+        let pi = self.geometry.page_index(addr) as usize;
+        assert!(!self.torn[pi], "torn page {addr:?} cannot be revalidated");
+        assert_ne!(
+            self.page_state[pi],
+            PageState::Free,
+            "unwritten page {addr:?} cannot be revalidated"
+        );
+        if self.page_state[pi] == PageState::Valid {
+            return;
+        }
+        self.page_state[pi] = PageState::Valid;
+        let bi = self.geometry.block_index(addr.block_addr()) as usize;
+        self.blocks[bi].live_pages += 1;
+        self.victim_index
+            .move_to(bi as u32, self.blocks[bi].live_pages);
     }
 
     /// State of one physical page.
@@ -1026,6 +1214,97 @@ mod tests {
         let counts = a.erase_counts();
         assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 1);
         assert_eq!(counts.len() as u64, a.geometry().total_blocks());
+    }
+
+    #[test]
+    fn power_cut_tears_inflight_program_only() {
+        use crate::oob::{OobEntry, OobTag};
+        let mut a = array();
+        let o0 = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        a.set_oob(addr(0, 0), OobEntry { tag: OobTag::Data { lpn: 1 }, seq: 1, stamp: 1 });
+        // Second program issued after the first completes; cut mid-flight.
+        let o1 = a.issue(FlashCommand::Program(addr(0, 1)), o0.lun_free_at).unwrap();
+        a.set_oob(addr(0, 1), OobEntry { tag: OobTag::Data { lpn: 2 }, seq: 2, stamp: 2 });
+        let cut = o0.lun_free_at; // before o1.done_at
+        assert!(cut < o1.done_at);
+        let report = a.power_cut(cut);
+        assert_eq!(report.torn_pages, 1);
+        assert_eq!(report.interrupted_erases, 0);
+        // The completed page survives with its OOB; the torn one is gone.
+        assert!(!a.is_torn(addr(0, 0)));
+        assert_eq!(a.oob(addr(0, 0)).unwrap().seq, 1);
+        assert!(a.is_torn(addr(0, 1)));
+        assert_eq!(a.oob(addr(0, 1)), None);
+        assert_eq!(a.page_state(addr(0, 1)), PageState::Invalid);
+        assert_eq!(a.block_info(addr(0, 0).block_addr()).live_pages, 1);
+        // Reads of the torn page fail; the medium is otherwise idle.
+        assert!(matches!(
+            a.issue(FlashCommand::ReadStart(addr(0, 1)), SimTime::ZERO),
+            Err(FlashError::TornPage(_))
+        ));
+        a.issue(FlashCommand::ReadStart(addr(0, 0)), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn power_cut_interrupts_inflight_erase() {
+        let mut a = array();
+        let mut now = SimTime::ZERO;
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), now).unwrap();
+        now = out.lun_free_at;
+        a.invalidate(addr(0, 0));
+        let block = addr(0, 0).block_addr();
+        let e = a.issue(FlashCommand::Erase(block), now).unwrap();
+        let report = a.power_cut(now); // before e.done_at
+        assert!(now < e.done_at);
+        assert_eq!(report.interrupted_erases, 1);
+        assert!(a.block_needs_erase(block));
+        // Programs are refused until the block is erased again.
+        assert!(matches!(
+            a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO),
+            Err(FlashError::NeedsErase(_))
+        ));
+        a.issue(FlashCommand::Erase(block), SimTime::ZERO).unwrap();
+        assert!(!a.block_needs_erase(block));
+        assert_eq!(a.block_info(block).erase_count, 2, "interrupted erase costs wear");
+    }
+
+    #[test]
+    fn erase_clears_oob_and_torn_state() {
+        use crate::oob::{OobEntry, OobTag};
+        let mut a = array();
+        let o0 = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        a.set_oob(addr(0, 0), OobEntry { tag: OobTag::Data { lpn: 3 }, seq: 1, stamp: 1 });
+        let o1 = a.issue(FlashCommand::Program(addr(0, 1)), o0.lun_free_at).unwrap();
+        a.power_cut(o0.lun_free_at);
+        a.invalidate(addr(0, 0));
+        let block = addr(0, 0).block_addr();
+        let out = a.issue(FlashCommand::Erase(block), o1.done_at).unwrap();
+        assert_eq!(a.oob(addr(0, 0)), None);
+        assert!(!a.is_torn(addr(0, 1)));
+        // Fully usable again.
+        a.issue(FlashCommand::Program(addr(0, 0)), out.done_at).unwrap();
+    }
+
+    #[test]
+    fn recovery_helpers_reconcile_state() {
+        use crate::oob::{OobEntry, OobTag};
+        let mut a = array();
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        a.set_oob(addr(0, 0), OobEntry { tag: OobTag::Data { lpn: 9 }, seq: 4, stamp: 4 });
+        a.invalidate(addr(0, 0));
+        // Recovery decides the page is the live copy after all.
+        a.recovery_set_valid(addr(0, 0));
+        assert_eq!(a.page_state(addr(0, 0)), PageState::Valid);
+        assert_eq!(a.block_info(addr(0, 0).block_addr()).live_pages, 1);
+        // Revalidating a valid page is a no-op.
+        a.recovery_set_valid(addr(0, 0));
+        assert_eq!(a.block_info(addr(0, 0).block_addr()).live_pages, 1);
+        // Recovery erase resets a dead block without scheduling.
+        a.invalidate(addr(0, 0));
+        a.recovery_erase(addr(0, 0).block_addr());
+        assert_eq!(a.block_info(addr(0, 0).block_addr()).erase_count, 1);
+        assert_eq!(a.page_state(addr(0, 0)), PageState::Free);
+        let _ = out;
     }
 
     #[test]

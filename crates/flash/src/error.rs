@@ -31,6 +31,11 @@ pub enum FlashError {
     InvalidCopyBack(String),
     /// Program or erase targeted a worn-out (masked) block.
     BadBlock(BlockAddr),
+    /// Read targeted a page left partially programmed by a power cut.
+    TornPage(PhysicalAddr),
+    /// Program targeted a block whose erase a power cut interrupted; it
+    /// must be erased again first.
+    NeedsErase(BlockAddr),
 }
 
 impl fmt::Display for FlashError {
@@ -59,6 +64,12 @@ impl fmt::Display for FlashError {
             }
             FlashError::InvalidCopyBack(s) => write!(f, "invalid copy-back: {s}"),
             FlashError::BadBlock(b) => write!(f, "operation on bad block {b:?}"),
+            FlashError::TornPage(a) => {
+                write!(f, "read of torn (partially programmed) page {a:?}")
+            }
+            FlashError::NeedsErase(b) => {
+                write!(f, "program into block {b:?} with an interrupted erase")
+            }
         }
     }
 }

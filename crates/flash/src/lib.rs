@@ -22,17 +22,24 @@
 //!   last-erase timestamps (consumed by wear leveling), and raw op counters.
 //! * **Memory manager** ([`MemoryManager`]) — tracks controller RAM and
 //!   battery-backed RAM budgets for mapping tables and write buffers.
+//! * **OOB & power failure** ([`oob`], [`FlashArray::power_cut`]) — every
+//!   program persists an [`OobEntry`] in the page's spare area (logical
+//!   page + version stamps), the durable record mount-time recovery
+//!   rebuilds the mapping from; a power cut destroys exactly the
+//!   operations in flight (torn pages, interrupted erases).
 
 pub mod address;
 pub mod array;
 pub mod command;
 pub mod error;
 pub mod memory;
+pub mod oob;
 pub mod timing;
 
 pub use address::{BlockAddr, Geometry, PhysicalAddr};
-pub use array::{BlockInfo, FlashArray, IssueOutcome, PageState};
+pub use array::{BlockInfo, FlashArray, IssueOutcome, PageState, PowerCutReport};
 pub use command::FlashCommand;
 pub use error::FlashError;
 pub use memory::{MemoryKind, MemoryManager};
+pub use oob::{OobEntry, OobTag};
 pub use timing::{CellType, TimingSpec};

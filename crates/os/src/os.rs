@@ -19,7 +19,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use eagletree_controller::{
-    Completion, Controller, IoTags, RequestId, RequestKind, SsdRequest,
+    Completion, Controller, CrashImage, IoTags, RequestId, RequestKind, SsdRequest,
 };
 use eagletree_core::{EventQueue, Histogram, OnlineStats, SimDuration, SimTime, TimeSeries};
 
@@ -403,6 +403,20 @@ impl Os {
     /// Threads owned by tenant `t`.
     pub fn tenant_threads(&self, t: TenantId) -> &[ThreadId] {
         &self.tenants[t].threads
+    }
+
+    /// Pull the plug at the current virtual instant: the whole host dies
+    /// with the device. Queued and in-flight (unacknowledged) IOs, thread
+    /// state and OS statistics are lost; the SSD loses exactly the flash
+    /// operations still in flight. Returns the dead medium — pass it to
+    /// [`Controller::remount`] and wrap the recovered controller in a
+    /// fresh [`Os`] to model the reboot.
+    ///
+    /// Typically used after [`Os::run_until`], which stops the simulation
+    /// at the chosen crash instant.
+    pub fn power_cut(self) -> CrashImage {
+        let now = self.now;
+        self.ctrl.power_cut(now)
     }
 
     /// Run until no further progress is possible (all queues empty, no

@@ -146,21 +146,55 @@ impl QosSlot {
             && (self.params.page_bw_limit.is_none() || self.tok_pages >= 1.0)
     }
 
+    /// Wait, in whole nanoseconds, until a bucket refills `deficit` tokens
+    /// at `rate` tokens per virtual second — rounded up, with explicit
+    /// guards: a zero/negative/non-finite rate never refills, and
+    /// overflowing waits saturate to [`QosSlot::NEVER_NS`] instead of
+    /// wrapping through the `f64 → u64` cast.
+    fn refill_wait_ns(deficit: f64, rate: f64) -> u64 {
+        if deficit <= 0.0 {
+            return 0;
+        }
+        if rate.is_nan() || rate <= 0.0 {
+            return Self::NEVER_NS;
+        }
+        let ns = (deficit * 1e9 / rate).ceil();
+        if !ns.is_finite() || ns >= Self::NEVER_NS as f64 {
+            Self::NEVER_NS
+        } else {
+            ns as u64
+        }
+    }
+
+    /// "Effectively never" in integer nanoseconds: far beyond any
+    /// simulated horizon, yet safely addable to a `SimTime` without
+    /// overflow.
+    const NEVER_NS: u64 = u64::MAX / 4;
+
     /// Earliest instant at which a one-page IO becomes dispatchable, for a
     /// slot currently ineligible at `now`.
     fn ready_at(&self, now: SimTime) -> SimTime {
-        let mut wait_s = 0.0f64;
+        let mut wait_ns = 0u64;
         if let Some(rate) = self.params.iops_limit {
-            if self.tok_ios < 1.0 {
-                wait_s = wait_s.max((1.0 - self.tok_ios) / rate);
-            }
+            wait_ns = wait_ns.max(Self::refill_wait_ns(1.0 - self.tok_ios, rate));
         }
         if let Some(rate) = self.params.page_bw_limit {
-            if self.tok_pages < 1.0 {
-                wait_s = wait_s.max((1.0 - self.tok_pages) / rate);
-            }
+            wait_ns = wait_ns.max(Self::refill_wait_ns(1.0 - self.tok_pages, rate));
         }
-        now + SimDuration::from_nanos((wait_s * 1e9).ceil() as u64)
+        // Floating-point rounding in the division must never yield a
+        // wakeup at which the bucket is still short — the main loop would
+        // spin on a zero-progress wake time. Verify with the exact
+        // arithmetic `refill` uses and nudge forward (exponentially, so
+        // this terminates in a handful of rounds) until truly eligible.
+        let mut step = 1u64;
+        loop {
+            let t = now + SimDuration::from_nanos(wait_ns);
+            if wait_ns >= Self::NEVER_NS || self.clone().eligible(t) {
+                return t;
+            }
+            wait_ns = wait_ns.saturating_add(step).min(Self::NEVER_NS);
+            step = step.saturating_mul(2);
+        }
     }
 
     /// Sync the WFQ virtual time when this tenant transitions from idle to
@@ -370,6 +404,41 @@ mod tests {
         // After the refill instant the tenant is eligible again.
         assert!(select(&pol, &cands, &mut s, ready, vclock).is_some());
         assert!(next_ready_time(&pol, &cands, &mut s, ready).is_none());
+    }
+
+    #[test]
+    fn refill_wakeup_is_never_early() {
+        // The wake instant the slot reports must make it eligible under
+        // the exact same arithmetic `refill` uses — a wakeup rounded one
+        // nanosecond early would spin the main loop on zero progress.
+        let now = SimTime::from_nanos(987_654_321);
+        for rate in [3.0, 7.0, 1e-3, 0.333_333_333_3, 999_999.0, 1e9, 1e15] {
+            let mut s = QosSlot::new(QosParams {
+                iops_limit: Some(rate),
+                burst: 1.0,
+                ..QosParams::default()
+            });
+            s.tok_ios = 0.25;
+            s.last_refill = now;
+            let ready = s.ready_at(now);
+            assert!(
+                s.clone().eligible(ready),
+                "rate {rate}: slot not eligible at its own ready_at"
+            );
+            assert!(ready >= now);
+        }
+    }
+
+    #[test]
+    fn refill_wait_guards_zero_and_overflowing_rates() {
+        // Zero / negative / NaN rates never refill; sub-nano waits round
+        // up; astronomically slow rates saturate instead of wrapping.
+        assert_eq!(QosSlot::refill_wait_ns(1.0, 0.0), QosSlot::NEVER_NS);
+        assert_eq!(QosSlot::refill_wait_ns(1.0, -5.0), QosSlot::NEVER_NS);
+        assert_eq!(QosSlot::refill_wait_ns(1.0, f64::NAN), QosSlot::NEVER_NS);
+        assert_eq!(QosSlot::refill_wait_ns(0.0, 1000.0), 0);
+        assert_eq!(QosSlot::refill_wait_ns(1.0, 1e18), 1, "sub-ns waits round up");
+        assert_eq!(QosSlot::refill_wait_ns(1.0, 1e-12), QosSlot::NEVER_NS);
     }
 
     #[test]
