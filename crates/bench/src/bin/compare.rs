@@ -1,7 +1,7 @@
 //! Bench-trajectory comparison: diff two harness `--json` files.
 //!
 //! ```text
-//! compare BASELINE.json CURRENT.json [--max-slowdown FACTOR]
+//! compare BASELINE.json CURRENT.json [--max-slowdown FACTOR] [--min-events-rate FACTOR]
 //! ```
 //!
 //! Prints a per-experiment delta report (wall seconds, speedup, events/sec
@@ -15,8 +15,14 @@
 //! instead of silently diffing as noise. With `--max-slowdown`, exits
 //! non-zero if any experiment common to both files ran slower than
 //! `base * FACTOR + 0.5s` — the absolute grace keeps millisecond-scale
-//! smoke experiments from flagging on runner noise. Experiments in only
-//! one file never trip the gate.
+//! smoke experiments from flagging on runner noise. With
+//! `--min-events-rate`, exits non-zero if any experiment's simulator
+//! throughput (`events_per_sec`) fell below `base * FACTOR`; experiments
+//! faster than half a second in the baseline are exempt (their rate is
+//! dominated by startup, not the event engine). This is the event-engine
+//! regression gate: E18 is its main subject, but any experiment that got
+//! slower per event trips it. Experiments in only one file never trip
+//! either gate.
 
 use std::collections::BTreeMap;
 
@@ -67,6 +73,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut max_slowdown: Option<f64> = None;
+    let mut min_events_rate: Option<f64> = None;
+    let usage = "usage: compare BASELINE.json CURRENT.json [--max-slowdown FACTOR] [--min-events-rate FACTOR]";
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -78,8 +86,16 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--min-events-rate" => {
+                i += 1;
+                min_events_rate = args.get(i).and_then(|s| s.parse().ok());
+                if min_events_rate.is_none() {
+                    eprintln!("--min-events-rate needs a numeric factor");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: compare BASELINE.json CURRENT.json [--max-slowdown FACTOR]");
+                eprintln!("{usage}");
                 return;
             }
             p => paths.push(p),
@@ -87,7 +103,7 @@ fn main() {
         i += 1;
     }
     if paths.len() != 2 {
-        eprintln!("usage: compare BASELINE.json CURRENT.json [--max-slowdown FACTOR]");
+        eprintln!("{usage}");
         std::process::exit(2);
     }
     let base = scrape(paths[0]);
@@ -98,6 +114,7 @@ fn main() {
         "exp", "base_s", "cur_s", "speedup", "base_ev/s", "cur_ev/s"
     );
     let mut regressions = Vec::new();
+    let mut rate_regressions = Vec::new();
     let mut only_current: Vec<String> = Vec::new();
     for (id, c) in &cur {
         let Some(b) = base.get(id) else {
@@ -121,6 +138,13 @@ fn main() {
         if let Some(factor) = max_slowdown {
             if c.wall_seconds > b.wall_seconds * factor + 0.5 {
                 regressions.push((id.clone(), b.wall_seconds, c.wall_seconds));
+            }
+        }
+        if let Some(factor) = min_events_rate {
+            if let (Some(br), Some(cr)) = (b.events_per_sec, c.events_per_sec) {
+                if b.wall_seconds >= 0.5 && cr < br * factor {
+                    rate_regressions.push((id.clone(), br, cr));
+                }
             }
         }
     }
@@ -169,11 +193,19 @@ fn main() {
             );
         }
     }
+    if !rate_regressions.is_empty() {
+        eprintln!("\nsimulator-throughput regressions beyond tolerance:");
+        for (id, b, c) in &rate_regressions {
+            eprintln!("  {id}: {b:.0} ev/s -> {c:.0} ev/s");
+        }
+    }
     if !regressions.is_empty() {
         eprintln!("\nperformance regressions beyond tolerance:");
         for (id, b, c) in &regressions {
             eprintln!("  {id}: {b:.3}s -> {c:.3}s");
         }
+    }
+    if !regressions.is_empty() || !rate_regressions.is_empty() {
         std::process::exit(1);
     }
 }

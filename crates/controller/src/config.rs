@@ -2,6 +2,7 @@
 
 use crate::sched::SchedPolicy;
 use crate::types::OpClass;
+use eagletree_core::QueueKind;
 
 /// Which mapping scheme the FTL uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +172,11 @@ pub struct ControllerConfig {
     /// Capture a per-IO visual trace of up to this many events
     /// (0 disables tracing; see `Controller::trace`).
     pub trace_events: usize,
+    /// Event-queue backend for the controller agenda. `Calendar` (the
+    /// default) is amortized O(1) on the dense flash timeline; `Heap` is
+    /// the O(log n) oracle. Pop order — and therefore every simulation
+    /// result — is byte-identical between the two.
+    pub queue: QueueKind,
 }
 
 impl Default for ControllerConfig {
@@ -192,6 +198,7 @@ impl Default for ControllerConfig {
             battery_ram_bytes: 1 << 20,
             seed: 0xEA61E,
             trace_events: 0,
+            queue: QueueKind::default(),
         }
     }
 }

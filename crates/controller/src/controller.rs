@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use eagletree_core::{EventQueue, OnlineStats, SimRng, SimTime, TraceKind, TraceLog};
+use eagletree_core::{OnlineStats, SimDuration, SimRng, SimTime, TraceKind, TraceLog};
 use eagletree_flash::{
     BlockAddr, FlashArray, FlashCommand, Geometry, MemoryKind, MemoryManager, OobEntry,
     OobTag, PageState, PhysicalAddr, TimingSpec,
@@ -27,7 +27,8 @@ use crate::ftl::{
     TranslationWriteback,
 };
 use crate::gc::{pick_victim, FoldPlan, FoldState, MergeJob, ReclaimJob};
-use crate::pend::{PendingSet, QueueKey, NO_SLOT};
+use crate::lanes::{LaneSet, MISC_LANE};
+use crate::pend::{LaneKey, PendingSet, QueueKey, NO_SLOT};
 use crate::recovery::{self, CheckpointRecord, CrashImage, RecoveryMode, RecoveryReport};
 use crate::sched::{class_index, class_table, ClassTable};
 use crate::temperature::MultiBloomDetector;
@@ -279,7 +280,9 @@ pub struct Controller {
     mem: MemoryManager,
     rng: SimRng,
     detector: MultiBloomDetector,
-    events: EventQueue<CtrlEvent>,
+    /// The agenda: per-LUN event lanes (lane 0 = misc) merged
+    /// deterministically. Backend per `ControllerConfig::queue`.
+    events: LaneSet<CtrlEvent>,
     pending: PendingSet<PendingOp>,
     /// Reusable scratch for one scheduling round's head candidates
     /// (`(key, slot)`), keys-only view, write memo and hybrid-write scan —
@@ -288,6 +291,7 @@ pub struct Controller {
     sched_keys: Vec<SchedKey>,
     write_memo: WriteMemo,
     hybrid_scratch: Vec<(u64, Lpn)>,
+    lun_scratch: Vec<bool>,
     op_seq: u64,
     app: HashMap<RequestId, AppIo>,
     jobs: Vec<Option<ReclaimJob>>,
@@ -387,6 +391,7 @@ impl Controller {
         } else {
             None
         };
+        let agenda = Self::new_agenda(&geometry, &timing, &cfg);
         Ok(Controller {
             reverse: vec![None; geometry.total_pages() as usize],
             reclaim_active: vec![0; geometry.total_luns() as usize],
@@ -397,12 +402,13 @@ impl Controller {
             alloc,
             cfg,
             mem,
-            events: EventQueue::new(),
+            events: agenda,
             pending: PendingSet::new(),
             sched_cand: Vec::new(),
             sched_keys: Vec::new(),
             write_memo: Vec::new(),
             hybrid_scratch: Vec::new(),
+            lun_scratch: Vec::new(),
             op_seq: 0,
             app: HashMap::new(),
             jobs: Vec::new(),
@@ -485,6 +491,54 @@ impl Controller {
     /// One axis of the simulator-throughput metric (`events_per_sec`).
     pub fn events_processed(&self) -> u64 {
         self.events.popped()
+    }
+
+    /// Total agenda queue operations (schedules + pops) so far: the
+    /// event-engine work metric the E18 throughput sweep reports.
+    pub fn queue_ops(&self) -> u64 {
+        self.events.scheduled() + self.events.popped()
+    }
+
+    /// Events popped per agenda lane (index 0 = the misc lane, then one
+    /// per LUN in geometry order).
+    pub fn lane_pops(&self) -> &[u64] {
+        self.events.lane_pops()
+    }
+
+    /// Number of agenda lanes (the misc lane plus one per LUN).
+    pub fn event_lanes(&self) -> u32 {
+        self.events.lane_count()
+    }
+
+    /// The event-queue backend the agenda runs on.
+    pub fn queue_kind(&self) -> eagletree_core::QueueKind {
+        self.events.kind()
+    }
+
+    /// Declare the largest gap expected between now and future agenda
+    /// events (wake-source horizon). Forwarded to the calendar backend to
+    /// self-tune bucket width; never changes behavior, only speed.
+    pub fn hint_horizon(&mut self, horizon: SimDuration) {
+        self.events.hint_horizon(horizon);
+    }
+
+    /// Build the per-LUN lane agenda: lane 0 is the misc lane (channel
+    /// wakes, instant completions), then one lane per LUN. The horizon
+    /// hint covers the longest single flash op with slack so completions
+    /// stay in the calendar's near ring.
+    fn new_agenda(
+        geometry: &Geometry,
+        timing: &TimingSpec,
+        cfg: &ControllerConfig,
+    ) -> LaneSet<CtrlEvent> {
+        let mut lanes = LaneSet::new(cfg.queue, 1 + geometry.total_luns() as usize);
+        let max_op = timing
+            .t_erase
+            .as_nanos()
+            .max(timing.t_prog.as_nanos())
+            .max(timing.t_read.as_nanos());
+        lanes.hint_horizon(SimDuration::from_nanos(max_op.saturating_mul(2).max(1)));
+        lanes
     }
 
     /// The memory manager (RAM budget introspection).
@@ -642,7 +696,7 @@ impl Controller {
             if t > now {
                 break;
             }
-            let ev = self.events.pop().expect("peeked event");
+            let (_lane, ev) = self.events.pop().expect("peeked event");
             match ev.payload {
                 CtrlEvent::Wake => {}
                 CtrlEvent::Done(d) => self.handle_done(d, ev.time),
@@ -817,6 +871,7 @@ impl Controller {
         };
         self.pending.insert(
             key,
+            Self::write_lane(&kind),
             PendingOp {
                 seq,
                 class,
@@ -827,14 +882,35 @@ impl Controller {
         );
     }
 
+    /// Write-lane key for ops whose issuability is a pure function of
+    /// `(LUN, stream)` — the contract a `PendingSet` lane requires (the
+    /// lane head's verdict then covers the whole lane). Everything else
+    /// goes to the group's order-scan queue.
+    fn write_lane(kind: &PendKind) -> LaneKey {
+        match kind {
+            PendKind::Write { lun, stream, .. } => {
+                let s = match stream {
+                    Stream::Hot => 0u64,
+                    Stream::Cold => 1,
+                    Stream::Gc => 2,
+                    Stream::Translation => 3,
+                    Stream::Locality(g) => 4 + u64::from(*g),
+                };
+                Some((lun.map_or(0, |l| u64::from(l) + 1) << 40) | s)
+            }
+            _ => None,
+        }
+    }
+
     /// Issue a flash command whose resources the scheduler verified free,
-    /// recording it in the visual trace.
+    /// recording it in the visual trace. Returns the event lane of the
+    /// LUN the command occupies alongside the flash timing outcome.
     fn issue_cmd(
         &mut self,
         cmd: FlashCommand,
         now: SimTime,
         trace_id: u64,
-    ) -> eagletree_flash::IssueOutcome {
+    ) -> (u32, eagletree_flash::IssueOutcome) {
         let out = self
             .array
             .issue(cmd, now)
@@ -851,7 +927,11 @@ impl Controller {
                 },
             );
         }
-        out
+        let lane = 1 + self
+            .array
+            .geometry()
+            .lun_index(cmd.channel(), cmd.lun());
+        (lane, out)
     }
 
     fn complete_app(&mut self, id: RequestId, now: SimTime) {
@@ -1645,25 +1725,25 @@ impl Controller {
             }
         }
         self.maybe_checkpoint(now);
-        // Each round compares at most one candidate per live queue (the
-        // first issuable op dominates the rest of its FIFO under every
+        // Each round compares at most one candidate per live group (the
+        // group's first issuable op dominates the rest of it under every
         // policy), so per-issue cost tracks the number of live (class,
-        // tag) queues — not the number of pending ops — and the reused
+        // tag) groups — not the number of pending ops — and the reused
         // scratch buffers keep the loop allocation-free.
         let mut memo = std::mem::take(&mut self.write_memo);
         loop {
             memo.clear();
             // Hardware necessity: pending transfers hold LUN registers
-            // hostage, so they always go first (from their own queue —
+            // hostage, so they always go first (from their own group —
             // no scan over non-transfer ops).
-            let t = self.first_issuable(PendingSet::<PendingOp>::TRANSFER_QUEUE, now, &mut memo);
+            let t = self.first_issuable(PendingSet::<PendingOp>::TRANSFER_GROUP, now, &mut memo);
             if t != NO_SLOT {
                 self.issue(t, now);
                 continue;
             }
             let mut cand = std::mem::take(&mut self.sched_cand);
             cand.clear();
-            for q in 1..self.pending.queue_count() {
+            for q in 1..self.pending.group_count() {
                 let slot = self.first_issuable(q, now, &mut memo);
                 if slot != NO_SLOT {
                     let op = self.pending.get(slot);
@@ -1701,16 +1781,40 @@ impl Controller {
         self.write_memo = memo;
     }
 
-    /// First op in `queue` that could issue right now, or `NO_SLOT`.
-    fn first_issuable(&self, queue: u32, now: SimTime, memo: &mut WriteMemo) -> u32 {
-        let mut cur = self.pending.head(queue);
+    /// First op in `group` that could issue right now, or `NO_SLOT`.
+    ///
+    /// The group's order-scan queue is probed in FIFO order; each write
+    /// lane contributes only its head (a blocked head proves the lane
+    /// blocked — all its ops share one issuability predicate). The
+    /// min-seq winner is exactly the op a single merged FIFO would have
+    /// yielded: a lane head has the smallest seq of its key, and any
+    /// issuable lane op implies its head (same predicate, smaller seq)
+    /// is issuable too.
+    fn first_issuable(&self, group: u32, now: SimTime, memo: &mut WriteMemo) -> u32 {
+        let mut best = NO_SLOT;
+        let mut best_seq = u64::MAX;
+        let mut cur = self.pending.scan_head(group);
         while cur != NO_SLOT {
-            if self.op_issuable(self.pending.get(cur), now, memo) {
-                return cur;
+            let op = self.pending.get(cur);
+            if self.op_issuable(op, now, memo) {
+                best = cur;
+                best_seq = op.seq;
+                break;
             }
             cur = self.pending.next(cur);
         }
-        NO_SLOT
+        for li in 0..self.pending.lane_count(group) {
+            let head = self.pending.lane_head(group, li);
+            if head == NO_SLOT {
+                continue;
+            }
+            let op = self.pending.get(head);
+            if op.seq < best_seq && self.op_issuable(op, now, memo) {
+                best = head;
+                best_seq = op.seq;
+            }
+        }
+        best
     }
 
     /// Issue (or consume) the pending op in `slot`. Caller guarantees
@@ -1722,31 +1826,31 @@ impl Controller {
             .record(now.saturating_since(op.enqueued_at).as_micros_f64());
         match op.kind {
             PendKind::Transfer { addr, done } => {
-                let out = self.issue_cmd(FlashCommand::TransferOut(addr), now, op.seq);
-                self.finish_issue(op.class, done, out);
+                let (lane, out) = self.issue_cmd(FlashCommand::TransferOut(addr), now, op.seq);
+                self.finish_issue(op.class, done, lane, out);
             }
             PendKind::Erase { block, job } => {
-                let out = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
-                self.finish_issue(op.class, DoneWhat::EraseDone { job, block }, out);
+                let (lane, out) = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
+                self.finish_issue(op.class, DoneWhat::EraseDone { job, block }, lane, out);
             }
             PendKind::AppRead { id, lpn } => match self.ftl.peek(lpn) {
                 None => self.complete_app(id, now),
                 Some(ppn) => {
                     let addr = self.array.geometry().page_at(ppn);
-                    let out = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
-                    self.finish_issue(op.class, DoneWhat::AppReadArray { id, addr }, out);
+                    let (lane, out) = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                    self.finish_issue(op.class, DoneWhat::AppReadArray { id, addr }, lane, out);
                 }
             },
             PendKind::MapFetchRead { tvpn } => match self.ftl.translation_location(tvpn) {
                 None => {
                     // Entries live in RAM structures: resolve immediately.
                     self.events
-                        .schedule(now, CtrlEvent::Done(DoneWhat::MapFetchXfer { tvpn }));
+                        .schedule(MISC_LANE, now, CtrlEvent::Done(DoneWhat::MapFetchXfer { tvpn }));
                 }
                 Some(ppn) => {
                     let addr = self.array.geometry().page_at(ppn);
-                    let out = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
-                    self.finish_issue(op.class, DoneWhat::MapFetchRead { tvpn, addr }, out);
+                    let (lane, out) = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                    self.finish_issue(op.class, DoneWhat::MapFetchRead { tvpn, addr }, lane, out);
                 }
             },
             PendKind::WbRead { wb } => {
@@ -1771,8 +1875,8 @@ impl Controller {
                     );
                 } else {
                     let addr = self.array.geometry().page_at(old.unwrap());
-                    let out = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
-                    self.finish_issue(op.class, DoneWhat::WbRead { wb, addr }, out);
+                    let (lane, out) = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                    self.finish_issue(op.class, DoneWhat::WbRead { wb, addr }, lane, out);
                 }
             }
             PendKind::Write { lun, stream, what } => {
@@ -1794,7 +1898,7 @@ impl Controller {
                     }
                 };
                 self.reverse[ppn as usize] = Some(content);
-                let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                let (lane, out) = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
                 // Relocations inherit the source's content version; host
                 // and translation writes get a fresh one.
                 let seq = match what {
@@ -1815,7 +1919,7 @@ impl Controller {
                         DoneWhat::FlushDone { lpn, version, ppn }
                     }
                 };
-                self.finish_issue(op.class, done, out);
+                self.finish_issue(op.class, done, lane, out);
             }
             PendKind::GcMove { job, from } => {
                 let from_ppn = self.array.geometry().page_index(from);
@@ -1837,26 +1941,27 @@ impl Controller {
                         self.reverse[self.array.geometry().page_index(to) as usize] =
                             Some(content);
                         let seq = self.source_seq(from_ppn);
-                        let out = self.issue_cmd(FlashCommand::CopyBack { from, to }, now, op.seq);
+                        let (lane, out) = self.issue_cmd(FlashCommand::CopyBack { from, to }, now, op.seq);
                         self.stamp_program(to, Self::content_tag(content), Some(seq));
                         self.finish_issue(
                             op.class,
                             DoneWhat::GcCopyBackDone { job, from, to, content },
+                            lane,
                             out,
                         );
                         return;
                     }
                 }
-                let out = self.issue_cmd(FlashCommand::ReadStart(from), now, op.seq);
+                let (lane, out) = self.issue_cmd(FlashCommand::ReadStart(from), now, op.seq);
                 let _ = source;
-                self.finish_issue(op.class, DoneWhat::GcReadArray { job, from }, out);
+                self.finish_issue(op.class, DoneWhat::GcReadArray { job, from }, lane, out);
             }
             PendKind::HybridWrite { what } => {
                 let lpn = what.lpn();
                 let ppn = self.hybrid_mut().commit_append(lpn);
                 let addr = self.array.geometry().page_at(ppn);
                 self.reverse[ppn as usize] = Some(PageContent::Data(lpn));
-                let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                let (lane, out) = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
                 self.stamp_program(addr, OobTag::Data { lpn }, None);
                 let done = match what {
                     HybridWhat::App { id, lpn } => DoneWhat::AppWriteDone { id, lpn, ppn },
@@ -1864,7 +1969,7 @@ impl Controller {
                         DoneWhat::FlushDone { lpn, version, ppn }
                     }
                 };
-                self.finish_issue(op.class, done, out);
+                self.finish_issue(op.class, done, lane, out);
             }
             PendKind::MergeRead { mj } => {
                 let cur = self.merge_cur(mj);
@@ -1884,10 +1989,11 @@ impl Controller {
                     }
                     Some(src) => {
                         let addr = self.array.geometry().page_at(src);
-                        let out = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                        let (lane, out) = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
                         self.finish_issue(
                             op.class,
                             DoneWhat::MergeReadDone { mj, from: addr },
+                            lane,
                             out,
                         );
                     }
@@ -1901,7 +2007,7 @@ impl Controller {
                 if from.is_some() {
                     self.reverse[dest as usize] = Some(PageContent::Data(lpn));
                 }
-                let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                let (lane, out) = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
                 match from {
                     Some(src) => {
                         let seq = self.source_seq(src);
@@ -1917,13 +2023,14 @@ impl Controller {
                         );
                     }
                 }
-                self.finish_issue(op.class, DoneWhat::MergeProgDone { mj, from, dest }, out);
+                self.finish_issue(op.class, DoneWhat::MergeProgDone { mj, from, dest }, lane, out);
             }
             PendKind::MergeErase { source, block, job } => {
-                let out = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
+                let (lane, out) = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
                 self.finish_issue(
                     op.class,
                     DoneWhat::MergeEraseDone { source, block, job },
+                    lane,
                     out,
                 );
             }
@@ -1935,7 +2042,7 @@ impl Controller {
                 };
                 let ppn = self.array.geometry().page_index(addr);
                 self.reverse[ppn as usize] = Some(PageContent::Checkpoint(slot));
-                let out = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                let (lane, out) = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
                 // Checkpoint pages carry no mapping entry of their own:
                 // stamped (for block probes) but never replayed.
                 let stamp = self.fresh_stamp();
@@ -1948,36 +2055,43 @@ impl Controller {
                     },
                 );
                 self.stats.checkpoint_pages += 1;
-                self.finish_issue(op.class, DoneWhat::CkptWriteDone, out);
+                self.finish_issue(op.class, DoneWhat::CkptWriteDone, lane, out);
             }
             PendKind::CkptErase { block } => {
-                let out = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
-                self.finish_issue(op.class, DoneWhat::CkptEraseDone { block }, out);
+                let (lane, out) = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
+                self.finish_issue(op.class, DoneWhat::CkptEraseDone { block }, lane, out);
             }
         }
     }
 
     fn choose_write_lun(&mut self, stream: Stream, now: SimTime) -> Option<u32> {
         let g = *self.array.geometry();
-        let free: Vec<bool> = (0..g.total_luns())
-            .map(|l| self.can_program_on(l, stream, now))
-            .collect();
-        self.alloc.choose_lun(stream, |l| free[l as usize])
+        let mut free = std::mem::take(&mut self.lun_scratch);
+        free.clear();
+        free.extend((0..g.total_luns()).map(|l| self.can_program_on(l, stream, now)));
+        let chosen = self.alloc.choose_lun(stream, |l| free[l as usize]);
+        self.lun_scratch = free;
+        chosen
     }
 
     fn finish_issue(
         &mut self,
         class: OpClass,
         done: DoneWhat,
+        lane: u32,
         out: eagletree_flash::IssueOutcome,
     ) {
         self.stats.issued[class_index(class)] += 1;
-        self.events.schedule(out.done_at, CtrlEvent::Done(done));
+        // The completion and the LUN-free wake belong to the LUN's lane;
+        // a channel freeing is cross-LUN state, so it wakes via the misc
+        // lane.
+        self.events.schedule(lane, out.done_at, CtrlEvent::Done(done));
         if out.channel_free_at < out.done_at {
-            self.events.schedule(out.channel_free_at, CtrlEvent::Wake);
+            self.events
+                .schedule(MISC_LANE, out.channel_free_at, CtrlEvent::Wake);
         }
         if out.lun_free_at < out.done_at {
-            self.events.schedule(out.lun_free_at, CtrlEvent::Wake);
+            self.events.schedule(lane, out.lun_free_at, CtrlEvent::Wake);
         }
     }
 
@@ -2543,6 +2657,7 @@ impl Controller {
             translation_entries,
             mount_time: rec.mount_time,
         };
+        let agenda = Self::new_agenda(&geometry, flash.timing(), &cfg);
         let mut c = Controller {
             reverse: rec.reverse,
             reclaim_active: vec![0; geometry.total_luns() as usize],
@@ -2553,12 +2668,13 @@ impl Controller {
             alloc,
             cfg,
             mem,
-            events: EventQueue::new(),
+            events: agenda,
             pending: PendingSet::new(),
             sched_cand: Vec::new(),
             sched_keys: Vec::new(),
             write_memo: Vec::new(),
             hybrid_scratch: Vec::new(),
+            lun_scratch: Vec::new(),
             op_seq: 0,
             app: HashMap::new(),
             jobs: Vec::new(),

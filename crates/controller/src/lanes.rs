@@ -1,0 +1,195 @@
+//! Per-LUN event lanes with a deterministic merge.
+//!
+//! The controller's agenda used to be one monolithic event queue; a
+//! [`LaneSet`] splits it into independent sub-queues ("lanes") — one per
+//! LUN plus a miscellaneous lane 0 for events not bound to any LUN
+//! (channel-free wakes, instant completions). Every flash completion is
+//! scheduled on the lane of the LUN it fires on, so lane-local event
+//! streams stay lane-local; a deterministic merge feeds the main loop.
+//!
+//! This is the structural seam for conservative parallel DES (one thread
+//! per device/LUN): each lane is already an isolated [`EventQueue`], and
+//! the merge point is the only cross-lane coupling. Today the merge runs
+//! on one thread and orders lane heads by `(time, seq)` with sequence
+//! numbers allocated from one shared counter — which makes the merged
+//! stream *byte-identical* to the single-queue agenda it replaced. When
+//! lanes move to separate threads, the shared counter becomes per-lane
+//! and the merge falls back to `(time, lane, seq)`; that relaxation is
+//! deliberately not taken yet so the refactor stays provably inert.
+
+use eagletree_core::{EventQueue, QueueKind, ScheduledEvent, SimDuration, SimTime};
+
+/// The lane for events not bound to a specific LUN.
+pub(crate) const MISC_LANE: u32 = 0;
+
+/// Calendar ring size for each lane's queue. A lane holds at most a few
+/// pending events (one in-flight op per LUN plus wakes), so a compact
+/// 64-bucket ring keeps the whole lane set cache-resident; the default
+/// 1024-bucket ring per lane costs more in misses than its scan savings.
+const LANE_RING_BUCKETS: usize = 64;
+
+/// A fixed set of event lanes merged into one deterministic stream.
+pub(crate) struct LaneSet<E> {
+    lanes: Vec<EventQueue<E>>,
+    /// Shared seq counter: the global tie-break order across lanes.
+    next_seq: u64,
+    /// `(time, seq, lane)` of the earliest pending event, kept eagerly.
+    min: Option<(SimTime, u64, u32)>,
+    now: SimTime,
+    popped: u64,
+    scheduled: u64,
+    /// Pops per lane, for observability (`lane_pops`).
+    lane_pops: Vec<u64>,
+}
+
+impl<E> LaneSet<E> {
+    /// `nlanes` lanes (callers use `1 + total LUNs`), each on `kind`.
+    pub(crate) fn new(kind: QueueKind, nlanes: usize) -> Self {
+        assert!(nlanes >= 1, "lane set needs at least the misc lane");
+        LaneSet {
+            lanes: (0..nlanes)
+                .map(|_| EventQueue::with_kind_and_ring(kind, LANE_RING_BUCKETS))
+                .collect(),
+            next_seq: 0,
+            min: None,
+            now: SimTime::ZERO,
+            popped: 0,
+            scheduled: 0,
+            lane_pops: vec![0; nlanes],
+        }
+    }
+
+    pub(crate) fn kind(&self) -> QueueKind {
+        self.lanes[0].kind()
+    }
+
+    pub(crate) fn lane_count(&self) -> u32 {
+        self.lanes.len() as u32
+    }
+
+    /// Schedule `payload` on `lane` at `time`.
+    pub(crate) fn schedule(&mut self, lane: u32, time: SimTime, payload: E) {
+        // Clamp like the underlying queue would, but against the *merged*
+        // clock: a lane that has been idle lags behind `self.now`.
+        debug_assert!(
+            time >= self.now,
+            "scheduled an event in the past: {time:?} < {:?}",
+            self.now
+        );
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.lanes[lane as usize].schedule_seq(time, seq, payload);
+        self.scheduled += 1;
+        if self.min.is_none_or(|(t, s, _)| (time, seq) < (t, s)) {
+            self.min = Some((time, seq, lane));
+        }
+    }
+
+    /// Pop the globally earliest event; ties broken by the shared seq.
+    /// Returns the lane it came from alongside the event.
+    pub(crate) fn pop(&mut self) -> Option<(u32, ScheduledEvent<E>)> {
+        let (_, _, lane) = self.min?;
+        let ev = self.lanes[lane as usize].pop().expect("cached min lane");
+        self.now = ev.time;
+        self.popped += 1;
+        self.lane_pops[lane as usize] += 1;
+        self.recompute_min();
+        Some((lane, ev))
+    }
+
+    fn recompute_min(&mut self) {
+        self.min = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if let Some((t, s)) = lane.peek_key() {
+                if self.min.is_none_or(|(mt, ms, _)| (t, s) < (mt, ms)) {
+                    self.min = Some((t, s, i as u32));
+                }
+            }
+        }
+    }
+
+    /// Timestamp of the earliest pending event across all lanes.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.min.map(|(t, _, _)| t)
+    }
+
+    /// The merged clock: timestamp of the last popped event.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.len()).sum()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.min.is_none()
+    }
+
+    /// Events popped across all lanes.
+    pub(crate) fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Events scheduled across all lanes.
+    pub(crate) fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Per-lane pop counts (index 0 is the misc lane).
+    pub(crate) fn lane_pops(&self) -> &[u64] {
+        &self.lane_pops
+    }
+
+    /// Forward a horizon hint to every lane (see `EventQueue::hint_horizon`).
+    pub(crate) fn hint_horizon(&mut self, horizon: SimDuration) {
+        for lane in &mut self.lanes {
+            lane.hint_horizon(horizon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn merge_is_globally_fifo_for_ties() {
+        for kind in [QueueKind::Heap, QueueKind::Calendar] {
+            let mut ls: LaneSet<u32> = LaneSet::new(kind, 4);
+            // Same timestamp spread across lanes: pops must follow
+            // scheduling order (the shared seq), not lane order.
+            ls.schedule(3, t(10), 0);
+            ls.schedule(1, t(10), 1);
+            ls.schedule(2, t(5), 2);
+            ls.schedule(1, t(10), 3);
+            let order: Vec<(u32, u32)> =
+                std::iter::from_fn(|| ls.pop().map(|(l, e)| (l, e.payload))).collect();
+            assert_eq!(order, vec![(2, 2), (3, 0), (1, 1), (1, 3)]);
+            assert_eq!(ls.now(), t(10));
+            assert_eq!(ls.popped(), 4);
+            assert_eq!(ls.scheduled(), 4);
+            assert_eq!(ls.lane_pops(), &[0, 2, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn peek_tracks_cross_lane_min() {
+        let mut ls: LaneSet<()> = LaneSet::new(QueueKind::Calendar, 3);
+        assert!(ls.is_empty());
+        ls.schedule(2, t(100), ());
+        assert_eq!(ls.peek_time(), Some(t(100)));
+        ls.schedule(1, t(40), ());
+        assert_eq!(ls.peek_time(), Some(t(40)));
+        ls.pop();
+        assert_eq!(ls.peek_time(), Some(t(100)));
+        assert_eq!(ls.len(), 1);
+    }
+}

@@ -1,44 +1,60 @@
 //! Pending-operation storage for the controller scheduler: a slab with
-//! intrusive per-(class, tag) FIFO queues.
+//! intrusive FIFO queues, organized into per-(class, tag) *groups* that
+//! split further into issuability lanes.
 //!
-//! The dispatch hot path must not depend on queue depth: instead of one
-//! `Vec` that every scheduling pass rescans, pending ops live in slab
-//! slots threaded onto doubly-linked FIFO queues — one per distinct
-//! `(OpClass, priority-tag)` pair, plus a dedicated queue for register
-//! transfers (the hardware-necessity fast path). Within a queue both the
-//! sequence number and the enqueue time are monotonic, so for every
-//! scheduling policy the queue's first *issuable* op dominates the rest
-//! of the queue; a policy therefore only ever compares queue heads
-//! (O(live queues), typically ≤ `OpClass::COUNT`) instead of every
-//! pending op. Finding a queue's first issuable op still probes its
-//! blocked prefix — O(position of the first issuable op), degrading to
-//! O(queue length) in rounds where an entire queue is blocked — but the
-//! common head-issuable case is O(1) and probes are cheap (memoized for
-//! unbound writes). Insertion and removal are O(1) and never allocate
-//! after warm-up (slots and queues are recycled).
+//! The dispatch hot path must not depend on queue depth. Pending ops live
+//! in slab slots threaded onto doubly-linked FIFO queues; each `(OpClass,
+//! priority-tag)` pair owns a *group* of queues (plus a dedicated group
+//! for register transfers, the hardware-necessity fast path):
 //!
-//! Determinism: queues are discovered in first-use order and slots are
-//! recycled LIFO, but selection never depends on either — candidates are
-//! compared by `(class, tag, enqueue-time, seq)` keys, and callers sort
-//! head candidates by `seq` before handing them to a policy.
+//! * the group's **scan queue** holds ops whose issuability is op-specific
+//!   (reads resolve their target at probe time, hybrid appends depend on
+//!   log-block state); finding its first issuable op probes the blocked
+//!   prefix in FIFO order, O(position of the first issuable op);
+//! * **write lanes** hold page writes, one lane per `(LUN, stream)` key.
+//!   Every op in a lane shares one issuability predicate, so the lane
+//!   *head* decides for the whole lane: a blocked head proves the entire
+//!   lane blocked, and one probe replaces an O(lane length) walk. This is
+//!   what keeps deep write backlogs (queue depth 512 and beyond) out of
+//!   the scheduler's inner loop.
+//!
+//! A group's first issuable op is the min-seq candidate over the scan
+//! queue's first issuable op and the issuable lane heads — exactly the op
+//! a single merged FIFO would have yielded, so scheduling decisions (and
+//! therefore simulation results) are byte-identical to the pre-lane
+//! layout. Within a group both seq and enqueue time are monotonic per
+//! queue, so policies only ever compare group candidates (O(live
+//! groups), typically ≤ `OpClass::COUNT`). Insertion and removal are
+//! O(1) and never allocate after warm-up (slots and queues are recycled).
+//!
+//! Determinism: groups and lanes are discovered in first-use order and
+//! slots are recycled LIFO, but selection never depends on either —
+//! candidates are compared by `(class, tag, enqueue-time, seq)` keys, and
+//! callers sort head candidates by `seq` before handing them to a policy.
 
 use std::collections::HashMap;
 
 use crate::types::OpClass;
 
-/// Sentinel slot / queue id.
+/// Sentinel slot / queue / group id.
 pub(crate) const NO_SLOT: u32 = u32::MAX;
 
-/// Which FIFO a pending op belongs to.
+/// Which group a pending op belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum QueueKey {
     /// Register transfers: issued before anything else whenever their
     /// channel frees, since a LUN holding data blocks all other commands.
     Transfer,
     /// Everything else, segregated by scheduling class and priority tag
-    /// so FIFO order within a queue equals policy-preference order.
+    /// so FIFO order within a group equals policy-preference order.
     Class(OpClass, Option<u8>),
 }
+
+/// Issuability lane of an op within its group: `None` routes to the scan
+/// queue, `Some(key)` to the write lane for an opaque `(LUN, stream)`
+/// encoding. All ops sharing a lane key must share their issuability
+/// predicate — that is the contract that lets a lane's head speak for it.
+pub(crate) type LaneKey = Option<u64>;
 
 #[derive(Debug)]
 struct Slot<T> {
@@ -53,7 +69,17 @@ struct Queue {
     tail: u32,
 }
 
-/// Slab + intrusive FIFO queues of pending items.
+#[derive(Debug)]
+struct Group {
+    /// Queue id of the order-scan queue.
+    scan: u32,
+    /// Write-lane keys and their queue ids, in first-use order. Small
+    /// (≤ LUNs × streams in play); linear search beats hashing here.
+    lane_keys: Vec<u64>,
+    lane_queues: Vec<u32>,
+}
+
+/// Slab + intrusive FIFO queues of pending items, grouped per `QueueKey`.
 #[derive(Debug)]
 pub(crate) struct PendingSet<T> {
     slots: Vec<Slot<T>>,
@@ -61,17 +87,18 @@ pub(crate) struct PendingSet<T> {
     slot_queue: Vec<u32>,
     free: Vec<u32>,
     queues: Vec<Queue>,
+    groups: Vec<Group>,
     by_key: HashMap<QueueKey, u32>,
     live: usize,
 }
 
 impl<T> PendingSet<T> {
-    /// Queue id of the transfer fast-path queue (always present).
-    pub(crate) const TRANSFER_QUEUE: u32 = 0;
+    /// Group id of the transfer fast-path group (always present).
+    pub(crate) const TRANSFER_GROUP: u32 = 0;
 
     pub(crate) fn new() -> Self {
         let mut by_key = HashMap::new();
-        by_key.insert(QueueKey::Transfer, Self::TRANSFER_QUEUE);
+        by_key.insert(QueueKey::Transfer, Self::TRANSFER_GROUP);
         PendingSet {
             slots: Vec::new(),
             slot_queue: Vec::new(),
@@ -79,6 +106,11 @@ impl<T> PendingSet<T> {
             queues: vec![Queue {
                 head: NO_SLOT,
                 tail: NO_SLOT,
+            }],
+            groups: vec![Group {
+                scan: 0,
+                lane_keys: Vec::new(),
+                lane_queues: Vec::new(),
             }],
             by_key,
             live: 0,
@@ -93,15 +125,26 @@ impl<T> PendingSet<T> {
         self.len() == 0
     }
 
-    /// Number of queues ever created (ids `0..queue_count`); emptied
-    /// queues are kept for reuse, so ids are stable for a set's lifetime.
-    pub(crate) fn queue_count(&self) -> u32 {
-        self.queues.len() as u32
+    /// Number of groups ever created (ids `0..group_count`); emptied
+    /// groups are kept for reuse, so ids are stable for a set's lifetime.
+    pub(crate) fn group_count(&self) -> u32 {
+        self.groups.len() as u32
     }
 
-    /// Head slot of a queue (`NO_SLOT` when empty).
-    pub(crate) fn head(&self, queue: u32) -> u32 {
-        self.queues[queue as usize].head
+    /// Head slot of a group's scan queue (`NO_SLOT` when empty).
+    pub(crate) fn scan_head(&self, group: u32) -> u32 {
+        self.queues[self.groups[group as usize].scan as usize].head
+    }
+
+    /// Number of write lanes a group has accumulated.
+    pub(crate) fn lane_count(&self, group: u32) -> usize {
+        self.groups[group as usize].lane_queues.len()
+    }
+
+    /// Head slot of a group's `idx`-th write lane (`NO_SLOT` when empty).
+    pub(crate) fn lane_head(&self, group: u32, idx: usize) -> u32 {
+        let q = self.groups[group as usize].lane_queues[idx];
+        self.queues[q as usize].head
     }
 
     /// Successor of `slot` within its queue (`NO_SLOT` at the tail).
@@ -117,18 +160,45 @@ impl<T> PendingSet<T> {
             .expect("read of freed pending slot")
     }
 
-    /// Append `item` to the FIFO for `key`; returns its slot id.
-    pub(crate) fn insert(&mut self, key: QueueKey, item: T) -> u32 {
-        let q = match self.by_key.get(&key) {
-            Some(&q) => q,
+    fn new_queue(queues: &mut Vec<Queue>) -> u32 {
+        let q = queues.len() as u32;
+        queues.push(Queue {
+            head: NO_SLOT,
+            tail: NO_SLOT,
+        });
+        q
+    }
+
+    /// Append `item` to the FIFO for `key`/`lane`; returns its slot id.
+    pub(crate) fn insert(&mut self, key: QueueKey, lane: LaneKey, item: T) -> u32 {
+        let g = match self.by_key.get(&key) {
+            Some(&g) => g,
             None => {
-                let q = self.queues.len() as u32;
-                self.queues.push(Queue {
-                    head: NO_SLOT,
-                    tail: NO_SLOT,
+                let g = self.groups.len() as u32;
+                let scan = Self::new_queue(&mut self.queues);
+                self.groups.push(Group {
+                    scan,
+                    lane_keys: Vec::new(),
+                    lane_queues: Vec::new(),
                 });
-                self.by_key.insert(key, q);
-                q
+                self.by_key.insert(key, g);
+                g
+            }
+        };
+        let q = match lane {
+            None => self.groups[g as usize].scan,
+            Some(lk) => {
+                let group = &self.groups[g as usize];
+                match group.lane_keys.iter().position(|&k| k == lk) {
+                    Some(i) => group.lane_queues[i],
+                    None => {
+                        let q = Self::new_queue(&mut self.queues);
+                        let group = &mut self.groups[g as usize];
+                        group.lane_keys.push(lk);
+                        group.lane_queues.push(q);
+                        q
+                    }
+                }
             }
         };
         let slot = match self.free.pop() {
@@ -200,10 +270,10 @@ impl<T> PendingSet<T> {
 mod tests {
     use super::*;
 
-    fn drain(set: &mut PendingSet<u64>, queue: u32) -> Vec<u64> {
+    fn drain_scan(set: &mut PendingSet<u64>, group: u32) -> Vec<u64> {
         let mut out = Vec::new();
         loop {
-            let head = set.head(queue);
+            let head = set.scan_head(group);
             if head == NO_SLOT {
                 return out;
             }
@@ -212,43 +282,66 @@ mod tests {
     }
 
     #[test]
-    fn queues_are_fifo_and_isolated() {
+    fn scan_queues_are_fifo_and_isolated() {
         let mut set = PendingSet::new();
         let ka = QueueKey::Class(OpClass::AppRead, None);
         let kb = QueueKey::Class(OpClass::AppWrite, Some(1));
         for i in 0..4 {
-            set.insert(ka, 10 + i);
-            set.insert(kb, 20 + i);
+            set.insert(ka, None, 10 + i);
+            set.insert(kb, None, 20 + i);
         }
         assert_eq!(set.len(), 8);
-        assert_eq!(set.queue_count(), 3); // transfer + two class queues
-        let qa = 1;
-        let qb = 2;
-        assert_eq!(drain(&mut set, qa), vec![10, 11, 12, 13]);
-        assert_eq!(drain(&mut set, qb), vec![20, 21, 22, 23]);
+        assert_eq!(set.group_count(), 3); // transfer + two class groups
+        assert_eq!(drain_scan(&mut set, 1), vec![10, 11, 12, 13]);
+        assert_eq!(drain_scan(&mut set, 2), vec![20, 21, 22, 23]);
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn write_lanes_split_by_key_and_keep_fifo() {
+        let mut set = PendingSet::new();
+        let k = QueueKey::Class(OpClass::AppWrite, None);
+        set.insert(k, Some(7), 1);
+        set.insert(k, Some(9), 2);
+        set.insert(k, Some(7), 3);
+        set.insert(k, None, 4); // order-scan op in the same group
+        let g = 1;
+        assert_eq!(set.lane_count(g), 2);
+        assert_eq!(*set.get(set.lane_head(g, 0)), 1);
+        assert_eq!(*set.get(set.lane_head(g, 1)), 2);
+        assert_eq!(*set.get(set.scan_head(g)), 4);
+        // Lane FIFO: removing lane 0's head exposes the next same-key op.
+        set.remove(set.lane_head(g, 0));
+        assert_eq!(*set.get(set.lane_head(g, 0)), 3);
+        set.remove(set.lane_head(g, 0));
+        assert_eq!(set.lane_head(g, 0), NO_SLOT, "drained lane stays");
+        assert_eq!(set.lane_count(g), 2, "lane ids are stable");
+        assert_eq!(set.len(), 2);
     }
 
     #[test]
     fn removal_from_middle_keeps_links() {
         let mut set = PendingSet::new();
         let k = QueueKey::Transfer;
-        let slots: Vec<u32> = (0..5).map(|i| set.insert(k, i)).collect();
+        let slots: Vec<u32> = (0..5).map(|i| set.insert(k, None, i)).collect();
         assert_eq!(set.remove(slots[2]), 2);
         assert_eq!(set.remove(slots[0]), 0);
         assert_eq!(set.remove(slots[4]), 4);
-        assert_eq!(drain(&mut set, PendingSet::<u64>::TRANSFER_QUEUE), vec![1, 3]);
+        assert_eq!(
+            drain_scan(&mut set, PendingSet::<u64>::TRANSFER_GROUP),
+            vec![1, 3]
+        );
     }
 
     #[test]
-    fn slots_and_queues_are_recycled() {
+    fn slots_and_groups_are_recycled() {
         let mut set = PendingSet::new();
         let k = QueueKey::Class(OpClass::Erase, None);
-        let a = set.insert(k, 1);
+        let a = set.insert(k, None, 1);
         set.remove(a);
-        let b = set.insert(k, 2);
+        let b = set.insert(k, None, 2);
         assert_eq!(a, b, "freed slot should be reused");
-        assert_eq!(set.queue_count(), 2, "queue id should be stable");
+        assert_eq!(set.group_count(), 2, "group id should be stable");
         assert_eq!(*set.get(b), 2);
         assert_eq!(set.next(b), NO_SLOT);
     }
@@ -257,8 +350,8 @@ mod tests {
     fn iter_sees_exactly_the_live_items() {
         let mut set = PendingSet::new();
         let k = QueueKey::Class(OpClass::GcRead, None);
-        let s0 = set.insert(k, 7);
-        set.insert(QueueKey::Transfer, 8);
+        let s0 = set.insert(k, None, 7);
+        set.insert(QueueKey::Transfer, None, 8);
         set.remove(s0);
         let live: Vec<u64> = set.iter().copied().collect();
         assert_eq!(live, vec![8]);

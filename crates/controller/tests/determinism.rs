@@ -12,7 +12,7 @@ use eagletree_controller::{
     Completion, Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RequestKind,
     SchedPolicy, SsdRequest, WlConfig,
 };
-use eagletree_core::{SimRng, SimTime};
+use eagletree_core::{QueueKind, SimRng, SimTime};
 use eagletree_flash::{Geometry, TimingSpec};
 
 struct Driver {
@@ -62,9 +62,14 @@ impl Driver {
 /// completion stream, controller counters, per-class issue counts, merge
 /// counters, array counters and the visual trace.
 fn run_fingerprint(mapping: MappingKind, sched: SchedPolicy) -> String {
+    run_fingerprint_on(mapping, sched, QueueKind::default())
+}
+
+fn run_fingerprint_on(mapping: MappingKind, sched: SchedPolicy, queue: QueueKind) -> String {
     let cfg = ControllerConfig {
         mapping,
         sched,
+        queue,
         wl: WlConfig {
             check_every_erases: 16,
             young_delta: 4,
@@ -171,6 +176,32 @@ fn all_sched_policies_run_deterministically() {
             let a = run_fingerprint(mapping, policy.clone());
             let b = run_fingerprint(mapping, policy.clone());
             assert!(a == b, "{mapping:?}/{name} fingerprints diverged");
+        }
+    }
+}
+
+#[test]
+fn heap_and_calendar_agendas_are_byte_identical() {
+    // The calendar backend and the per-LUN lane split are pure event-
+    // engine restructurings: for every mapping scheme and every
+    // scheduling policy, a heap-backed agenda and a calendar-backed one
+    // must produce the same completion stream, counters and trace,
+    // byte for byte.
+    for mapping in [
+        MappingKind::PageMap,
+        MappingKind::Dftl { cmt_entries: 24 },
+        MappingKind::Hybrid {
+            log_blocks: 3,
+            merge: MergePolicy::Fifo,
+        },
+    ] {
+        for (name, policy) in all_policies() {
+            let heap = run_fingerprint_on(mapping, policy.clone(), QueueKind::Heap);
+            let cal = run_fingerprint_on(mapping, policy, QueueKind::Calendar);
+            assert!(
+                heap == cal,
+                "{mapping:?}/{name}: calendar agenda diverged from heap oracle"
+            );
         }
     }
 }

@@ -1,43 +1,104 @@
 //! Deterministic event queue.
 //!
-//! The whole simulator is driven by one [`EventQueue`]: components schedule
+//! The whole simulator is driven by [`EventQueue`]s: components schedule
 //! payloads at future instants and the main loop pops them in order.
 //! Timestamp ties are broken by insertion sequence number, which makes event
 //! delivery order — and therefore every simulation result — fully
 //! deterministic for a given configuration and seed.
+//!
+//! The queue is a thin facade over two interchangeable backends selected by
+//! [`QueueKind`]:
+//!
+//! * [`QueueKind::Heap`] — a binary heap, O(log n) per op. Simple and
+//!   obviously correct: it stays in the tree as the *oracle* the calendar
+//!   backend is property-tested and fingerprint-compared against.
+//! * [`QueueKind::Calendar`] — a two-tier calendar queue
+//!   ([`crate::calendar`]), amortized O(1) per op on the dense discrete
+//!   timelines flash simulations produce. Pops the exact same `(time, seq)`
+//!   order as the heap by construction, so switching backends can never
+//!   change a simulation result — only how fast it runs.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::time::SimTime;
+use crate::calendar::Calendar;
+use crate::time::{SimDuration, SimTime};
 
-/// Process-wide count of events popped from every [`EventQueue`].
-///
-/// The experiment harness reads deltas of this to report
-/// `events_simulated` / `events_per_sec` per experiment without threading a
-/// counter through every layer. Relaxed ordering suffices: the simulator is
-/// single-threaded per run and the harness only reads between runs.
-static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
+/// Registry of per-thread pop counters. Keeping an `Arc` here lets
+/// [`global_events_popped`] sum the totals of threads that have already
+/// exited; the registry is only locked on thread birth and on reads, never
+/// in [`EventQueue::pop`].
+fn counter_registry() -> &'static Mutex<Vec<Arc<AtomicU64>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<AtomicU64>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
 
 std::thread_local! {
     /// Per-thread count of events popped. Each simulation runs wholly on
     /// one thread, so deltas of this attribute events to the *experiment*
     /// even when the harness runs several experiments on parallel worker
-    /// threads (the process-global counter interleaves there).
-    static THREAD_EVENTS_POPPED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// threads. The hot path does a plain load + store — no atomic RMW —
+    /// which is safe because each counter has exactly one writer (its
+    /// thread); other threads only ever read it.
+    static THREAD_EVENTS_POPPED: Arc<AtomicU64> = {
+        let c = Arc::new(AtomicU64::new(0));
+        counter_registry().lock().unwrap().push(Arc::clone(&c));
+        c
+    };
 }
 
-/// Total events popped across all queues since process start.
+/// Total events popped across all queues and threads since process start.
+///
+/// Computed by summing the per-thread counters (including exited threads),
+/// so the per-pop cost is a thread-local increment rather than contended
+/// atomic traffic on one global cell.
 pub fn global_events_popped() -> u64 {
-    EVENTS_POPPED.load(AtomicOrdering::Relaxed)
+    counter_registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| c.load(AtomicOrdering::Relaxed))
+        .sum()
 }
 
 /// Events popped by queues on the *calling thread* since it started.
 /// Deltas around a simulation give its exact event count regardless of
 /// what other worker threads run concurrently.
 pub fn thread_events_popped() -> u64 {
-    THREAD_EVENTS_POPPED.with(|c| c.get())
+    THREAD_EVENTS_POPPED.with(|c| c.load(AtomicOrdering::Relaxed))
+}
+
+/// Which backend an [`EventQueue`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// Binary heap: O(log n), the reference oracle.
+    Heap,
+    /// Two-tier calendar queue: amortized O(1) on dense timelines,
+    /// byte-identical pop order to `Heap`.
+    #[default]
+    Calendar,
+}
+
+impl std::fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QueueKind::Heap => "heap",
+            QueueKind::Calendar => "calendar",
+        })
+    }
+}
+
+impl std::str::FromStr for QueueKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" => Ok(QueueKind::Heap),
+            "calendar" => Ok(QueueKind::Calendar),
+            other => Err(format!("unknown queue kind {other:?} (heap|calendar)")),
+        }
+    }
 }
 
 /// An event that has been scheduled on the queue.
@@ -52,7 +113,7 @@ pub struct ScheduledEvent<E> {
 }
 
 /// Internal heap entry ordered for a *min*-heap on `(time, seq)`.
-struct Entry<E>(ScheduledEvent<E>);
+pub(crate) struct Entry<E>(pub(crate) ScheduledEvent<E>);
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
@@ -74,14 +135,20 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Calendar(Calendar<E>),
+}
+
 /// A deterministic min-priority queue of timestamped events.
 ///
 /// Events with equal timestamps pop in insertion order (FIFO), so the
-/// simulation is reproducible regardless of heap internals.
+/// simulation is reproducible regardless of backend internals.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     popped: u64,
+    scheduled: u64,
     now: SimTime,
 }
 
@@ -92,19 +159,65 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue positioned at `t = 0`.
+    /// An empty heap-backed queue positioned at `t = 0`.
+    ///
+    /// Bare queues default to the heap oracle; simulation configs opt into
+    /// [`QueueKind::Calendar`] explicitly (see `ControllerConfig` /
+    /// `OsConfig` downstream).
     pub fn new() -> Self {
+        Self::with_kind(QueueKind::Heap)
+    }
+
+    /// An empty queue on the given backend, positioned at `t = 0`.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let backend = match kind {
+            QueueKind::Heap => Backend::Heap(BinaryHeap::new()),
+            QueueKind::Calendar => Backend::Calendar(Calendar::new()),
+        };
+        Self::from_backend(backend)
+    }
+
+    /// Like [`EventQueue::with_kind`] but with a caller-sized calendar
+    /// ring (`nbuckets` must be a power of two >= 64; the heap backend
+    /// ignores it). Lane routers that hold one queue per LUN use a small
+    /// ring so a whole lane set stays cache-resident at the few events
+    /// per lane a real simulation keeps pending; the default 1024-bucket
+    /// ring suits a standalone queue with thousands pending. Ring size
+    /// never affects pop order, only speed.
+    pub fn with_kind_and_ring(kind: QueueKind, nbuckets: usize) -> Self {
+        let backend = match kind {
+            QueueKind::Heap => Backend::Heap(BinaryHeap::new()),
+            QueueKind::Calendar => Backend::Calendar(Calendar::with_buckets(nbuckets)),
+        };
+        Self::from_backend(backend)
+    }
+
+    fn from_backend(backend: Backend<E>) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             next_seq: 0,
             popped: 0,
+            scheduled: 0,
             now: SimTime::ZERO,
+        }
+    }
+
+    /// The backend this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match self.backend {
+            Backend::Heap(_) => QueueKind::Heap,
+            Backend::Calendar(_) => QueueKind::Calendar,
         }
     }
 
     /// Events popped from this queue so far.
     pub fn popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Events scheduled on this queue so far.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
     }
 
     /// The current virtual time: the timestamp of the last popped event
@@ -115,42 +228,95 @@ impl<E> EventQueue<E> {
 
     /// Schedule `payload` to fire at `time`.
     ///
-    /// Panics in debug builds if `time` is in the past: the simulator never
-    /// rewinds.
+    /// The simulator never rewinds: scheduling in the past is a caller bug
+    /// that panics in debug builds. Release builds *clamp* `time` to `now`
+    /// instead — the event fires immediately, in scheduling order after
+    /// events already pending at `now` — rather than silently rewinding
+    /// the clock and reordering deliveries as a raw heap push would.
     pub fn schedule(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_at(time, seq, payload);
+    }
+
+    /// Schedule with a caller-supplied sequence number.
+    ///
+    /// For lane routers that spread one logical event stream over several
+    /// queues but need a single total `(time, seq)` order across all of
+    /// them: the router allocates seqs from one counter and injects them
+    /// here. `seq` must be at least this queue's next auto-assigned value
+    /// (monotonic per queue), which a shared counter guarantees.
+    pub fn schedule_seq(&mut self, time: SimTime, seq: u64, payload: E) {
+        debug_assert!(seq >= self.next_seq, "non-monotonic injected seq");
+        self.next_seq = seq + 1;
+        self.push_at(time, seq, payload);
+    }
+
+    fn push_at(&mut self, time: SimTime, seq: u64, payload: E) {
         debug_assert!(
             time >= self.now,
             "scheduled an event in the past: {time:?} < {:?}",
             self.now
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry(ScheduledEvent { time, seq, payload }));
+        let time = time.max(self.now);
+        self.scheduled += 1;
+        let ev = ScheduledEvent { time, seq, payload };
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(Entry(ev)),
+            Backend::Calendar(c) => c.push(ev),
+        }
     }
 
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        let ev = self.heap.pop()?.0;
+        let ev = match &mut self.backend {
+            Backend::Heap(h) => h.pop().map(|e| e.0),
+            Backend::Calendar(c) => c.pop(),
+        }?;
         self.now = ev.time;
         self.popped += 1;
-        EVENTS_POPPED.fetch_add(1, AtomicOrdering::Relaxed);
-        THREAD_EVENTS_POPPED.with(|c| c.set(c.get() + 1));
+        THREAD_EVENTS_POPPED.with(|c| {
+            // Single-writer counter: load + store beats an atomic RMW.
+            c.store(c.load(AtomicOrdering::Relaxed) + 1, AtomicOrdering::Relaxed);
+        });
         Some(ev)
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.0.time)
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// `(time, seq)` of the next event without popping it. Lane routers
+    /// merge several queues by comparing these keys.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        match &self.backend {
+            Backend::Heap(h) => h.peek().map(|e| (e.0.time, e.0.seq)),
+            Backend::Calendar(c) => c.peek_key(),
+        }
+    }
+
+    /// Declare the largest expected gap between `now` and newly scheduled
+    /// events. The calendar backend re-tunes its bucket width so that
+    /// horizon fits the near ring (see [`crate::calendar`]); the heap
+    /// ignores hints. Never affects pop order, only performance.
+    pub fn hint_horizon(&mut self, horizon: SimDuration) {
+        if let Backend::Calendar(c) = &mut self.backend {
+            c.retune(self.now, horizon);
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(c) => c.len(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -159,58 +325,109 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    const KINDS: [QueueKind; 2] = [QueueKind::Heap, QueueKind::Calendar];
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(30), "c");
-        q.schedule(SimTime::from_nanos(10), "a");
-        q.schedule(SimTime::from_nanos(20), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_nanos(30), "c");
+            q.schedule(SimTime::from_nanos(10), "a");
+            q.schedule(SimTime::from_nanos(20), "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, vec!["a", "b", "c"], "{kind}");
+        }
     }
 
     #[test]
     fn equal_timestamps_pop_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_nanos(5);
-        for i in 0..100 {
-            q.schedule(t, i);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_nanos(5);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{kind}");
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn now_tracks_last_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.schedule(SimTime::from_nanos(42), ());
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_nanos(42));
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.schedule(SimTime::from_nanos(42), ());
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_nanos(42), "{kind}");
+        }
     }
 
     #[test]
     fn peek_does_not_advance() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(7), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
-        assert_eq!(q.now(), SimTime::ZERO);
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_nanos(7), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)), "{kind}");
+            assert_eq!(q.now(), SimTime::ZERO);
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
     }
 
     #[test]
     fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(10), 1);
-        let e = q.pop().unwrap();
-        assert_eq!(e.payload, 1);
-        // Scheduling relative to now is typical usage.
-        q.schedule(q.now() + SimDuration::from_nanos(5), 2);
-        q.schedule(q.now() + SimDuration::from_nanos(1), 3);
-        assert_eq!(q.pop().unwrap().payload, 3);
-        assert_eq!(q.pop().unwrap().payload, 2);
-        assert!(q.pop().is_none());
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_nanos(10), 1);
+            let e = q.pop().unwrap();
+            assert_eq!(e.payload, 1);
+            // Scheduling relative to now is typical usage.
+            q.schedule(q.now() + SimDuration::from_nanos(5), 2);
+            q.schedule(q.now() + SimDuration::from_nanos(1), 3);
+            assert_eq!(q.pop().unwrap().payload, 3, "{kind}");
+            assert_eq!(q.pop().unwrap().payload, 2, "{kind}");
+            assert!(q.pop().is_none(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn injected_seqs_merge_across_queues() {
+        for kind in KINDS {
+            let mut a = EventQueue::with_kind(kind);
+            let mut b = EventQueue::with_kind(kind);
+            let t = SimTime::from_nanos(9);
+            a.schedule_seq(t, 0, "a0");
+            b.schedule_seq(t, 1, "b1");
+            a.schedule_seq(t, 2, "a2");
+            assert_eq!(a.peek_key(), Some((t, 0)));
+            assert_eq!(b.peek_key(), Some((t, 1)));
+            assert_eq!(a.pop().unwrap().payload, "a0");
+            assert_eq!(a.peek_key(), Some((t, 2)), "{kind}");
+        }
+    }
+
+    #[test]
+    fn counts_scheduled_and_popped() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        for i in 0..5 {
+            q.schedule(SimTime::from_nanos(i), ());
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.scheduled(), 5);
+        assert_eq!(q.popped(), 2);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn thread_counter_tracks_pops() {
+        let before = thread_events_popped();
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        q.schedule(SimTime::from_nanos(1), ());
+        q.pop();
+        assert_eq!(thread_events_popped(), before + 1);
+        assert!(global_events_popped() >= thread_events_popped());
     }
 
     #[test]
@@ -221,5 +438,24 @@ mod tests {
         q.schedule(SimTime::from_nanos(10), ());
         q.pop();
         q.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_clamps_past_timestamps_to_now() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_nanos(10), 0);
+            q.pop();
+            // A buggy past-scheduled event fires at `now`, after events
+            // already pending there — the clock never rewinds.
+            q.schedule(q.now(), 1);
+            q.schedule(SimTime::from_nanos(3), 2);
+            let a = q.pop().unwrap();
+            assert_eq!((a.time, a.payload), (SimTime::from_nanos(10), 1), "{kind}");
+            let b = q.pop().unwrap();
+            assert_eq!((b.time, b.payload), (SimTime::from_nanos(10), 2), "{kind}");
+            assert_eq!(q.now(), SimTime::from_nanos(10), "{kind}");
+        }
     }
 }

@@ -21,13 +21,14 @@
 //! self-contained SplitMix64, so no platform or `HashMap`-iteration-order
 //! effects can leak into results.
 
+pub mod calendar;
 pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::{global_events_popped, thread_events_popped, EventQueue, ScheduledEvent};
+pub use event::{global_events_popped, thread_events_popped, EventQueue, QueueKind, ScheduledEvent};
 pub use rng::{SimRng, Zipf};
 pub use stats::{Histogram, OnlineStats, Tail, TimeSeries};
 pub use time::{SimDuration, SimTime};
