@@ -29,41 +29,96 @@ use std::collections::BTreeMap;
 /// Per-experiment numbers scraped from harness JSON.
 #[derive(Debug, Default, Clone)]
 struct Exp {
-    wall_seconds: f64,
+    wall_seconds: Option<f64>,
     events_simulated: Option<u64>,
     events_per_sec: Option<f64>,
+}
+
+impl Exp {
+    fn merge(&mut self, other: Exp) {
+        self.wall_seconds = other.wall_seconds.or(self.wall_seconds);
+        self.events_simulated = other.events_simulated.or(self.events_simulated);
+        self.events_per_sec = other.events_per_sec.or(self.events_per_sec);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.wall_seconds.is_none()
+            && self.events_simulated.is_none()
+            && self.events_per_sec.is_none()
+    }
 }
 
 /// Minimal scraper for the harness's own hand-rolled JSON: the fields of
 /// interest each sit on their own line. Not a general JSON parser — the
 /// offline build container has no serde, and the input is machine-written
-/// by `harness --json`.
+/// by `harness --json`. Fields are buffered per object (delimited by
+/// lone `{` / `}` lines) and attached to whichever `"id"` appears inside
+/// the same object, so reordered keys (`jq -S`-style) scrape identically.
+/// Fields with no `"id"` in their object — a truncated or hand-edited
+/// file — are a named diagnostic and a non-zero exit, never a panic.
 fn scrape(path: &str) -> BTreeMap<String, Exp> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
     });
-    let mut out = BTreeMap::new();
-    let mut cur: Option<String> = None;
+    let mut out: BTreeMap<String, Exp> = BTreeMap::new();
+    let mut cur_id: Option<String> = None;
+    let mut cur = Exp::default();
+    let mut last_flushed: Option<String> = None;
+    let mut flush = |id: &mut Option<String>, exp: &mut Exp, last: &mut Option<String>| {
+        let exp = std::mem::take(exp);
+        match id.take() {
+            Some(id) => {
+                out.entry(id.clone()).or_default().merge(exp);
+                *last = Some(id);
+            }
+            None if !exp.is_empty() => {
+                let after = last
+                    .as_deref()
+                    .map(|l| format!(" after experiment \"{l}\""))
+                    .unwrap_or_default();
+                eprintln!(
+                    "{path}: fields {exp:?} belong to no experiment (object{after} has no \"id\" — truncated or hand-edited file?)"
+                );
+                std::process::exit(2);
+            }
+            None => {}
+        }
+    };
     for line in text.lines() {
-        let line = line.trim().trim_end_matches(',');
+        let line = line.trim();
+        // Object boundaries: the harness opens each experiment object
+        // with a lone `{` and closes it with `}` / `},`. Single-line row
+        // objects (`{ ... }`) never carry the fields of interest, so the
+        // extra flushes they trigger are no-ops.
+        if line == "{" || line == "}" || line == "}," {
+            flush(&mut cur_id, &mut cur, &mut last_flushed);
+            continue;
+        }
+        let line = line.trim_end_matches(',');
         if let Some(rest) = line.strip_prefix("\"id\": \"") {
-            cur = rest.strip_suffix('"').map(str::to_string);
-            if let Some(id) = &cur {
-                out.entry(id.clone()).or_insert_with(Exp::default);
+            if let Some(id) = rest.strip_suffix('"') {
+                cur_id = Some(id.to_string());
             }
         } else if let Some(rest) = line.strip_prefix("\"wall_seconds\": ") {
-            if let (Some(id), Ok(v)) = (&cur, rest.parse::<f64>()) {
-                out.get_mut(id).expect("id seen first").wall_seconds = v;
+            if let Ok(v) = rest.parse::<f64>() {
+                cur.wall_seconds = Some(v);
             }
         } else if let Some(rest) = line.strip_prefix("\"events_per_sec\": ") {
-            if let (Some(id), Ok(v)) = (&cur, rest.parse::<f64>()) {
-                out.get_mut(id).expect("id seen first").events_per_sec = Some(v);
+            if let Ok(v) = rest.parse::<f64>() {
+                cur.events_per_sec = Some(v);
             }
         } else if let Some(rest) = line.strip_prefix("\"events_simulated\": ") {
-            if let (Some(id), Ok(v)) = (&cur, rest.parse::<u64>()) {
-                out.get_mut(id).expect("id seen first").events_simulated = Some(v);
+            if let Ok(v) = rest.parse::<u64>() {
+                cur.events_simulated = Some(v);
             }
+        }
+    }
+    flush(&mut cur_id, &mut cur, &mut last_flushed);
+    for (id, exp) in &out {
+        if exp.wall_seconds.is_none() {
+            eprintln!("{path}: experiment \"{id}\" has no wall_seconds field");
+            std::process::exit(2);
         }
     }
     out
@@ -117,32 +172,31 @@ fn main() {
     let mut rate_regressions = Vec::new();
     let mut only_current: Vec<String> = Vec::new();
     for (id, c) in &cur {
+        // `scrape` exits unless every experiment carried wall_seconds.
+        let cw = c.wall_seconds.expect("validated by scrape");
         let Some(b) = base.get(id) else {
-            only_current.push(format!("{id} ({:.3}s)", c.wall_seconds));
+            only_current.push(format!("{id} ({cw:.3}s)"));
             continue;
         };
-        let speedup = if c.wall_seconds > 0.0 {
-            b.wall_seconds / c.wall_seconds
-        } else {
-            f64::INFINITY
-        };
+        let bw = b.wall_seconds.expect("validated by scrape");
+        let speedup = if cw > 0.0 { bw / cw } else { f64::INFINITY };
         println!(
             "{:<6} {:>10.3} {:>10.3} {:>8.2}x  {:>14} {:>14}",
             id,
-            b.wall_seconds,
-            c.wall_seconds,
+            bw,
+            cw,
             speedup,
             fmt_opt(b.events_per_sec),
             fmt_opt(c.events_per_sec)
         );
         if let Some(factor) = max_slowdown {
-            if c.wall_seconds > b.wall_seconds * factor + 0.5 {
-                regressions.push((id.clone(), b.wall_seconds, c.wall_seconds));
+            if cw > bw * factor + 0.5 {
+                regressions.push((id.clone(), bw, cw));
             }
         }
         if let Some(factor) = min_events_rate {
             if let (Some(br), Some(cr)) = (b.events_per_sec, c.events_per_sec) {
-                if b.wall_seconds >= 0.5 && cr < br * factor {
+                if bw >= 0.5 && cr < br * factor {
                     rate_regressions.push((id.clone(), br, cr));
                 }
             }
@@ -174,7 +228,7 @@ fn main() {
     let only_base: Vec<String> = base
         .iter()
         .filter(|(id, _)| !cur.contains_key(*id))
-        .map(|(id, b)| format!("{id} ({:.3}s)", b.wall_seconds))
+        .map(|(id, b)| format!("{id} ({:.3}s)", b.wall_seconds.unwrap_or(0.0)))
         .collect();
     if !only_current.is_empty() || !only_base.is_empty() {
         println!("\nnot comparable (present in one file only — excluded from the gate):");

@@ -11,7 +11,7 @@
 //! the configured [`crate::sched::SchedPolicy`] and write allocator — precisely
 //! the design space the paper exposes.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use eagletree_core::{OnlineStats, SimDuration, SimRng, SimTime, TraceKind, TraceLog};
 use eagletree_flash::{
@@ -322,6 +322,14 @@ pub struct Controller {
     stamp_by_ppn: HashMap<Ppn, u64>,
     /// Periodic mapping checkpoint, when configured.
     ckpt: Option<CkptState>,
+    /// Trim journal for the next checkpoint (only maintained when
+    /// checkpointing is configured): lpn → the content version (`seq`) of
+    /// the copy the trim discarded. Snapshotted into each
+    /// [`CheckpointRecord`] so checkpoint replay rejects stale copies of
+    /// trimmed pages instead of resurrecting them; pruned once the page
+    /// is mapped again (any newer copy outranks the barrier by itself).
+    /// Deterministically ordered so snapshots are reproducible.
+    trim_barriers: BTreeMap<Lpn, u64>,
 }
 
 impl Controller {
@@ -429,6 +437,7 @@ impl Controller {
             inflight_stamps: BTreeSet::new(),
             stamp_by_ppn: HashMap::new(),
             ckpt,
+            trim_barriers: BTreeMap::new(),
         })
     }
 
@@ -646,6 +655,21 @@ impl Controller {
                     b.remove(req.lpn);
                 }
                 if let Some(old) = self.ftl.trim(req.lpn) {
+                    // Journal the trim for the next checkpoint: remember
+                    // the discarded copy's content version so replay can
+                    // reject it (and any GC relocation of it, which
+                    // inherits the seq) if its block gets re-scanned.
+                    // In-flight and later host writes carry newer seqs
+                    // and are unaffected.
+                    if self.ckpt.is_some() {
+                        let seq = self
+                            .array
+                            .oob(self.array.geometry().page_at(old))
+                            .map(|e| e.seq)
+                            .unwrap_or(0);
+                        let barrier = self.trim_barriers.entry(req.lpn).or_insert(0);
+                        *barrier = (*barrier).max(seq);
+                    }
                     self.invalidate_ppn(old);
                 }
                 self.stats.trims_completed += 1;
@@ -1467,6 +1491,11 @@ impl Controller {
         if !erased {
             return;
         }
+        // Drop trim barriers that no longer guard anything: once the page
+        // is mapped again, every scanned copy that could win for it
+        // outranks the barrier by itself, so the filter is redundant.
+        let ftl = &self.ftl;
+        self.trim_barriers.retain(|&lpn, _| ftl.peek(lpn).is_none());
         let record = self.snapshot_record(slot);
         let ck = self.ckpt.as_mut().expect("checked above");
         ck.last_stamp = self.stamp_next;
@@ -1498,6 +1527,7 @@ impl Controller {
             trans,
             slot: slot as u8,
             blocks: ck.slots[slot].clone(),
+            trims: self.trim_barriers.iter().map(|(&l, &s)| (l, s)).collect(),
         }
     }
 
@@ -2568,6 +2598,24 @@ impl Controller {
         let data_entries = rec.data_map.iter().filter(|e| e.is_some()).count() as u64;
         let translation_entries =
             rec.trans_map.iter().filter(|e| e.is_some()).count() as u64;
+        // Carry forward the journaled trim barriers that still guard an
+        // unmapped page: until the stale copies are erased, the next
+        // checkpoint written on this mount must keep filtering them.
+        let seeded_barriers: BTreeMap<Lpn, u64> = if rec.used_checkpoint {
+            record
+                .map(|r| {
+                    r.trims
+                        .iter()
+                        .copied()
+                        .filter(|&(lpn, _)| {
+                            lpn < logical_pages && rec.data_map[lpn as usize].is_none()
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        } else {
+            BTreeMap::new()
+        };
 
         let ftl = match cfg.mapping {
             MappingKind::PageMap => FtlKind::PageMap(PageMap::restore(rec.data_map)),
@@ -2694,6 +2742,11 @@ impl Controller {
             stamp_next,
             inflight_stamps: BTreeSet::new(),
             stamp_by_ppn: HashMap::new(),
+            trim_barriers: if ckpt.is_some() {
+                seeded_barriers
+            } else {
+                BTreeMap::new()
+            },
             ckpt,
         };
         // Kick background flushes for a re-installed buffer already at

@@ -29,10 +29,19 @@
 //!   scan, never neither.
 //! * **No double mapping.** The scan keeps exactly one winner per logical
 //!   page and reconciles every other copy to invalid.
+//! * **Checkpointed trims stay dead.** Trims are journaled into the
+//!   periodic checkpoint: a committed [`CheckpointRecord`] carries each
+//!   trimmed-and-still-unmapped page with the content version (`seq`) of
+//!   the copy the trim discarded, and replay rejects scanned copies at or
+//!   below that barrier — so under [`RecoveryMode::Checkpoint`] a page
+//!   trimmed before the last committed checkpoint is not resurrected by
+//!   a re-scanned block. Post-trim writes carry newer seqs and still win.
 //!
-//! Known semantic edge, shared with real FTLs that do not journal
-//! deallocations: a trim is RAM-only, so a page trimmed after its last
-//! write may be *resurrected* by recovery.
+//! Remaining semantic edge, shared with real FTLs that journal
+//! deallocations lazily: trims issued *after* the last committed
+//! checkpoint — and every trim under [`RecoveryMode::FullScan`], which
+//! has no checkpoint to consult — are RAM-only and may be *resurrected*
+//! by recovery.
 
 use std::collections::HashMap;
 
@@ -85,6 +94,12 @@ pub struct CheckpointRecord {
     pub slot: u8,
     /// The reserved blocks the snapshot was programmed into.
     pub blocks: Vec<BlockAddr>,
+    /// Journaled trims: logical pages trimmed and still unmapped at
+    /// snapshot time, each with the content version (`seq`) of the copy
+    /// the trim discarded. Replay rejects any scanned copy of these
+    /// pages with `seq <=` the barrier — the trimmed content and its GC
+    /// relocations — while post-trim writes (newer seqs) still win.
+    pub trims: Vec<(Lpn, u64)>,
 }
 
 /// The dead medium a power cut leaves behind: everything that survives
@@ -194,6 +209,13 @@ pub(crate) fn recover_medium(
     let mut max_stamp = 0u64;
     let mut oob_scanned = 0u64;
     let mut blocks_probed = 0u64;
+    // Journaled trims: copies of these logical pages with seq at or below
+    // the barrier were dead at snapshot time and must not be resurrected
+    // when their block gets re-scanned.
+    let trim_barriers: HashMap<Lpn, u64> = record
+        .map(|r| r.trims.iter().copied().collect())
+        .unwrap_or_default();
+    let trimmed = |lpn: u64, seq: u64| trim_barriers.get(&lpn).is_some_and(|&b| seq <= b);
 
     // Seed from the checkpoint snapshot. Reading the snapshot itself costs
     // its flash pages (charged here); the per-entry validation below —
@@ -215,6 +237,7 @@ pub(crate) fn recover_medium(
             if let Some(e) = flash.oob(g.page_at(ppn)) {
                 if e.tag == (OobTag::Data { lpn: lpn as u64 })
                     && flash.page_state(g.page_at(ppn)) != PageState::Free
+                    && !trimmed(lpn as u64, e.seq)
                 {
                     fold(&mut data[lpn], (ppn, e.seq, e.stamp));
                 }
@@ -274,7 +297,7 @@ pub(crate) fn recover_medium(
             max_stamp = max_stamp.max(e.stamp);
             let ppn = g.page_index(addr);
             match e.tag {
-                OobTag::Data { lpn } if lpn < logical_pages => {
+                OobTag::Data { lpn } if lpn < logical_pages && !trimmed(lpn, e.seq) => {
                     fold(&mut data[lpn as usize], (ppn, e.seq, e.stamp));
                 }
                 OobTag::Translation { tvpn } if tvpn < tvpns => {

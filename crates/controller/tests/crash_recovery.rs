@@ -12,9 +12,14 @@
 //!    cross-structure `check_invariants` the live controller does, and
 //!    keeps working: post-recovery IO completes and re-verifies.
 //!
-//! (Trims are RAM-only and may be resurrected by a crash, exactly like on
-//! real FTLs without trim journaling — so the suite never requires a
-//! trimmed page to stay unmapped across a cut.)
+//! Trims are journaled into the periodic mapping checkpoint: a page
+//! trimmed before the last *committed* checkpoint stays dead across a cut
+//! under checkpoint recovery (`checkpoint_recovery_keeps_trimmed_pages_dead`
+//! below pins this). Trims after the last committed checkpoint — and all
+//! trims under full-scan recovery, which has no checkpoint to consult —
+//! remain RAM-only and may be resurrected, exactly like on real FTLs with
+//! lazily-journaled deallocations; the property suite therefore still
+//! does not require *every* trimmed page to stay unmapped across a cut.
 
 use std::collections::HashMap;
 
@@ -308,6 +313,86 @@ proptest! {
         for (name, mapping) in schemes() {
             check_crash(name, mapping, 0, &ops, qd, crash_step)?;
         }
+    }
+}
+
+/// Journaled trims survive checkpoint replay: pages trimmed before the
+/// last committed checkpoint stay dead across a power cut — specifically
+/// when the blocks holding their stale copies get re-scanned because
+/// neighbouring pages kept programming past the checkpoint watermark
+/// (exactly the case an unjournaled trim resurrects). The scenario is
+/// phase-aligned against the 64-program checkpoint interval using the
+/// observable commit counter: victims are written late in an interval,
+/// trimmed, the next checkpoint commits (journaling the trims), and a
+/// few more programs land in the victims' still-active blocks before the
+/// cut so those blocks' newest stamps exceed the watermark.
+#[test]
+fn checkpoint_recovery_keeps_trimmed_pages_dead() {
+    for (name, mapping) in schemes() {
+        let cfg = config(mapping, 64);
+        let mut d = Driver::new(
+            Controller::new(Geometry::tiny(), TimingSpec::slc(), cfg.clone()).unwrap(),
+        );
+        let logical = d.c.logical_pages();
+        // Victims live in the upper half of the address space; filler
+        // churn stays in the lower half so nothing rewrites a trimmed
+        // page after its trim.
+        let victims: Vec<u64> = (0..12).map(|i| logical / 2 + i * 3).collect();
+        let mut filler = 0u64;
+        let fill = |d: &mut Driver, filler: &mut u64, n: u64| {
+            for _ in 0..n {
+                d.submit(RequestKind::Write, *filler % (logical / 2));
+                *filler += 1;
+            }
+            d.step(u64::MAX);
+        };
+        // Park right after a commit so the interval phase is known.
+        let fill_until_commit =
+            |d: &mut Driver, filler: &mut u64, fill: &dyn Fn(&mut Driver, &mut u64, u64)| {
+                let base = d.c.stats().checkpoints_committed;
+                for _ in 0..400 {
+                    fill(d, filler, 1);
+                    if d.c.stats().checkpoints_committed > base {
+                        return;
+                    }
+                }
+                panic!("no checkpoint committed within 400 programs");
+            };
+        fill(&mut d, &mut filler, logical / 2); // baseline fill
+        fill_until_commit(&mut d, &mut filler, &fill);
+        // Burn most of the next interval, then write the victims late in
+        // it: their copies sit in the currently-active blocks.
+        fill(&mut d, &mut filler, 40);
+        for &v in &victims {
+            d.submit(RequestKind::Write, v);
+        }
+        d.step(u64::MAX);
+        for &v in &victims {
+            d.submit(RequestKind::Trim, v);
+        }
+        d.step(u64::MAX);
+        // The next commit journals the trims; its watermark covers the
+        // victims' copies.
+        fill_until_commit(&mut d, &mut filler, &fill);
+        // A few more programs extend the victims' still-active blocks
+        // past the watermark, making them re-scan candidates — but not
+        // enough for another commit (the journaling one stays last).
+        fill(&mut d, &mut filler, 20);
+        for &v in &victims {
+            assert!(d.c.peek_mapping(v).is_none(), "{name}: lpn {v} mapped pre-cut");
+        }
+        let image = d.c.power_cut(d.now);
+        assert!(image.has_checkpoint(), "{name}: no checkpoint committed");
+        let (c2, report) =
+            Controller::remount(image, cfg, RecoveryMode::Checkpoint).unwrap();
+        assert!(report.used_checkpoint, "{name}: fell back to full scan");
+        for &v in &victims {
+            assert!(
+                c2.peek_mapping(v).is_none(),
+                "{name}: trimmed lpn {v} resurrected by checkpoint recovery"
+            );
+        }
+        c2.check_invariants();
     }
 }
 

@@ -1,0 +1,99 @@
+//! Block-trace records: the normalized form of one traced IO request.
+//!
+//! Production block traces (MSR-Cambridge, blktrace exports, …) arrive as
+//! per-request rows: an arrival timestamp, a direction, a byte offset and
+//! a byte length. [`BlkRecord`] is the simulator's normalized view of one
+//! such row — arrival instant in virtual nanoseconds, operation, first
+//! logical page and page count — shared by the trace parsers, the
+//! characterizer and the replay workloads (all in `eagletree-workloads`).
+//! Keeping the record type here, in the kernel crate, lets any layer speak
+//! "trace" without depending on the workload stack.
+
+use crate::time::SimTime;
+
+/// Operation of one traced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlkOp {
+    Read,
+    Write,
+    /// Deallocation (ATA TRIM / NVMe deallocate / SCSI UNMAP).
+    Trim,
+}
+
+impl BlkOp {
+    /// Canonical trace-file token (`Read` / `Write` / `Trim`).
+    pub fn token(self) -> &'static str {
+        match self {
+            BlkOp::Read => "Read",
+            BlkOp::Write => "Write",
+            BlkOp::Trim => "Trim",
+        }
+    }
+}
+
+/// One traced request, normalized to device pages and virtual time.
+///
+/// `at` is the request's arrival instant with the trace's origin shifted
+/// to zero (the first record of a well-formed trace arrives at `t = 0`).
+/// Multi-page requests keep their length here; replay decides whether to
+/// split them into per-page IOs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlkRecord {
+    /// Arrival instant, relative to the trace origin.
+    pub at: SimTime,
+    /// Read, write or trim.
+    pub op: BlkOp,
+    /// First logical page touched.
+    pub page: u64,
+    /// Pages touched (≥ 1).
+    pub pages: u32,
+}
+
+impl BlkRecord {
+    /// A single-page record.
+    pub fn new(at: SimTime, op: BlkOp, page: u64) -> Self {
+        BlkRecord {
+            at,
+            op,
+            page,
+            pages: 1,
+        }
+    }
+
+    /// A multi-page record.
+    pub fn spanning(at: SimTime, op: BlkOp, page: u64, pages: u32) -> Self {
+        debug_assert!(pages >= 1, "a record touches at least one page");
+        BlkRecord {
+            at,
+            op,
+            page,
+            pages,
+        }
+    }
+
+    /// Last page touched (inclusive).
+    pub fn last_page(&self) -> u64 {
+        self.page + self.pages.saturating_sub(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_constructors_and_span() {
+        let r = BlkRecord::new(SimTime::from_nanos(5), BlkOp::Read, 42);
+        assert_eq!(r.pages, 1);
+        assert_eq!(r.last_page(), 42);
+        let r = BlkRecord::spanning(SimTime::ZERO, BlkOp::Write, 10, 4);
+        assert_eq!(r.last_page(), 13);
+    }
+
+    #[test]
+    fn op_tokens_are_canonical() {
+        assert_eq!(BlkOp::Read.token(), "Read");
+        assert_eq!(BlkOp::Write.token(), "Write");
+        assert_eq!(BlkOp::Trim.token(), "Trim");
+    }
+}

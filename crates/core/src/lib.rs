@@ -21,6 +21,7 @@
 //! self-contained SplitMix64, so no platform or `HashMap`-iteration-order
 //! effects can leak into results.
 
+pub mod blkio;
 pub mod calendar;
 pub mod event;
 pub mod rng;
@@ -28,6 +29,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use blkio::{BlkOp, BlkRecord};
 pub use event::{global_events_popped, thread_events_popped, EventQueue, QueueKind, ScheduledEvent};
 pub use rng::{SimRng, Zipf};
 pub use stats::{Histogram, OnlineStats, Tail, TimeSeries};

@@ -1,4 +1,4 @@
-//! The predefined experiment suite: E1–E22 and the G1 game.
+//! The predefined experiment suite: E1–E24 and the G1 game.
 //!
 //! Each experiment reproduces one question the paper poses (see the
 //! per-experiment index in DESIGN.md, and EXPERIMENTS.md for measured
@@ -8,13 +8,16 @@ use eagletree_controller::{
     Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RecoveryMode, RequestKind,
     SchedPolicy, SsdRequest, TemperatureMode, WriteAllocPolicy,
 };
-use eagletree_core::{QueueKind, SimRng, SimTime};
+use eagletree_core::{QueueKind, SimDuration, SimRng, SimTime};
 use eagletree_flash::{Geometry, TimingSpec};
 use eagletree_os::{Os, OsSchedPolicy, QosPolicy, Workload};
 use eagletree_workloads::{
-    precondition::sequential_fill, GraceHashJoin, MixedGen, Pumped, RandReadGen, RandWriteGen,
-    Region, SeqWriteGen, TenantProfile, ZipfGen, ZipfKind,
+    characterize, precondition::sequential_fill, ChunkedSource, GraceHashJoin, MixedGen,
+    MsrCsvSource, Pumped, RandReadGen, RandWriteGen, Region, Remap, ReplayThread, SeqWriteGen,
+    SynthCsv, SynthShape, SyntheticTrace, TenantProfile, ZipfGen, ZipfKind,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::experiment::{Experiment, Scale};
 use crate::metrics::{measure, measure_since, snapshot, Row, Table};
@@ -45,6 +48,8 @@ pub fn all() -> Vec<Experiment> {
         Experiment::new("E20", "QoS design sweep: policy × weights × tenant count", "§1-Q1 design space, extended to the serving side", e20_qos_sweep),
         Experiment::new("E21", "Crash recovery: mount time vs checkpoint interval × device fill", "§2.2 controller modules, extended to crash consistency (durability vs mount-time trade-off)", e21_mount_time),
         Experiment::new("E22", "Crash-point sweep during GC/merge: no acknowledged write lost", "§1-Q2 internal ops × crash atomicity", e22_crash_sweep),
+        Experiment::new("E23", "Trace replay vs characterizer-matched synthetic, per mapping scheme", "§2.1 'real-world applications' — production trace ingestion", e23_trace_vs_synth),
+        Experiment::new("E24", "QoS isolation under a replayed bursty trace neighbor", "§2.2 OS scheduler × consolidation, driven by recorded traffic", e24_replayed_noisy_neighbor),
         Experiment::new("G1", "The scheduling game", "§3 demonstration game", g1_game),
     ]
 }
@@ -1358,6 +1363,218 @@ fn e22_crash_sweep(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E23 — trace replay vs characterizer-matched synthetic
+
+/// Record counts for the replayed trace: the Full run streams a
+/// million-IO trace end-to-end (the production-scale target), smoke keeps
+/// CI in milliseconds.
+fn e23_records(scale: Scale) -> u64 {
+    match scale {
+        Scale::Smoke => 6_000,
+        Scale::Demo => 120_000,
+        Scale::Full => 1_100_000,
+    }
+}
+
+/// The canonical E23 trace shape: a skewed, bursty, read-mostly mix over
+/// a footprint comfortably inside the device's logical space.
+fn e23_shape() -> SynthShape {
+    SynthShape {
+        footprint_pages: 3_000,
+        read_fraction: 0.7,
+        trim_fraction: 0.0,
+        zipf_theta: 1.1,
+        pages_per_record: 1,
+        mean_interarrival: SimDuration::from_micros(20),
+        interarrival_cv: 2.0,
+    }
+}
+
+/// The full production ingestion chain for E23: a deterministic MSR-style
+/// CSV byte stream, parsed back through [`MsrCsvSource`], folded into the
+/// device's logical space, and prefetched in bounded chunks (peak
+/// residency reported through `probe`).
+fn e23_stream(
+    records: u64,
+    seed: u64,
+    logical: u64,
+    probe: Arc<AtomicUsize>,
+) -> ChunkedSource<Remap<MsrCsvSource<std::io::BufReader<SynthCsv<SyntheticTrace>>>>> {
+    let csv = SynthCsv::new(SyntheticTrace::new(e23_shape(), records, seed), 4096);
+    let parsed = MsrCsvSource::new(std::io::BufReader::new(csv), 4096);
+    ChunkedSource::new(Remap::new(parsed, logical), E23_CHUNK).with_probe(probe)
+}
+
+/// Records buffered per prefetch chunk — the bound the smoke test holds
+/// peak residency to.
+const E23_CHUNK: usize = 4096;
+
+/// "Can a characterizer-matched synthetic stand in for the real trace?" —
+/// replay a production-style CSV trace open-loop against all three
+/// mapping schemes, then characterize the same byte stream and replay a
+/// synthesized look-alike. The paper's methodology question: rows pair
+/// `scheme/replay` with `scheme/synth` so throughput, tails and WA can be
+/// compared side by side; the lead `trace/profile` row records what the
+/// characterizer measured.
+fn e23_trace_vs_synth(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E23",
+        "Replayed CSV trace vs characterizer-matched synthetic, per mapping scheme",
+        "scheme/source",
+    );
+    let records = e23_records(scale);
+    let logical = Setup::small().logical_pages();
+    // Characterize one identical byte stream (same seed ⇒ same records).
+    let mut probe_src = e23_stream(records, 0xE23, logical, Arc::new(AtomicUsize::new(0)));
+    let profile = characterize(&mut probe_src);
+    t.rows.push(
+        Row::new("trace/profile".to_string())
+            .push("records", profile.records as f64)
+            .push("footprint_pages", profile.footprint_pages as f64)
+            .push("read_frac", profile.read_fraction)
+            .push("zipf_theta", profile.zipf_theta)
+            .push("mean_gap_us", profile.mean_interarrival.as_micros_f64())
+            .push("gap_cv", profile.interarrival_cv),
+    );
+    let schemes: Vec<(&str, MappingKind)> = vec![
+        ("page_map", MappingKind::PageMap),
+        (
+            "dftl",
+            MappingKind::Dftl {
+                cmt_entries: ((logical * 25) / 100).max(8) as usize,
+            },
+        ),
+        (
+            "hybrid",
+            MappingKind::Hybrid {
+                log_blocks: 16,
+                merge: MergePolicy::Fifo,
+            },
+        ),
+    ];
+    for (sname, mapping) in schemes {
+        // Both arms: same device, same preconditioning, open-loop pacing
+        // with the same warp — only the record source differs.
+        let mut run = |label: String, w: Box<dyn Workload>, probe: Option<Arc<AtomicUsize>>| {
+            let mut setup = Setup::small();
+            setup.ctrl.mapping = mapping;
+            setup.ctrl.wl.static_enabled = false;
+            setup.os.queue_depth = 64;
+            let (os, tids) = run_preconditioned(&setup, vec![w]);
+            let base = snapshot(&os);
+            let mut os = os;
+            os.run();
+            let m = measure_since(&os, &tids, &base);
+            let mut row = Row::new(label)
+                .push("iops", m.iops)
+                .push("read_p99_us", m.read_p99_us)
+                .push("write_p99_us", m.write_p99_us)
+                .push("WA", m.write_amplification)
+                .push("gc_erases", m.gc_erases as f64);
+            if let Some(p) = probe {
+                row = row.push("peak_resident_recs", p.load(Ordering::Relaxed) as f64);
+            }
+            t.rows.push(row);
+        };
+        let probe = Arc::new(AtomicUsize::new(0));
+        let replay = ReplayThread::open_loop(
+            e23_stream(records, 0xE23, logical, Arc::clone(&probe)),
+            50.0,
+        )
+        .named("trace-replay");
+        run(format!("{sname}/replay"), Box::new(replay), Some(probe));
+        let synth =
+            ReplayThread::open_loop(profile.synthesize(records, 0x53E23), 50.0).named("synth");
+        run(format!("{sname}/synth"), Box::new(synth), None);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E24 — QoS isolation under a replayed noisy neighbor
+
+/// E19 re-run with production-style traffic: the flooding writer tenant
+/// is replaced by an open-loop replay of a bursty write-heavy CSV trace
+/// (ingested through the full parse chain), so the QoS policies face
+/// recorded burst structure instead of a synthetic steady flood. Same
+/// acceptance bar as E19: WFQ / token bucket must still cut the reader's
+/// p99.
+fn e24_replayed_noisy_neighbor(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E24",
+        "Reader-tenant tails vs a replayed bursty trace neighbor, per QoS policy",
+        "qos",
+    );
+    for (name, qos) in qos_policies() {
+        let mut setup = Setup::small();
+        setup.os.qos = qos;
+        setup.os.queue_depth = 32;
+        setup.ctrl.wl.static_enabled = false;
+        let logical = setup.logical_pages();
+        let mut os = setup.build();
+        os.add_thread(sequential_fill(32));
+        os.run();
+        // Latency-sensitive tenant — identical to E19's reader.
+        let r_ios = scale.ios(logical / 2);
+        let (reader, reader_tids) = TenantProfile::new("reader", 2048)
+            .weight(8)
+            .tier(0)
+            .thread(
+                Pumped::new(
+                    ZipfGen::new(Region::whole(), r_ios, 0.99, ZipfKind::Reads),
+                    4,
+                    0xE19,
+                )
+                .named("zipf-reader"),
+            )
+            .install(&mut os);
+        // Misbehaving neighbor: an open-loop replay of a write-heavy
+        // bursty trace, parsed from CSV; the replay thread folds trace
+        // pages into the tenant's namespace.
+        let shape = SynthShape {
+            footprint_pages: 4_096,
+            read_fraction: 0.05,
+            trim_fraction: 0.0,
+            zipf_theta: 0.4,
+            pages_per_record: 1,
+            mean_interarrival: SimDuration::from_micros(10),
+            interarrival_cv: 2.5,
+        };
+        let w_ios = scale.ios(logical * 2);
+        let csv = SynthCsv::new(SyntheticTrace::new(shape, w_ios, 0xE24), 4096);
+        let parsed = MsrCsvSource::new(std::io::BufReader::new(csv), 4096);
+        let flood = ReplayThread::open_loop(ChunkedSource::new(parsed, E23_CHUNK), 20.0)
+            .named("trace-flooder");
+        let (writer, writer_tids) = TenantProfile::new("flooder", 4096)
+            .weight(1)
+            .tier(1)
+            .iops_limit(4_000.0)
+            .burst(4.0)
+            .thread(flood)
+            .install(&mut os);
+        let base = snapshot(&os);
+        os.run();
+        let rm = measure_since(&os, &reader_tids, &base);
+        let wm = measure_since(&os, &writer_tids, &base);
+        let tail = os
+            .tenant_stats(reader)
+            .tail(eagletree_controller::OpClass::AppRead);
+        t.rows.push(
+            Row::new(name.to_string())
+                .push("reader_p50_us", tail.p50.as_micros_f64())
+                .push("reader_p95_us", tail.p95.as_micros_f64())
+                .push("reader_p99_us", tail.p99.as_micros_f64())
+                .push("reader_p999_us", tail.p999.as_micros_f64())
+                .push("reader_iops", rm.iops)
+                .push("flooder_iops", wm.iops)
+                .push("reader_util", os.namespace_utilization(reader))
+                .push("flooder_util", os.namespace_utilization(writer)),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // G1 — the game
 
 /// The demo game: grid-search scheduling-related knobs and score each
@@ -1430,13 +1647,14 @@ mod tests {
     #[test]
     fn suite_is_complete_and_indexed() {
         let s = all();
-        assert_eq!(s.len(), 23);
+        assert_eq!(s.len(), 25);
         let ids: Vec<&str> = s.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
-                "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "G1"
+                "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23",
+                "E24", "G1"
             ]
         );
         assert!(by_id("e3").is_some());
@@ -1524,6 +1742,58 @@ mod tests {
         let row = t.rows.iter().find(|r| r.label == "none").unwrap();
         assert!(row.get("flooder_util").unwrap() > 0.0);
         assert_eq!(row.get("reader_util").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn smoke_e23_replays_and_matches_the_trace() {
+        let t = e23_trace_vs_synth(Scale::Smoke);
+        // 1 profile row + 3 schemes × {replay, synth}.
+        assert_eq!(t.rows.len(), 7, "{}", t.render());
+        let profile = t.rows.first().unwrap();
+        assert_eq!(profile.get("records").unwrap(), e23_records(Scale::Smoke) as f64);
+        // The characterizer should land near the generating shape.
+        assert!((profile.get("read_frac").unwrap() - 0.7).abs() < 0.05, "{}", t.render());
+        assert!((profile.get("zipf_theta").unwrap() - 1.1).abs() < 0.4, "{}", t.render());
+        for r in t.rows.iter().skip(1) {
+            assert!(r.get("iops").unwrap() > 0.0, "{}", t.render());
+            // The streaming chain must never buffer more than one chunk.
+            if let Some(peak) = r.get("peak_resident_recs") {
+                assert!(
+                    peak <= E23_CHUNK as f64,
+                    "trace residency exceeded the chunk bound: {}",
+                    t.render()
+                );
+                assert!(peak > 0.0);
+            }
+        }
+        // Every scheme ran both arms.
+        for s in ["page_map", "dftl", "hybrid"] {
+            assert!(t.rows.iter().any(|r| r.label == format!("{s}/replay")));
+            assert!(t.rows.iter().any(|r| r.label == format!("{s}/synth")));
+        }
+    }
+
+    #[test]
+    fn smoke_e24_qos_still_isolates_under_replayed_traffic() {
+        let t = e24_replayed_noisy_neighbor(Scale::Smoke);
+        let p99 = |label: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.label == label)
+                .unwrap()
+                .get("reader_p99_us")
+                .unwrap()
+        };
+        let (none, wfq, tb) = (p99("none"), p99("wfq"), p99("token_bucket"));
+        // E19's acceptance bar holds under recorded burst structure too.
+        assert!(
+            none >= 2.0 * wfq.min(tb),
+            "no >=2x isolation win under replay: none={none:.0}us wfq={wfq:.0}us tb={tb:.0}us\n{}",
+            t.render()
+        );
+        let row = t.rows.iter().find(|r| r.label == "none").unwrap();
+        assert!(row.get("flooder_iops").unwrap() > 0.0, "{}", t.render());
+        assert!(row.get("flooder_util").unwrap() > 0.0);
     }
 
     #[test]

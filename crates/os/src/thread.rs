@@ -118,6 +118,15 @@ impl ThreadCtx<'_> {
         self.timers.push(delay);
     }
 
+    /// Request a [`Workload::on_timer`] callback at the absolute virtual
+    /// instant `at`. Instants at or before [`ThreadCtx::now`] fire on the
+    /// next scheduling pass. This is the open-loop replay primitive: a
+    /// trace's recorded arrival timestamps can be scheduled directly
+    /// without converting to relative delays at each call site.
+    pub fn set_timer_at(&mut self, at: SimTime) {
+        self.timers.push(at.saturating_since(self.now));
+    }
+
     /// Declare this thread finished. Threads depending on it may start;
     /// its remaining in-flight IOs still complete (with callbacks).
     pub fn finish(&mut self) {
@@ -190,5 +199,25 @@ mod tests {
         assert_eq!(subs.len(), 1);
         assert_eq!(timers.len(), 1);
         assert!(fin);
+    }
+
+    #[test]
+    fn absolute_timers_become_relative_delays() {
+        let mut subs = Vec::new();
+        let mut timers = Vec::new();
+        let mut fin = false;
+        let mut ctx = ThreadCtx {
+            now: SimTime::from_nanos(1_000),
+            logical_pages: 64,
+            submissions: &mut subs,
+            timers: &mut timers,
+            finished: &mut fin,
+        };
+        ctx.set_timer_at(SimTime::from_nanos(1_750));
+        // An instant already in the past clamps to an immediate timer
+        // rather than panicking or wrapping.
+        ctx.set_timer_at(SimTime::from_nanos(400));
+        assert_eq!(timers[0].as_nanos(), 750);
+        assert_eq!(timers[1], SimDuration::ZERO);
     }
 }

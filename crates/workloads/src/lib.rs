@@ -18,12 +18,19 @@
 //!   create/append/delete over extents with metadata updates.
 //! * [`lsm`] — LSM-tree insertions (the paper's motivating example §1):
 //!   memtable flushes plus leveled compactions.
-//! * [`trace`] — record/replay of explicit IO traces with think times.
+//! * [`blktrace`] — the block-trace frontend: streaming MSR-Cambridge CSV
+//!   parsing behind the [`TraceSource`] trait, chunked bounded-memory
+//!   prefetch, LBA remapping into a namespace, a trace characterizer
+//!   (footprint / mix / Zipf skew / burstiness) and matched synthesis.
+//! * [`trace`] — replay: the closed-loop [`TraceThread`] list replayer and
+//!   the production [`ReplayThread`] (open-loop at recorded timestamps
+//!   with time-warp, or closed-loop preserving think times).
 //! * [`tenant`] — the tenant-profile builder: declare a tenant's
 //!   namespace, QoS parameters and member threads, then install the whole
 //!   profile onto an [`Os`](eagletree_os::Os) in one call (the
 //!   multi-tenant experiments' setup vocabulary).
 
+pub mod blktrace;
 pub mod fs;
 pub mod gen;
 pub mod grace_join;
@@ -32,6 +39,10 @@ pub mod precondition;
 pub mod tenant;
 pub mod trace;
 
+pub use blktrace::{
+    characterize, to_msr_csv_line, ChunkedSource, MsrCsvSource, Remap, SynthCsv, SynthShape,
+    SyntheticTrace, TraceProfile, TraceSource,
+};
 pub use fs::FileSystemThread;
 pub use gen::{
     IoGen, MixedGen, Pumped, RandReadGen, RandWriteGen, Region, SeqReadGen, SeqWriteGen,
@@ -41,4 +52,4 @@ pub use grace_join::GraceHashJoin;
 pub use lsm::LsmTreeThread;
 pub use precondition::{random_fill, sequential_fill};
 pub use tenant::TenantProfile;
-pub use trace::{TraceEntry, TraceThread};
+pub use trace::{ReplayMode, ReplayThread, TraceEntry, TraceThread};

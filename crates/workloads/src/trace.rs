@@ -1,13 +1,24 @@
 //! IO-trace record and replay.
 //!
-//! A [`TraceThread`] replays an explicit list of IOs with per-entry think
-//! times, serially (each entry dispatches after the previous completion
-//! plus its delay). Useful for regression experiments where the exact IO
-//! sequence must be pinned, and for replaying synthetic traces produced by
-//! other tools.
+//! Two replayers live here:
+//!
+//! * [`TraceThread`] — the original closed-loop list replayer: an explicit
+//!   in-memory list of IOs with per-entry think times, dispatched serially
+//!   (each entry after the previous completion plus its delay). Useful for
+//!   regression experiments where the exact IO sequence must be pinned.
+//! * [`ReplayThread`] — the production-trace replayer over any streaming
+//!   [`TraceSource`] (see [`crate::blktrace`]). In **open-loop** mode IOs
+//!   dispatch at their recorded arrival timestamps via the OS timer
+//!   machinery — load is what the trace says, regardless of device
+//!   latency, so queues can actually build — with a time-warp factor to
+//!   accelerate (or stretch) the recorded clock. In **closed-loop** mode
+//!   the recorded inter-arrival gaps are preserved as think times after
+//!   each record's completions, the classic feedback-limited replay.
 
-use eagletree_core::SimDuration;
+use eagletree_core::{BlkOp, BlkRecord, SimDuration, SimTime};
 use eagletree_os::{CompletedIo, OsIo, ThreadCtx, Workload};
+
+use crate::blktrace::TraceSource;
 
 /// One replayed IO with its preceding think time.
 #[derive(Debug, Clone, Copy)]
@@ -70,13 +81,213 @@ impl Workload for TraceThread {
     }
 
     fn on_timer(&mut self, ctx: &mut ThreadCtx) {
-        let e = self.entries[self.next];
-        self.next += 1;
-        ctx.submit(e.io);
+        // Bounds-checked like `advance`: a timer that fires after the
+        // entry list is exhausted (e.g. a duplicate timer from a wrapping
+        // workload) finishes the thread instead of panicking.
+        match self.entries.get(self.next) {
+            None => ctx.finish(),
+            Some(e) => {
+                let io = e.io;
+                self.next += 1;
+                ctx.submit(io);
+            }
+        }
     }
 
     fn name(&self) -> &str {
         "trace-replay"
+    }
+}
+
+/// How a [`ReplayThread`] paces the trace.
+#[derive(Debug, Clone, Copy)]
+pub enum ReplayMode {
+    /// Dispatch each record at `recorded_arrival / warp`, independent of
+    /// completions. `warp > 1` accelerates the recorded clock.
+    OpenLoop { warp: f64 },
+    /// Dispatch each record after the previous record's completions plus
+    /// the (warped) recorded inter-arrival gap — think times preserved.
+    ClosedLoop { warp: f64 },
+}
+
+/// Replays a streaming [`TraceSource`] against the OS.
+///
+/// Records are pulled one at a time (memory stays bounded by the source —
+/// wrap it in a [`crate::blktrace::ChunkedSource`] for chunked prefetch),
+/// split into per-page IOs, and folded into the thread's address space
+/// (`page % logical_pages`), which for a tenant thread is its namespace.
+pub struct ReplayThread<S> {
+    src: S,
+    mode: ReplayMode,
+    pending: Option<BlkRecord>,
+    outstanding: u64,
+    submitted: u64,
+    last_at: SimTime,
+    drained: bool,
+    finished: bool,
+    name: String,
+}
+
+impl<S: TraceSource> ReplayThread<S> {
+    /// Open-loop replay with a time-warp factor (`warp > 1` accelerates).
+    pub fn open_loop(src: S, warp: f64) -> Self {
+        Self::new(src, ReplayMode::OpenLoop { warp })
+    }
+
+    /// Closed-loop replay preserving (warped) recorded think times.
+    pub fn closed_loop(src: S, warp: f64) -> Self {
+        Self::new(src, ReplayMode::ClosedLoop { warp })
+    }
+
+    pub fn new(src: S, mode: ReplayMode) -> Self {
+        let warp = match mode {
+            ReplayMode::OpenLoop { warp } | ReplayMode::ClosedLoop { warp } => warp,
+        };
+        assert!(
+            warp.is_finite() && warp > 0.0,
+            "time-warp factor must be positive"
+        );
+        ReplayThread {
+            src,
+            mode,
+            pending: None,
+            outstanding: 0,
+            submitted: 0,
+            last_at: SimTime::ZERO,
+            drained: false,
+            finished: false,
+            name: "replay".to_string(),
+        }
+    }
+
+    /// Override the reported thread name.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Per-page IOs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    fn warp(&self) -> f64 {
+        match self.mode {
+            ReplayMode::OpenLoop { warp } | ReplayMode::ClosedLoop { warp } => warp,
+        }
+    }
+
+    fn warped_instant(&self, at: SimTime) -> SimTime {
+        SimTime::from_nanos((at.as_nanos() as f64 / self.warp()).round() as u64)
+    }
+
+    fn warped_gap(&self, gap: SimDuration) -> SimDuration {
+        SimDuration::from_nanos((gap.as_nanos() as f64 / self.warp()).round() as u64)
+    }
+
+    fn submit_record(&mut self, ctx: &mut ThreadCtx, rec: BlkRecord) {
+        let space = ctx.logical_pages().max(1);
+        for i in 0..rec.pages as u64 {
+            let lpn = (rec.page + i) % space;
+            let io = match rec.op {
+                BlkOp::Read => OsIo::read(lpn),
+                BlkOp::Write => OsIo::write(lpn),
+                BlkOp::Trim => OsIo::trim(lpn),
+            };
+            ctx.submit(io);
+            self.outstanding += 1;
+            self.submitted += 1;
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut ThreadCtx) {
+        if self.drained && self.pending.is_none() && self.outstanding == 0 && !self.finished {
+            self.finished = true;
+            ctx.finish();
+        }
+    }
+
+    fn pull(&mut self) -> Option<BlkRecord> {
+        if let Some(rec) = self.pending.take() {
+            return Some(rec);
+        }
+        let rec = self.src.next_record();
+        if rec.is_none() {
+            self.drained = true;
+        }
+        rec
+    }
+
+    /// Open loop: submit everything due at `now`, then arm one timer for
+    /// the next record's (warped) arrival instant.
+    fn pump_open(&mut self, ctx: &mut ThreadCtx) {
+        while let Some(rec) = self.pull() {
+            let due = self.warped_instant(rec.at);
+            if due <= ctx.now() {
+                self.submit_record(ctx, rec);
+            } else {
+                self.pending = Some(rec);
+                ctx.set_timer_at(due);
+                break;
+            }
+        }
+        self.maybe_finish(ctx);
+    }
+
+    /// Closed loop: once the previous record fully completed, wait out the
+    /// recorded gap (as a think time), then submit the next record.
+    fn advance_closed(&mut self, ctx: &mut ThreadCtx) {
+        match self.pull() {
+            None => self.maybe_finish(ctx),
+            Some(rec) => {
+                let gap = self.warped_gap(rec.at.saturating_since(self.last_at));
+                self.last_at = rec.at;
+                if gap == SimDuration::ZERO {
+                    self.submit_record(ctx, rec);
+                } else {
+                    self.pending = Some(rec);
+                    ctx.set_timer(gap);
+                }
+            }
+        }
+    }
+}
+
+impl<S: TraceSource> Workload for ReplayThread<S> {
+    fn init(&mut self, ctx: &mut ThreadCtx) {
+        match self.mode {
+            ReplayMode::OpenLoop { .. } => self.pump_open(ctx),
+            ReplayMode::ClosedLoop { .. } => self.advance_closed(ctx),
+        }
+    }
+
+    fn call_back(&mut self, ctx: &mut ThreadCtx, _done: CompletedIo) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        match self.mode {
+            ReplayMode::OpenLoop { .. } => self.maybe_finish(ctx),
+            ReplayMode::ClosedLoop { .. } => {
+                if self.outstanding == 0 && self.pending.is_none() {
+                    self.advance_closed(ctx);
+                } else {
+                    self.maybe_finish(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ThreadCtx) {
+        match self.mode {
+            ReplayMode::OpenLoop { .. } => self.pump_open(ctx),
+            ReplayMode::ClosedLoop { .. } => {
+                if let Some(rec) = self.pending.take() {
+                    self.submit_record(ctx, rec);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -90,5 +301,33 @@ mod tests {
         assert_eq!(e.delay, SimDuration::ZERO);
         let e = TraceEntry::after(SimDuration::from_micros(10), OsIo::read(1));
         assert_eq!(e.delay.as_nanos(), 10_000);
+    }
+
+    #[test]
+    fn replay_warp_scales_the_recorded_clock() {
+        struct Empty;
+        impl TraceSource for Empty {
+            fn next_record(&mut self) -> Option<BlkRecord> {
+                None
+            }
+        }
+        let t = ReplayThread::open_loop(Empty, 4.0);
+        assert_eq!(
+            t.warped_instant(SimTime::from_nanos(1_000)).as_nanos(),
+            250
+        );
+        assert_eq!(t.warped_gap(SimDuration::from_nanos(1_000)).as_nanos(), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-warp factor must be positive")]
+    fn replay_rejects_nonpositive_warp() {
+        struct Empty;
+        impl TraceSource for Empty {
+            fn next_record(&mut self) -> Option<BlkRecord> {
+                None
+            }
+        }
+        let _ = ReplayThread::open_loop(Empty, 0.0);
     }
 }
