@@ -23,6 +23,13 @@
 //! regression gate: E18 is its main subject, but any experiment that got
 //! slower per event trips it. Experiments in only one file never trip
 //! either gate.
+//!
+//! Result-row *columns* are never compared: only the timing/throughput
+//! fields above are scraped. In particular, the reliability columns
+//! (`uber`, `corrected_bits`, `retries`, …) that fault-model-enabled runs
+//! emit — and fault-free runs omit entirely — diff as not-comparable
+//! content, never as a gate failure: a baseline recorded before the fault
+//! model existed stays a valid gate for a current file that has it.
 
 use std::collections::BTreeMap;
 

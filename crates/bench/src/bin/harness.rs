@@ -17,6 +17,13 @@
 //!   with a per-thread counter, so `events_simulated` (and hence the JSON
 //!   shape) matches the sequential run; `events_per_sec` reflects the
 //!   parallel run's (contended) wall clock.
+//!
+//! Row columns are emitted exactly as the experiments produce them: the
+//! media-reliability columns (`uber`, `corrected_bits`, `retries`, …)
+//! appear only in rows of fault-model-enabled runs (E25/E26) — fault-free
+//! experiments emit no reliability keys at all, keeping their JSON
+//! byte-identical to builds without the fault subsystem. `compare` treats
+//! such absent-vs-present columns as not-comparable, never a gate failure.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

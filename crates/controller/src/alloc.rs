@@ -292,6 +292,18 @@ impl Allocator {
         Some(l.free.swap_remove(pos))
     }
 
+    /// Remove `block` from this allocator entirely: drop it from the free
+    /// list and close it if it is an active allocation target. Grown-bad
+    /// retirement after a program-status failure — the block is never
+    /// handed out again; its surviving live pages are evacuated by normal
+    /// GC and the eventual erase masks it bad for good.
+    pub fn retire_block(&mut self, block: BlockAddr) {
+        let lun = self.geometry.lun_index(block.channel, block.lun) as usize;
+        let l = &mut self.luns[lun];
+        l.free.retain(|(b, _)| *b != block);
+        l.active.retain(|_, a| a.addr != block);
+    }
+
     /// Return an erased block to its LUN's free list.
     pub fn block_freed(&mut self, block: BlockAddr, erase_count: u32) {
         let lun = self.geometry.lun_index(block.channel, block.lun) as usize;
@@ -542,5 +554,24 @@ mod tests {
         let b = a.alloc(0, Stream::Hot).unwrap().block_addr();
         assert!(a.is_active(b));
         assert!(!a.is_free(b));
+    }
+
+    #[test]
+    fn retire_block_closes_active_and_drops_free() {
+        let mut a = alloc();
+        // Retire the currently active hot block: the next allocation must
+        // come from a different block.
+        let active = a.alloc(0, Stream::Hot).unwrap().block_addr();
+        a.retire_block(active);
+        assert!(!a.is_active(active));
+        let next = a.alloc(0, Stream::Hot).unwrap();
+        assert_ne!(next.block_addr(), active);
+        assert_eq!(next.page, 0, "retired block's fill pointer is abandoned");
+        // Retiring a free block shrinks the pool.
+        let free_before = a.free_blocks(0);
+        let some_free = a.luns[0].free[0].0;
+        a.retire_block(some_free);
+        assert_eq!(a.free_blocks(0), free_before - 1);
+        assert!(!a.is_free(some_free));
     }
 }

@@ -3,6 +3,7 @@
 use crate::sched::SchedPolicy;
 use crate::types::OpClass;
 use eagletree_core::QueueKind;
+use eagletree_flash::FaultConfig;
 
 /// Which mapping scheme the FTL uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +124,34 @@ pub enum TemperatureMode {
     Hints,
 }
 
+/// Background-scrub configuration: when and how aggressively the
+/// controller refreshes blocks whose accumulated read disturb or
+/// retention age puts their pages at risk of outgrowing ECC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrubConfig {
+    /// Evaluate scrub candidates every this many completed flash ops.
+    /// Lower = more aggressive (more scan points, more refresh traffic).
+    pub check_every_ops: u64,
+    /// Refresh a block once reads-since-erase reach this count.
+    pub read_disturb_threshold: u32,
+    /// Refresh a block once its oldest data has sat this many sim-seconds.
+    pub retention_threshold_s: f64,
+    /// At most this many scrub refreshes may be in flight at once (each
+    /// is a whole-block relocation competing with app IO).
+    pub max_inflight: usize,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            check_every_ops: 256,
+            read_disturb_threshold: 10_000,
+            retention_threshold_s: 600.0,
+            max_inflight: 1,
+        }
+    }
+}
+
 /// Complete controller configuration.
 #[derive(Debug, Clone)]
 pub struct ControllerConfig {
@@ -177,6 +206,14 @@ pub struct ControllerConfig {
     /// the O(log n) oracle. Pop order — and therefore every simulation
     /// result — is byte-identical between the two.
     pub queue: QueueKind,
+    /// Media-fault model installed into the flash array. `None` (the
+    /// default) simulates perfect media — byte-identical to pre-fault
+    /// builds. `Some` enables program/erase failures, ECC read-retry and
+    /// uncorrectable errors, all seeded deterministically.
+    pub fault: Option<FaultConfig>,
+    /// Background scrubbing. Only meaningful with a fault model (the
+    /// disturb/retention state it reads lives there); `None` disables.
+    pub scrub: Option<ScrubConfig>,
 }
 
 impl Default for ControllerConfig {
@@ -199,6 +236,8 @@ impl Default for ControllerConfig {
             seed: 0xEA61E,
             trace_events: 0,
             queue: QueueKind::default(),
+            fault: None,
+            scrub: None,
         }
     }
 }
@@ -227,6 +266,20 @@ impl ControllerConfig {
         if self.wl.static_enabled && self.wl.check_every_erases == 0 {
             return Err("wl.check_every_erases must be non-zero".into());
         }
+        if let Some(fault) = &self.fault {
+            fault.validate()?;
+        }
+        if let Some(scrub) = &self.scrub {
+            if self.fault.is_none() {
+                return Err("scrub requires a fault model (disturb/retention state)".into());
+            }
+            if scrub.check_every_ops == 0 {
+                return Err("scrub.check_every_ops must be non-zero".into());
+            }
+            if scrub.max_inflight == 0 {
+                return Err("scrub.max_inflight must be non-zero".into());
+            }
+        }
         Ok(())
     }
 
@@ -244,6 +297,8 @@ impl ControllerConfig {
             (OpClass::WlRead, 20_000),
             (OpClass::WlWrite, 20_000),
             (OpClass::Erase, 10_000),
+            (OpClass::ScrubRead, 50_000),
+            (OpClass::ScrubWrite, 50_000),
         ]
     }
 }
@@ -286,6 +341,27 @@ mod tests {
 
         let mut c = ControllerConfig::default();
         c.wl.check_every_erases = 0;
+        assert!(c.validate().is_err());
+
+        // Scrubbing without a fault model has no disturb state to read.
+        let c = ControllerConfig {
+            scrub: Some(ScrubConfig::default()),
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ControllerConfig {
+            fault: Some(FaultConfig::default()),
+            scrub: Some(ScrubConfig::default()),
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        let c = ControllerConfig {
+            fault: Some(FaultConfig {
+                retry_error_scale: 2.0,
+                ..FaultConfig::default()
+            }),
+            ..ControllerConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -15,8 +15,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use eagletree_core::{OnlineStats, SimDuration, SimRng, SimTime, TraceKind, TraceLog};
 use eagletree_flash::{
-    BlockAddr, FlashArray, FlashCommand, Geometry, MemoryKind, MemoryManager, OobEntry,
-    OobTag, PageState, PhysicalAddr, TimingSpec,
+    BlockAddr, FaultEvent, FlashArray, FlashCommand, Geometry, MemoryKind, MemoryManager,
+    OobEntry, OobTag, PageState, PhysicalAddr, TimingSpec,
 };
 
 use crate::alloc::{Allocator, Stream};
@@ -31,6 +31,7 @@ use crate::lanes::{LaneSet, MISC_LANE};
 use crate::pend::{LaneKey, PendingSet, QueueKey, NO_SLOT};
 use crate::recovery::{self, CheckpointRecord, CrashImage, RecoveryMode, RecoveryReport};
 use crate::sched::{class_index, class_table, ClassTable};
+use crate::scrub::pick_scrub_victim;
 use crate::temperature::MultiBloomDetector;
 use crate::types::{
     Completion, IoSource, Lpn, OpClass, Ppn, RequestId, RequestKind, SsdRequest, Temperature,
@@ -260,6 +261,56 @@ pub struct CtrlStats {
     pub checkpoints_committed: u64,
     /// Snapshot pages programmed into the reserved checkpoint slots.
     pub checkpoint_pages: u64,
+    /// Program-status failures remapped to a fresh allocation (the failed
+    /// program's block is retired as grown bad).
+    pub program_remaps: u64,
+    /// Transient erase failures retried in place.
+    pub erase_retries: u64,
+    /// Scrub refresh jobs started (block evacuations driven by the
+    /// read-disturb / retention thresholds).
+    pub scrub_refreshes: u64,
+    /// Erases completing scrub refreshes.
+    pub scrub_erases: u64,
+}
+
+/// Media-reliability observables, assembled from the fault model's
+/// counters and the controller's fault-handling paths. Only meaningful —
+/// and only reported — when a fault model is configured
+/// (`ControllerConfig::fault`); without one every field would be zero and
+/// the harness omits the columns entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityStats {
+    /// Reads sampled through the ECC path.
+    pub reads_sampled: u64,
+    /// Raw bit errors corrected across all reads.
+    pub corrected_bits: u64,
+    /// Read-retry tiers consumed (each cost a full extra array read).
+    pub read_retries: u64,
+    /// Reads left uncorrectable after the final retry tier.
+    pub uncorrectable_reads: u64,
+    /// Program-status failures reported by the medium.
+    pub program_fails: u64,
+    /// Erase failures reported by the medium (transient and terminal).
+    pub erase_fails: u64,
+    /// Blocks retired as grown bad (program-fail marks and erase-failure
+    /// streaks; endurance wear-out is counted in `bad_blocks_retired`).
+    pub grown_bad_blocks: u64,
+    /// Failed programs the controller remapped to a fresh allocation.
+    pub program_remaps: u64,
+    /// Transient erase failures the controller retried.
+    pub erase_retries: u64,
+    /// ScrubRead operations issued through the scheduler.
+    pub scrub_reads: u64,
+    /// ScrubWrite operations issued through the scheduler.
+    pub scrub_writes: u64,
+    /// Scrub refresh jobs started.
+    pub scrub_refreshes: u64,
+    /// Distinct logical pages whose content hit uncorrectable bit errors
+    /// (the lost-data ledger).
+    pub lost_lpns: u64,
+    /// Uncorrectable bit error rate: uncorrectable reads over total bits
+    /// read through the ECC path.
+    pub uber: f64,
 }
 
 impl CtrlStats {
@@ -330,6 +381,15 @@ pub struct Controller {
     /// is mapped again (any newer copy outranks the barrier by itself).
     /// Deterministically ordered so snapshots are reproducible.
     trim_barriers: BTreeMap<Lpn, u64>,
+    /// The lost-data ledger: logical pages whose content hit uncorrectable
+    /// bit errors. Deterministically ordered; only populated with a fault
+    /// model installed.
+    lost_lpns: BTreeSet<Lpn>,
+    /// Flash ops issued since the scrubber last looked for a victim.
+    ops_since_scrub: u64,
+    /// Scrub refresh jobs currently in flight (bounded by
+    /// `ScrubConfig::max_inflight`).
+    scrub_inflight: usize,
 }
 
 impl Controller {
@@ -386,7 +446,10 @@ impl Controller {
         } else {
             None
         };
-        let array = FlashArray::new(geometry, timing);
+        let mut array = FlashArray::new(geometry, timing);
+        if let Some(fc) = cfg.fault {
+            array.install_fault_model(fc);
+        }
         let mut alloc = Allocator::new(geometry, cfg.write_alloc, cfg.wl.dynamic_enabled);
         let tvpns = match &ftl {
             FtlKind::Dftl(d) => d.tvpn_count(),
@@ -438,6 +501,9 @@ impl Controller {
             stamp_by_ppn: HashMap::new(),
             ckpt,
             trim_barriers: BTreeMap::new(),
+            lost_lpns: BTreeSet::new(),
+            ops_since_scrub: 0,
+            scrub_inflight: 0,
         })
     }
 
@@ -500,6 +566,41 @@ impl Controller {
     /// One axis of the simulator-throughput metric (`events_per_sec`).
     pub fn events_processed(&self) -> u64 {
         self.events.popped()
+    }
+
+    /// Media-reliability counters, or `None` when no fault model is
+    /// installed (the default — reliability reporting is strictly opt-in,
+    /// so fault-free runs stay byte-identical to builds without it).
+    pub fn reliability(&self) -> Option<ReliabilityStats> {
+        let fm = self.array.fault()?;
+        let c = fm.counters();
+        let bits_read = c.reads * self.array.geometry().page_size as u64 * 8;
+        Some(ReliabilityStats {
+            reads_sampled: c.reads,
+            corrected_bits: c.corrected_bits,
+            read_retries: c.read_retries,
+            uncorrectable_reads: c.uncorrectable_reads,
+            program_fails: c.program_fails,
+            erase_fails: c.erase_fails,
+            grown_bad_blocks: c.grown_bad_blocks,
+            program_remaps: self.stats.program_remaps,
+            erase_retries: self.stats.erase_retries,
+            scrub_reads: self.stats.issued[class_index(OpClass::ScrubRead)],
+            scrub_writes: self.stats.issued[class_index(OpClass::ScrubWrite)],
+            scrub_refreshes: self.stats.scrub_refreshes,
+            lost_lpns: self.lost_lpns.len() as u64,
+            uber: if bits_read == 0 {
+                0.0
+            } else {
+                c.uncorrectable_reads as f64 / bits_read as f64
+            },
+        })
+    }
+
+    /// Logical pages whose acknowledged content hit an uncorrectable read
+    /// (the lost-data ledger), in ascending LPN order.
+    pub fn lost_data(&self) -> impl Iterator<Item = Lpn> + '_ {
+        self.lost_lpns.iter().copied()
     }
 
     /// Total agenda queue operations (schedules + pops) so far: the
@@ -1087,6 +1188,118 @@ impl Controller {
         }
     }
 
+    // ----- background scrubbing -------------------------------------------
+
+    /// Every `check_every_ops` issued flash ops, look for a block whose
+    /// read-disturb count or retention age crossed the scrub thresholds
+    /// and refresh it: evacuate-and-erase through the reclaim machinery
+    /// (page-mapped schemes) or a refresh merge (hybrid). The refresh IO
+    /// rides the scheduler as `ScrubRead`/`ScrubWrite`, competing with
+    /// application traffic under the configured policy.
+    fn maybe_scrub(&mut self, now: SimTime) {
+        let Some(sc) = self.cfg.scrub else { return };
+        if self.ops_since_scrub < sc.check_every_ops {
+            return;
+        }
+        self.ops_since_scrub = 0;
+        if self.scrub_inflight >= sc.max_inflight {
+            return;
+        }
+        if self.is_hybrid() {
+            self.scrub_hybrid(now);
+            return;
+        }
+        let victim = {
+            let skip = self.reclaim_skip_set();
+            pick_scrub_victim(&self.array, &sc, now, skip)
+        };
+        if let Some(victim) = victim {
+            let lun = self.array.geometry().lun_index(victim.channel, victim.lun);
+            self.scrub_inflight += 1;
+            self.stats.scrub_refreshes += 1;
+            self.start_reclaim(victim, lun, IoSource::Scrub, now);
+        }
+    }
+
+    /// Hybrid-scheme scrub: refresh an at-risk *data* block by folding its
+    /// logical block to a fresh destination (the discipline-preserving
+    /// relocation static WL also uses). Log blocks are skipped — their
+    /// churn through merges refreshes them anyway.
+    fn scrub_hybrid(&mut self, now: SimTime) {
+        if self.merge_active {
+            return; // one merge at a time; retry at the next check
+        }
+        let Some(sc) = self.cfg.scrub else { return };
+        let lbn = {
+            let FtlKind::Hybrid(h) = &self.ftl else { return };
+            let g = *self.array.geometry();
+            let logs: HashSet<Ppn> = h.log_bases().into_iter().collect();
+            let data = h.data_block_map();
+            let skip = |b: BlockAddr| {
+                let base = g.page_index(b.page(0));
+                logs.contains(&base) || !data.contains_key(&base)
+            };
+            let Some(victim) = pick_scrub_victim(&self.array, &sc, now, skip) else {
+                return;
+            };
+            let base = g.page_index(victim.page(0));
+            data[&base]
+        };
+        self.scrub_inflight += 1;
+        self.stats.scrub_refreshes += 1;
+        self.hybrid_mut().note_refresh_merge();
+        self.start_merge_job(
+            MergeJob::new(
+                IoSource::Scrub,
+                None,
+                vec![FoldPlan {
+                    lbn,
+                    reuse: None,
+                    start: 0,
+                }],
+            ),
+            now,
+        );
+    }
+
+    // ----- injected-fault handling ----------------------------------------
+
+    /// Schedule the wake-ups of an issued command whose completion event
+    /// was cancelled by an injected fault (the op re-enqueued instead):
+    /// the LUN/channel occupancy the command charged is still real, and
+    /// the retry can only issue once those resources free.
+    fn fault_wakes(&mut self, lane: u32, out: eagletree_flash::IssueOutcome) {
+        self.events.schedule(lane, out.done_at, CtrlEvent::Wake);
+        if out.channel_free_at < out.done_at {
+            self.events
+                .schedule(MISC_LANE, out.channel_free_at, CtrlEvent::Wake);
+        }
+        if out.lun_free_at < out.done_at {
+            self.events.schedule(lane, out.lun_free_at, CtrlEvent::Wake);
+        }
+    }
+
+    /// Ledger an uncorrectable read of application data: `lpn` is the
+    /// logical page whose content the read carried, if any (translation
+    /// and checkpoint pages are rebuilt from RAM state and not ledgered).
+    fn note_read_fault(&mut self, out: &eagletree_flash::IssueOutcome, lpn: Option<Lpn>) {
+        if let Some(FaultEvent::Read(o)) = out.fault {
+            if o.uncorrectable {
+                if let Some(lpn) = lpn {
+                    self.lost_lpns.insert(lpn);
+                }
+            }
+        }
+    }
+
+    /// The logical page a relocated `content` carries, for the ledger.
+    fn content_lpn(content: PageContent) -> Option<Lpn> {
+        match content {
+            PageContent::Data(lpn) => Some(lpn),
+            _ => None,
+        }
+    }
+
     fn start_reclaim(&mut self, victim: BlockAddr, lun: u32, source: IoSource, now: SimTime) {
         let valid = self.array.valid_pages_in(victim);
         let job_id = self.jobs.len();
@@ -1099,6 +1312,7 @@ impl Controller {
         } else {
             let class = match source {
                 IoSource::WearLeveling => OpClass::WlRead,
+                IoSource::Scrub => OpClass::ScrubRead,
                 _ => OpClass::GcRead,
             };
             for from in valid {
@@ -1160,6 +1374,7 @@ impl Controller {
     fn merge_classes(source: IoSource) -> (OpClass, OpClass) {
         match source {
             IoSource::WearLeveling => (OpClass::WlRead, OpClass::WlWrite),
+            IoSource::Scrub => (OpClass::ScrubRead, OpClass::ScrubWrite),
             _ => (OpClass::MergeRead, OpClass::MergeWrite),
         }
     }
@@ -1755,6 +1970,7 @@ impl Controller {
             }
         }
         self.maybe_checkpoint(now);
+        self.maybe_scrub(now);
         // Each round compares at most one candidate per live group (the
         // group's first issuable op dominates the rest of it under every
         // policy), so per-issue cost tracks the number of live (class,
@@ -1851,6 +2067,7 @@ impl Controller {
     /// issuability.
     fn issue(&mut self, slot: u32, now: SimTime) {
         let op = self.pending.remove(slot);
+        self.ops_since_scrub += 1;
         self.serviced[class_index(op.class)] += 1;
         self.stats.wait_us[class_index(op.class)]
             .record(now.saturating_since(op.enqueued_at).as_micros_f64());
@@ -1861,6 +2078,15 @@ impl Controller {
             }
             PendKind::Erase { block, job } => {
                 let (lane, out) = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
+                // A transient erase failure leaves the block un-reset:
+                // charge the time, retry. A retiring failure falls through
+                // to EraseDone, whose bad-block path swallows the block.
+                if matches!(out.fault, Some(FaultEvent::EraseFailed { retired: false })) {
+                    self.stats.erase_retries += 1;
+                    self.enqueue(op.class, op.tag, now, PendKind::Erase { block, job });
+                    self.fault_wakes(lane, out);
+                    return;
+                }
                 self.finish_issue(op.class, DoneWhat::EraseDone { job, block }, lane, out);
             }
             PendKind::AppRead { id, lpn } => match self.ftl.peek(lpn) {
@@ -1868,6 +2094,7 @@ impl Controller {
                 Some(ppn) => {
                     let addr = self.array.geometry().page_at(ppn);
                     let (lane, out) = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                    self.note_read_fault(&out, Some(lpn));
                     self.finish_issue(op.class, DoneWhat::AppReadArray { id, addr }, lane, out);
                 }
             },
@@ -1929,6 +2156,19 @@ impl Controller {
                 };
                 self.reverse[ppn as usize] = Some(content);
                 let (lane, out) = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                if matches!(out.fault, Some(FaultEvent::ProgramFailed)) {
+                    // The page is burned (no OOB stamp: recovery skips it)
+                    // and its block can't be trusted for fresh allocations:
+                    // retire it as grown bad and remap the write by
+                    // re-enqueueing — the retry allocates elsewhere.
+                    self.reverse[ppn as usize] = None;
+                    self.array.invalidate(addr);
+                    self.alloc.retire_block(addr.block_addr());
+                    self.stats.program_remaps += 1;
+                    self.enqueue(op.class, op.tag, now, PendKind::Write { lun: None, stream, what });
+                    self.fault_wakes(lane, out);
+                    return;
+                }
                 // Relocations inherit the source's content version; host
                 // and translation writes get a fresh one.
                 let seq = match what {
@@ -1972,6 +2212,21 @@ impl Controller {
                             Some(content);
                         let seq = self.source_seq(from_ppn);
                         let (lane, out) = self.issue_cmd(FlashCommand::CopyBack { from, to }, now, op.seq);
+                        let to_ppn = self.array.geometry().page_index(to);
+                        if matches!(out.fault, Some(FaultEvent::ProgramFailed)) {
+                            // Destination burned: retire its block and remap
+                            // the migration; the source page is still live.
+                            self.reverse[to_ppn as usize] = None;
+                            self.array.invalidate(to);
+                            self.alloc.retire_block(to.block_addr());
+                            self.stats.program_remaps += 1;
+                            self.enqueue(op.class, op.tag, now, PendKind::GcMove { job, from });
+                            self.fault_wakes(lane, out);
+                            return;
+                        }
+                        // Copy-back reads on-chip; an uncorrectable source
+                        // still surfaces through the fault event.
+                        self.note_read_fault(&out, Self::content_lpn(content));
                         self.stamp_program(to, Self::content_tag(content), Some(seq));
                         self.finish_issue(
                             op.class,
@@ -1984,6 +2239,7 @@ impl Controller {
                 }
                 let (lane, out) = self.issue_cmd(FlashCommand::ReadStart(from), now, op.seq);
                 let _ = source;
+                self.note_read_fault(&out, Self::content_lpn(content));
                 self.finish_issue(op.class, DoneWhat::GcReadArray { job, from }, lane, out);
             }
             PendKind::HybridWrite { what } => {
@@ -1992,6 +2248,19 @@ impl Controller {
                 let addr = self.array.geometry().page_at(ppn);
                 self.reverse[ppn as usize] = Some(PageContent::Data(lpn));
                 let (lane, out) = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                if matches!(out.fault, Some(FaultEvent::ProgramFailed)) {
+                    // Burned log-block page: release the append slot (the
+                    // entry stays, so merges see the offset as stale and
+                    // switch merges are off the table) and retry — the next
+                    // commit_append lands on the advanced write pointer.
+                    self.reverse[ppn as usize] = None;
+                    self.array.invalidate(addr);
+                    self.hybrid_mut().abort_append(ppn);
+                    self.stats.program_remaps += 1;
+                    self.enqueue(op.class, op.tag, now, PendKind::HybridWrite { what });
+                    self.fault_wakes(lane, out);
+                    return;
+                }
                 self.stamp_program(addr, OobTag::Data { lpn }, None);
                 let done = match what {
                     HybridWhat::App { id, lpn } => DoneWhat::AppWriteDone { id, lpn, ppn },
@@ -2020,6 +2289,7 @@ impl Controller {
                     Some(src) => {
                         let addr = self.array.geometry().page_at(src);
                         let (lane, out) = self.issue_cmd(FlashCommand::ReadStart(addr), now, op.seq);
+                        self.note_read_fault(&out, Some(lpn));
                         self.finish_issue(
                             op.class,
                             DoneWhat::MergeReadDone { mj, from: addr },
@@ -2038,6 +2308,9 @@ impl Controller {
                     self.reverse[dest as usize] = Some(PageContent::Data(lpn));
                 }
                 let (lane, out) = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                // A program failure here is absorbed: the fold's destination
+                // order is fixed, so the page keeps its slot and the at-risk
+                // data is already counted by the fault model's counters.
                 match from {
                     Some(src) => {
                         let seq = self.source_seq(src);
@@ -2057,6 +2330,12 @@ impl Controller {
             }
             PendKind::MergeErase { source, block, job } => {
                 let (lane, out) = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
+                if matches!(out.fault, Some(FaultEvent::EraseFailed { retired: false })) {
+                    self.stats.erase_retries += 1;
+                    self.enqueue(op.class, op.tag, now, PendKind::MergeErase { source, block, job });
+                    self.fault_wakes(lane, out);
+                    return;
+                }
                 self.finish_issue(
                     op.class,
                     DoneWhat::MergeEraseDone { source, block, job },
@@ -2073,6 +2352,9 @@ impl Controller {
                 let ppn = self.array.geometry().page_index(addr);
                 self.reverse[ppn as usize] = Some(PageContent::Checkpoint(slot));
                 let (lane, out) = self.issue_cmd(FlashCommand::Program(addr), now, op.seq);
+                // Program failures are absorbed: a snapshot with a burned
+                // page is caught at mount (the OOB read reports it) and
+                // recovery falls back to the previous slot or a full scan.
                 // Checkpoint pages carry no mapping entry of their own:
                 // stamped (for block probes) but never replayed.
                 let stamp = self.fresh_stamp();
@@ -2089,6 +2371,12 @@ impl Controller {
             }
             PendKind::CkptErase { block } => {
                 let (lane, out) = self.issue_cmd(FlashCommand::Erase(block), now, op.seq);
+                if matches!(out.fault, Some(FaultEvent::EraseFailed { retired: false })) {
+                    self.stats.erase_retries += 1;
+                    self.enqueue(op.class, op.tag, now, PendKind::CkptErase { block });
+                    self.fault_wakes(lane, out);
+                    return;
+                }
                 self.finish_issue(op.class, DoneWhat::CkptEraseDone { block }, lane, out);
             }
         }
@@ -2224,6 +2512,10 @@ impl Controller {
                 self.reclaim_active[j.lun as usize] -= 1;
                 match j.source {
                     IoSource::WearLeveling => self.stats.wl_erases += 1,
+                    IoSource::Scrub => {
+                        self.stats.scrub_erases += 1;
+                        self.scrub_inflight -= 1;
+                    }
                     _ => self.stats.gc_erases += 1,
                 }
                 self.erases_since_wl += 1;
@@ -2387,6 +2679,10 @@ impl Controller {
                 }
                 match source {
                     IoSource::WearLeveling => self.stats.wl_erases += 1,
+                    IoSource::Scrub => {
+                        self.stats.scrub_erases += 1;
+                        self.scrub_inflight -= 1;
+                    }
                     _ => self.stats.merge_erases += 1,
                 }
                 if let Some(mj) = job {
@@ -2458,6 +2754,13 @@ impl Controller {
                     OpClass::WlRead
                 } else {
                     OpClass::WlWrite
+                }
+            }
+            IoSource::Scrub => {
+                if read {
+                    OpClass::ScrubRead
+                } else {
+                    OpClass::ScrubWrite
                 }
             }
             _ => {
@@ -2574,6 +2877,14 @@ impl Controller {
         } = image;
         let geometry = *flash.geometry();
         cfg.validate()?;
+        // The crashed medium carries its fault model (and its accumulated
+        // disturb/retention/grown-bad state) across the remount; a config
+        // that newly enables faults installs a fresh model instead.
+        if let Some(fc) = cfg.fault {
+            if flash.fault().is_none() {
+                flash.install_fault_model(fc);
+            }
+        }
         let logical_pages =
             ((geometry.total_pages() as f64) * cfg.logical_capacity).floor() as u64;
         if logical_pages == 0 {
@@ -2594,6 +2905,7 @@ impl Controller {
             tvpns,
             keep_translation,
             is_hybrid,
+            cut.at,
         );
         let data_entries = rec.data_map.iter().filter(|e| e.is_some()).count() as u64;
         let translation_entries =
@@ -2697,6 +3009,7 @@ impl Controller {
             mode,
             used_checkpoint: rec.used_checkpoint,
             oob_scanned: rec.oob_scanned,
+            oob_uncorrectable: rec.oob_uncorrectable,
             blocks_probed: rec.blocks_probed,
             torn_pages: cut.torn_pages,
             interrupted_erases: cut.interrupted_erases,
@@ -2748,6 +3061,9 @@ impl Controller {
                 BTreeMap::new()
             },
             ckpt,
+            lost_lpns: BTreeSet::new(),
+            ops_since_scrub: 0,
+            scrub_inflight: 0,
         };
         // Kick background flushes for a re-installed buffer already at
         // capacity; they issue once the simulation starts advancing.

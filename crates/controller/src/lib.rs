@@ -19,6 +19,9 @@
 //! * [`recovery`] — crash consistency: OOB-stamped programs, periodic
 //!   mapping checkpoints to reserved blocks, and mount-time recovery
 //!   (full OOB scan or checkpoint replay) after a power cut.
+//! * [`scrub`] — background media scrubbing: threshold-driven refresh of
+//!   read-disturbed / retention-aged blocks before their raw bit errors
+//!   outgrow the ECC (pairs with `eagletree_flash::fault`).
 //! * [`Controller`] — the orchestrator tying it all to the flash array.
 
 pub mod alloc;
@@ -31,6 +34,7 @@ mod lanes;
 mod pend;
 pub mod recovery;
 pub mod sched;
+pub mod scrub;
 pub mod temperature;
 pub mod types;
 pub mod wear;
@@ -38,10 +42,10 @@ pub mod wear;
 pub use alloc::{Allocator, Stream};
 pub use buffer::WriteBuffer;
 pub use config::{
-    ControllerConfig, GcConfig, MappingKind, MergePolicy, TemperatureMode, VictimPolicy,
-    WlConfig, WriteAllocPolicy,
+    ControllerConfig, GcConfig, MappingKind, MergePolicy, ScrubConfig, TemperatureMode,
+    VictimPolicy, WlConfig, WriteAllocPolicy,
 };
-pub use controller::{Controller, CtrlStats, MergeCounters, PageContent};
+pub use controller::{Controller, CtrlStats, MergeCounters, PageContent, ReliabilityStats};
 pub use ftl::HybridStats;
 pub use recovery::{CheckpointRecord, CrashImage, RecoveryMode, RecoveryReport};
 pub use sched::{class_index, class_table, ClassTable, SchedPolicy};

@@ -45,7 +45,7 @@
 
 use std::collections::HashMap;
 
-use eagletree_core::SimDuration;
+use eagletree_core::{SimDuration, SimTime};
 use eagletree_flash::{BlockAddr, FlashArray, OobTag, PageState, PowerCutReport};
 
 use crate::controller::PageContent;
@@ -146,6 +146,10 @@ pub struct RecoveryReport {
     pub torn_pages: u64,
     /// Blocks whose erase the cut interrupted (re-erased during mount).
     pub interrupted_erases: u64,
+    /// OOB reads the scan could not correct (fault model installed and
+    /// the spare area's raw errors outgrew the ECC): the page is skipped
+    /// and its content reconstructed from another copy when one exists.
+    pub oob_uncorrectable: u64,
     /// Blocks erased during mount (interrupted erases, retired checkpoint
     /// blocks, and — under the hybrid scheme — blocks left with no live
     /// pages).
@@ -179,6 +183,7 @@ pub(crate) struct Recovered {
     pub max_stamp: u64,
     pub used_checkpoint: bool,
     pub oob_scanned: u64,
+    pub oob_uncorrectable: u64,
     pub blocks_probed: u64,
     pub blocks_erased: u64,
     pub mount_time: SimDuration,
@@ -199,6 +204,7 @@ pub(crate) fn recover_medium(
     tvpns: u64,
     keep_translation: bool,
     erase_dead_blocks: bool,
+    now: SimTime,
 ) -> Recovered {
     let g = *flash.geometry();
     let luns = g.total_luns() as usize;
@@ -208,6 +214,7 @@ pub(crate) fn recover_medium(
     let mut trans: Vec<Option<Winner>> = vec![None; tvpns as usize];
     let mut max_stamp = 0u64;
     let mut oob_scanned = 0u64;
+    let mut oob_uncorrectable = 0u64;
     let mut blocks_probed = 0u64;
     // Journaled trims: copies of these logical pages with seq at or below
     // the barrier were dead at snapshot time and must not be resurrected
@@ -234,13 +241,17 @@ pub(crate) fn recover_medium(
         }
         for (lpn, slot) in r.data.iter().enumerate() {
             let Some(ppn) = *slot else { continue };
-            if let Some(e) = flash.oob(g.page_at(ppn)) {
-                if e.tag == (OobTag::Data { lpn: lpn as u64 })
-                    && flash.page_state(g.page_at(ppn)) != PageState::Free
-                    && !trimmed(lpn as u64, e.seq)
-                {
-                    fold(&mut data[lpn], (ppn, e.seq, e.stamp));
+            match flash.oob_checked(g.page_at(ppn), now) {
+                Err(_) => oob_uncorrectable += 1,
+                Ok(Some(e)) => {
+                    if e.tag == (OobTag::Data { lpn: lpn as u64 })
+                        && flash.page_state(g.page_at(ppn)) != PageState::Free
+                        && !trimmed(lpn as u64, e.seq)
+                    {
+                        fold(&mut data[lpn], (ppn, e.seq, e.stamp));
+                    }
                 }
+                Ok(None) => {}
             }
         }
         for (tvpn, slot) in r.trans.iter().enumerate() {
@@ -248,12 +259,16 @@ pub(crate) fn recover_medium(
             if tvpn as u64 >= tvpns {
                 continue;
             }
-            if let Some(e) = flash.oob(g.page_at(ppn)) {
-                if e.tag == (OobTag::Translation { tvpn: tvpn as u64 })
-                    && flash.page_state(g.page_at(ppn)) != PageState::Free
-                {
-                    fold(&mut trans[tvpn], (ppn, e.seq, e.stamp));
+            match flash.oob_checked(g.page_at(ppn), now) {
+                Err(_) => oob_uncorrectable += 1,
+                Ok(Some(e)) => {
+                    if e.tag == (OobTag::Translation { tvpn: tvpn as u64 })
+                        && flash.page_state(g.page_at(ppn)) != PageState::Free
+                    {
+                        fold(&mut trans[tvpn], (ppn, e.seq, e.stamp));
+                    }
                 }
+                Ok(None) => {}
             }
         }
     }
@@ -276,7 +291,14 @@ pub(crate) fn recover_medium(
                 per_lun_reads[lun] += 1;
                 let newest = (0..info.write_ptr)
                     .rev()
-                    .find_map(|p| flash.oob(block.page(p)))
+                    .find_map(|p| match flash.oob_checked(block.page(p), now) {
+                        // Unreadable spare area: probe the next-older page.
+                        Err(_) => {
+                            oob_uncorrectable += 1;
+                            None
+                        }
+                        Ok(o) => o,
+                    })
                     .map(|e| e.stamp);
                 if let Some(m) = newest {
                     max_stamp = max_stamp.max(m);
@@ -291,8 +313,15 @@ pub(crate) fn recover_medium(
             oob_scanned += 1;
             per_lun_reads[lun] += 1;
             let addr = block.page(p);
-            let Some(e) = flash.oob(addr) else {
-                continue; // torn: spare area unreadable
+            let e = match flash.oob_checked(addr, now) {
+                Err(_) => {
+                    // ECC gave up on the spare area: skip the page; any
+                    // other copy of its content wins the fold instead.
+                    oob_uncorrectable += 1;
+                    continue;
+                }
+                Ok(None) => continue, // torn: spare area never completed
+                Ok(Some(e)) => e,
             };
             max_stamp = max_stamp.max(e.stamp);
             let ppn = g.page_index(addr);
@@ -384,6 +413,7 @@ pub(crate) fn recover_medium(
         max_stamp,
         used_checkpoint: record.is_some(),
         oob_scanned,
+        oob_uncorrectable,
         blocks_probed,
         blocks_erased,
         mount_time: SimDuration::from_nanos(mount_ns),

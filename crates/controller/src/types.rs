@@ -116,6 +116,9 @@ pub enum IoSource {
     Mapping,
     /// Hybrid log-block merge traffic (switch / partial / full merges).
     Merge,
+    /// Background scrubber refreshing at-risk blocks (read disturb /
+    /// retention) before their bit errors outgrow ECC.
+    Scrub,
 }
 
 /// Scheduling class of a pending flash operation: source × direction.
@@ -137,6 +140,8 @@ pub enum OpClass {
     MappingRead,
     MappingWrite,
     Erase,
+    ScrubRead,
+    ScrubWrite,
 }
 
 /// Compile-time sync check: `ALL` must list every variant in declaration
@@ -152,7 +157,7 @@ const _: () = {
         i += 1;
     }
     assert!(
-        OpClass::ALL.len() == OpClass::Erase as usize + 1,
+        OpClass::ALL.len() == OpClass::ScrubWrite as usize + 1,
         "OpClass::ALL is missing variants (extend it when OpClass grows)"
     );
 };
@@ -162,7 +167,7 @@ impl OpClass {
     pub const COUNT: usize = OpClass::ALL.len();
 
     /// All classes, for iteration in fair schedulers and reports.
-    pub const ALL: [OpClass; 11] = [
+    pub const ALL: [OpClass; 13] = [
         OpClass::AppRead,
         OpClass::AppWrite,
         OpClass::GcRead,
@@ -174,6 +179,8 @@ impl OpClass {
         OpClass::MappingRead,
         OpClass::MappingWrite,
         OpClass::Erase,
+        OpClass::ScrubRead,
+        OpClass::ScrubWrite,
     ];
 
     /// Stable display name (trace labels, reports).
@@ -190,6 +197,8 @@ impl OpClass {
             OpClass::MappingRead => "MappingRead",
             OpClass::MappingWrite => "MappingWrite",
             OpClass::Erase => "Erase",
+            OpClass::ScrubRead => "ScrubRead",
+            OpClass::ScrubWrite => "ScrubWrite",
         }
     }
 

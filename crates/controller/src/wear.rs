@@ -33,8 +33,23 @@ pub struct WearSummary {
 }
 
 /// Compute the erase-count distribution summary.
+///
+/// A degenerate array with zero blocks yields the all-zero summary (a
+/// fresh-array lookalike), never NaN — downstream reports feed these
+/// fields straight into JSON, where NaN is unrepresentable.
 pub fn wear_summary(array: &FlashArray) -> WearSummary {
-    let counts = array.erase_counts();
+    summarize(&array.erase_counts())
+}
+
+fn summarize(counts: &[u32]) -> WearSummary {
+    if counts.is_empty() {
+        return WearSummary {
+            min_erases: 0,
+            max_erases: 0,
+            mean_erases: 0.0,
+            stddev_erases: 0.0,
+        };
+    }
     let n = counts.len() as f64;
     let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
     let var = counts
@@ -135,6 +150,16 @@ mod tests {
         assert_eq!(s.max_erases, 0);
         assert_eq!(s.mean_erases, 0.0);
         assert_eq!(s.stddev_erases, 0.0);
+    }
+
+    #[test]
+    fn summary_of_no_blocks_is_zeroed_not_nan() {
+        let s = summarize(&[]);
+        assert_eq!(s.min_erases, 0);
+        assert_eq!(s.max_erases, 0);
+        assert_eq!(s.mean_erases, 0.0);
+        assert_eq!(s.stddev_erases, 0.0);
+        assert!(s.mean_erases.is_finite() && s.stddev_erases.is_finite());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! [`Table`] renders swept series as the aligned text / CSV "rows the paper
 //! would plot".
 
-use eagletree_controller::{wear_summary, ClassTable, MergeCounters, OpClass};
+use eagletree_controller::{wear_summary, ClassTable, MergeCounters, OpClass, ReliabilityStats};
 use eagletree_core::Histogram;
 use eagletree_os::{Os, ThreadStats};
 
@@ -49,6 +49,9 @@ pub struct Measured {
     pub wear_max: u32,
     /// Virtual makespan of the whole run (seconds).
     pub makespan_s: f64,
+    /// Media-reliability counters — `Some` only when the run had a fault
+    /// model installed, so fault-free outputs carry no reliability columns.
+    pub reliability: Option<ReliabilityStats>,
 }
 
 /// Controller counter snapshot, for measuring steady-state deltas after a
@@ -209,6 +212,7 @@ pub fn measure(os: &Os, threads: &[usize]) -> Measured {
         wear_stddev: wear.stddev_erases,
         wear_max: wear.max_erases,
         makespan_s: os.now().as_nanos() as f64 / 1e9,
+        reliability: ctrl.reliability(),
     }
 }
 

@@ -1,4 +1,4 @@
-//! The predefined experiment suite: E1–E24 and the G1 game.
+//! The predefined experiment suite: E1–E26 and the G1 game.
 //!
 //! Each experiment reproduces one question the paper poses (see the
 //! per-experiment index in DESIGN.md, and EXPERIMENTS.md for measured
@@ -6,10 +6,10 @@
 
 use eagletree_controller::{
     Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RecoveryMode, RequestKind,
-    SchedPolicy, SsdRequest, TemperatureMode, WriteAllocPolicy,
+    SchedPolicy, ScrubConfig, SsdRequest, TemperatureMode, WriteAllocPolicy,
 };
 use eagletree_core::{QueueKind, SimDuration, SimRng, SimTime};
-use eagletree_flash::{Geometry, TimingSpec};
+use eagletree_flash::{FaultConfig, Geometry, TimingSpec};
 use eagletree_os::{Os, OsSchedPolicy, QosPolicy, Workload};
 use eagletree_workloads::{
     characterize, precondition::sequential_fill, ChunkedSource, GraceHashJoin, MixedGen,
@@ -50,6 +50,8 @@ pub fn all() -> Vec<Experiment> {
         Experiment::new("E22", "Crash-point sweep during GC/merge: no acknowledged write lost", "§1-Q2 internal ops × crash atomicity", e22_crash_sweep),
         Experiment::new("E23", "Trace replay vs characterizer-matched synthetic, per mapping scheme", "§2.1 'real-world applications' — production trace ingestion", e23_trace_vs_synth),
         Experiment::new("E24", "QoS isolation under a replayed bursty trace neighbor", "§2.2 OS scheduler × consolidation, driven by recorded traffic", e24_replayed_noisy_neighbor),
+        Experiment::new("E25", "Media reliability: UBER, ECC retries and read tails vs device age, per scheme, ± scrubbing", "§2.2 controller modules, extended to media reliability (fault injection)", e25_reliability_aging),
+        Experiment::new("E26", "Scrub interference: foreground tenant tails vs scrub aggressiveness", "§1-Q2 internal ops × QoS, extended to background scrubbing", e26_scrub_interference),
         Experiment::new("G1", "The scheduling game", "§3 demonstration game", g1_game),
     ]
 }
@@ -1575,6 +1577,171 @@ fn e24_replayed_noisy_neighbor(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E25 — media reliability vs device age
+
+/// The E25/E26 fault profile at `age` baseline P/E cycles: default
+/// MLC-class failure curves, but disturb-sensitive cells so a short
+/// virtual run accumulates enough raw errors for scrubbing to matter.
+fn e25_fault(age: u32) -> FaultConfig {
+    FaultConfig {
+        raw_bits_per_disturb: 0.08,
+        baseline_pe: age,
+        ..FaultConfig::default()
+    }
+}
+
+/// The E25/E26 scrub knob: disturb/retention thresholds low enough to
+/// trip within a smoke-scale run, checked every `check_every_ops` ops.
+fn e25_scrub(check_every_ops: u64) -> ScrubConfig {
+    ScrubConfig {
+        check_every_ops,
+        read_disturb_threshold: 48,
+        retention_threshold_s: 1.0,
+        max_inflight: 1,
+    }
+}
+
+/// Age the device (baseline P/E in the error curves) and read it hard:
+/// raw bit errors grow with wear and read disturb, ECC retries charge
+/// extra read time, and past the ECC's strength reads go uncorrectable.
+/// Each scheme runs with and without background scrubbing — the scrubber
+/// refreshes disturbed blocks before their errors outgrow the ECC, at
+/// the cost of its own internal traffic.
+fn e25_reliability_aging(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E25",
+        "UBER / corrected bits / ECC retries / read tails vs device age, per scheme, ± scrubbing",
+        "scheme/age/scrub",
+    );
+    let ages = scale.thin(&[0u32, 2_500, 5_000]);
+    let schemes: Vec<(&str, MappingKind)> = vec![
+        ("page_map", MappingKind::PageMap),
+        ("dftl", MappingKind::Dftl { cmt_entries: 24 }),
+        (
+            "hybrid",
+            MappingKind::Hybrid {
+                log_blocks: 8,
+                merge: MergePolicy::Fifo,
+            },
+        ),
+    ];
+    for (sname, mapping) in schemes {
+        for &age in &ages {
+            for scrub_on in [false, true] {
+                let mut setup = Setup::small();
+                setup.ctrl.mapping = mapping;
+                setup.ctrl.wl.static_enabled = false;
+                setup.ctrl.fault = Some(e25_fault(age));
+                setup.ctrl.scrub = scrub_on.then(|| e25_scrub(64));
+                let ios = scale.ios(setup.logical_pages() * 2);
+                let (os, tids) = run_preconditioned(
+                    &setup,
+                    vec![Box::new(
+                        Pumped::new(
+                            ZipfGen::new(Region::whole(), ios, 0.99, ZipfKind::Reads),
+                            32,
+                            0xE25,
+                        )
+                        .named("zipf-reader"),
+                    )],
+                );
+                let base = snapshot(&os);
+                let mut os = os;
+                os.run();
+                let m = measure_since(&os, &tids, &base);
+                let rel = m.reliability.expect("fault model installed");
+                t.rows.push(
+                    Row::new(format!(
+                        "{sname}/pe{age}/{}",
+                        if scrub_on { "scrub" } else { "noscrub" }
+                    ))
+                    .push("read_us", m.read_mean_us)
+                    .push("read_p99_us", m.read_p99_us)
+                    .push("uber", rel.uber)
+                    .push("corrected_bits", rel.corrected_bits as f64)
+                    .push("retries", rel.read_retries as f64)
+                    .push("uncorrectable", rel.uncorrectable_reads as f64)
+                    .push("grown_bad", rel.grown_bad_blocks as f64)
+                    .push("remaps", rel.program_remaps as f64)
+                    .push("scrub_refreshes", rel.scrub_refreshes as f64)
+                    .push("lost_lpns", rel.lost_lpns as f64),
+                );
+            }
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E26 — scrub interference
+
+/// What does reliability maintenance cost the foreground? One
+/// latency-sensitive zipf reader (the E19 tenant-histogram machinery)
+/// runs on an aged, disturb-sensitive device while the scrub cadence
+/// sweeps from off to eager. Scrub refreshes ride the scheduler as
+/// `ScrubRead`/`ScrubWrite`, so their interference lands in the reader's
+/// tail percentiles; the reliability columns show what the interference
+/// buys.
+fn e26_scrub_interference(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E26",
+        "Foreground reader tails and reliability vs scrub cadence (aged device)",
+        "scrub_cadence",
+    );
+    let cadences: Vec<(&str, Option<u64>)> = vec![
+        ("off", None),
+        ("lazy", Some(1024)),
+        ("steady", Some(256)),
+        ("eager", Some(64)),
+    ];
+    for (name, every) in scale.thin(&cadences) {
+        let mut setup = Setup::small();
+        setup.os.queue_depth = 32;
+        setup.ctrl.wl.static_enabled = false;
+        setup.ctrl.fault = Some(e25_fault(2_500));
+        setup.ctrl.scrub = every.map(e25_scrub);
+        let logical = setup.logical_pages();
+        let mut os = setup.build();
+        os.add_thread(sequential_fill(32));
+        os.run();
+        let (reader, reader_tids) = TenantProfile::new("reader", 2048)
+            .weight(8)
+            .tier(0)
+            .thread(
+                Pumped::new(
+                    ZipfGen::new(Region::whole(), scale.ios(logical), 0.99, ZipfKind::Reads),
+                    8,
+                    0xE26,
+                )
+                .named("zipf-reader"),
+            )
+            .install(&mut os);
+        let base = snapshot(&os);
+        os.run();
+        let rm = measure_since(&os, &reader_tids, &base);
+        let tail = os
+            .tenant_stats(reader)
+            .tail(eagletree_controller::OpClass::AppRead);
+        let rel = rm.reliability.expect("fault model installed");
+        t.rows.push(
+            Row::new(name.to_string())
+                .push("reader_p50_us", tail.p50.as_micros_f64())
+                .push("reader_p95_us", tail.p95.as_micros_f64())
+                .push("reader_p99_us", tail.p99.as_micros_f64())
+                .push("reader_p999_us", tail.p999.as_micros_f64())
+                .push("reader_iops", rm.iops)
+                .push("scrub_refreshes", rel.scrub_refreshes as f64)
+                .push("scrub_reads", rel.scrub_reads as f64)
+                .push("scrub_writes", rel.scrub_writes as f64)
+                .push("corrected_bits", rel.corrected_bits as f64)
+                .push("retries", rel.read_retries as f64)
+                .push("uncorrectable", rel.uncorrectable_reads as f64),
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // G1 — the game
 
 /// The demo game: grid-search scheduling-related knobs and score each
@@ -1647,19 +1814,76 @@ mod tests {
     #[test]
     fn suite_is_complete_and_indexed() {
         let s = all();
-        assert_eq!(s.len(), 25);
+        assert_eq!(s.len(), 27);
         let ids: Vec<&str> = s.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
                 "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23",
-                "E24", "G1"
+                "E24", "E25", "E26", "G1"
             ]
         );
         assert!(by_id("e3").is_some());
         assert!(by_id("G1").is_some());
         assert!(by_id("E99").is_none());
+    }
+
+    #[test]
+    fn smoke_e25_reliability_scales_with_age() {
+        let t = e25_reliability_aging(Scale::Smoke);
+        // 3 schemes x 2 ages (smoke keeps the sweep's ends) x ± scrub.
+        assert_eq!(t.rows.len(), 12);
+        let get = |label: String, col: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.label == label)
+                .unwrap_or_else(|| panic!("missing row {label}"))
+                .get(col)
+                .unwrap()
+        };
+        for scheme in ["page_map", "dftl", "hybrid"] {
+            // An aged device needs more ECC retries (and read-retry time)
+            // than a fresh one — the aging curve actually bites.
+            assert!(
+                get(format!("{scheme}/pe5000/noscrub"), "retries")
+                    > get(format!("{scheme}/pe0/noscrub"), "retries"),
+                "retries must grow with device age: {}",
+                t.render()
+            );
+            // The scrubber refreshed at-risk blocks when enabled and
+            // never ran when disabled.
+            assert_eq!(get(format!("{scheme}/pe5000/noscrub"), "scrub_refreshes"), 0.0);
+            assert!(
+                get(format!("{scheme}/pe5000/scrub"), "scrub_refreshes") > 0.0,
+                "an aged disturb-heavy run must trigger scrubbing: {}",
+                t.render()
+            );
+            // At these ECC settings nothing goes uncorrectable, so the
+            // lost-data ledger stays empty.
+            assert_eq!(get(format!("{scheme}/pe5000/scrub"), "lost_lpns"), 0.0);
+        }
+    }
+
+    #[test]
+    fn smoke_e26_scrub_cadence_trades_interference() {
+        let t = e26_scrub_interference(Scale::Smoke);
+        // Smoke thins the cadence sweep to off + eager.
+        assert_eq!(t.rows.len(), 2);
+        let off = &t.rows[0];
+        let eager = &t.rows[1];
+        assert_eq!(off.label, "off");
+        assert_eq!(off.get("scrub_refreshes").unwrap(), 0.0);
+        assert_eq!(off.get("scrub_reads").unwrap(), 0.0);
+        assert!(
+            eager.get("scrub_refreshes").unwrap() > 0.0,
+            "eager cadence must scrub: {}",
+            t.render()
+        );
+        assert!(eager.get("scrub_reads").unwrap() > 0.0);
+        // Both arms measured a live foreground.
+        assert!(off.get("reader_p99_us").unwrap() > 0.0);
+        assert!(eager.get("reader_p99_us").unwrap() > 0.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use eagletree_core::{SimDuration, SimTime};
 use crate::address::{BlockAddr, Geometry, PhysicalAddr};
 use crate::command::FlashCommand;
 use crate::error::FlashError;
+use crate::fault::{FaultConfig, FaultEvent, FaultModel};
 use crate::oob::OobEntry;
 use crate::timing::TimingSpec;
 
@@ -89,6 +90,10 @@ pub struct PowerCutReport {
     /// Blocks whose erase was still in flight: left in an undefined state
     /// and unusable until erased again.
     pub interrupted_erases: u64,
+    /// The virtual instant of the cut. Recovery uses it as "now" when it
+    /// re-reads OOB areas, so retention age at the remount is charged
+    /// against the data — not reset by the crash.
+    pub at: SimTime,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -123,6 +128,11 @@ pub struct IssueOutcome {
     /// When the LUN becomes free again (for `ReadStart`: when data is
     /// ready — the LUN then *holds data* and only accepts `TransferOut`).
     pub lun_free_at: SimTime,
+    /// Media fault that accompanied the command, when a [`FaultModel`] is
+    /// installed. `done_at`/`channel_free_at`/`lun_free_at` already include
+    /// any read-retry latency the fault cost. Always `None` without a
+    /// model.
+    pub fault: Option<FaultEvent>,
 }
 
 /// Sentinel for "no block" in the victim index's intrusive lists.
@@ -254,6 +264,10 @@ pub struct FlashArray {
     inflight_programs: Vec<(PhysicalAddr, SimTime)>,
     /// Erases issued but not yet complete.
     inflight_erases: Vec<(BlockAddr, SimTime)>,
+    /// Media-fault injector. `None` (the default) costs nothing: no RNG
+    /// draws, no timing changes, no new state — fingerprints are
+    /// byte-identical to an array built before the fault model existed.
+    fault: Option<FaultModel>,
 }
 
 impl FlashArray {
@@ -284,7 +298,21 @@ impl FlashArray {
             needs_erase: vec![false; geometry.total_blocks() as usize],
             inflight_programs: Vec::new(),
             inflight_erases: Vec::new(),
+            fault: None,
         }
+    }
+
+    /// Install a media-fault model (replacing any prior one). Sized from
+    /// the array's geometry and cell type; all sampling is seeded by
+    /// `cfg.seed`, so a fixed seed faults identically across runs.
+    pub fn install_fault_model(&mut self, cfg: FaultConfig) {
+        self.fault = Some(FaultModel::new(cfg, &self.geometry, self.timing.cell));
+    }
+
+    /// The installed fault model, if any (scrub policy reads its
+    /// read-disturb / retention state; stats read its counters).
+    pub fn fault(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
     }
 
     pub fn geometry(&self) -> &Geometry {
@@ -447,8 +475,20 @@ impl FlashArray {
                 if self.is_torn(addr) {
                     return Err(FlashError::TornPage(addr));
                 }
-                let channel_free = now + t.read_channel_time();
-                let data_ready = now + t.read_lun_time();
+                // ECC path: each retry tier re-issues the array read, so
+                // retries surface as real scheduler-visible latency.
+                let mut fault = None;
+                let mut attempts = 1u64;
+                if let Some(fm) = self.fault.as_mut() {
+                    let pi = self.geometry.page_index(addr);
+                    let bi = self.geometry.block_index(addr.block_addr());
+                    let pe = self.blocks[bi as usize].erase_count;
+                    let out = fm.sample_read(pi, bi, pe, now);
+                    attempts += out.retries as u64;
+                    fault = Some(FaultEvent::Read(out));
+                }
+                let channel_free = now + t.read_channel_time() * attempts;
+                let data_ready = now + t.read_lun_time() * attempts;
                 self.occupy(ch, slot, channel_free, data_ready);
                 self.luns[slot].programming = None;
                 self.luns[slot].status = LunStatus::HoldingData(addr);
@@ -457,6 +497,7 @@ impl FlashArray {
                     done_at: data_ready,
                     channel_free_at: channel_free,
                     lun_free_at: data_ready,
+                    fault,
                 })
             }
             FlashCommand::TransferOut(_) => {
@@ -469,10 +510,16 @@ impl FlashArray {
                     done_at: done,
                     channel_free_at: done,
                     lun_free_at: done,
+                    fault: None,
                 })
             }
             FlashCommand::Program(addr) => {
                 self.check_programmable(addr)?;
+                // Program-status failure is advisory: the page is burned
+                // either way (the write pointer advances and the cells
+                // took the pulse), so the array applies the normal state
+                // transition and the controller decides remap-vs-absorb.
+                let fault = self.sample_program_fault(addr, now);
                 let channel_free = now + t.program_channel_time();
                 // Cached programming: the array phase starts once both the
                 // data transfer finishes and the previous program (if any)
@@ -488,6 +535,7 @@ impl FlashArray {
                     done_at: done,
                     channel_free_at: channel_free,
                     lun_free_at: done,
+                    fault,
                 })
             }
             FlashCommand::Erase(block) => {
@@ -502,13 +550,20 @@ impl FlashArray {
                 let done = now + t.erase_lun_time();
                 self.occupy(ch, slot, channel_free, done);
                 self.luns[slot].programming = None;
-                self.reset_block(block, done);
+                // An erase failure leaves the block un-reset (the full
+                // erase pulse was still spent discovering that). A streak
+                // of failures retires the block as grown bad.
+                let fault = self.sample_erase_fault(block);
+                if !matches!(fault, Some(FaultEvent::EraseFailed { .. })) {
+                    self.reset_block(block, done);
+                }
                 self.inflight_erases.push((block, done));
                 self.counters.erases += 1;
                 Ok(IssueOutcome {
                     done_at: done,
                     channel_free_at: channel_free,
                     lun_free_at: done,
+                    fault,
                 })
             }
             FlashCommand::CopyBack { from, to } => {
@@ -529,8 +584,31 @@ impl FlashArray {
                     return Err(FlashError::TornPage(from));
                 }
                 self.check_programmable(to)?;
+                // Copy-back reads through the same ECC path (an on-die
+                // move cannot scrub what ECC cannot correct), then
+                // programs: an uncorrectable source outranks a program
+                // failure — the destination holds garbage either way.
+                let mut fault = None;
+                let mut attempts = 1u64;
+                if self.fault.is_some() {
+                    let pi = self.geometry.page_index(from);
+                    let bi = self.geometry.block_index(from.block_addr());
+                    let pe = self.blocks[bi as usize].erase_count;
+                    let out = self
+                        .fault
+                        .as_mut()
+                        .expect("checked above")
+                        .sample_read(pi, bi, pe, now);
+                    attempts += out.retries as u64;
+                    let prog = self.sample_program_fault(to, now);
+                    fault = if out.uncorrectable || prog.is_none() {
+                        Some(FaultEvent::Read(out))
+                    } else {
+                        prog
+                    };
+                }
                 let channel_free = now + t.copyback_channel_time();
-                let done = now + t.copyback_lun_time();
+                let done = now + t.copyback_lun_time() + t.read_lun_time() * (attempts - 1);
                 self.occupy(ch, slot, channel_free, done);
                 self.luns[slot].programming = None;
                 self.mark_programmed(to);
@@ -540,9 +618,39 @@ impl FlashArray {
                     done_at: done,
                     channel_free_at: channel_free,
                     lun_free_at: done,
+                    fault,
                 })
             }
         }
+    }
+
+    /// Sample a program-status failure for `addr` (no-op without a fault
+    /// model) and record the page's program time for retention aging.
+    fn sample_program_fault(&mut self, addr: PhysicalAddr, now: SimTime) -> Option<FaultEvent> {
+        let fm = self.fault.as_mut()?;
+        let pi = self.geometry.page_index(addr);
+        let bi = self.geometry.block_index(addr.block_addr());
+        let info = &self.blocks[bi as usize];
+        let failed = fm.sample_program(pi, bi, info.erase_count);
+        fm.on_program(pi, bi, now, info.write_ptr == 0);
+        failed.then_some(FaultEvent::ProgramFailed)
+    }
+
+    /// Sample an erase failure for `block` (no-op without a fault model).
+    /// A terminal failure (streak exhausted) masks the block bad here, so
+    /// the controller's existing bad-block retirement paths apply
+    /// unchanged.
+    fn sample_erase_fault(&mut self, block: BlockAddr) -> Option<FaultEvent> {
+        let fm = self.fault.as_mut()?;
+        let bi = self.geometry.block_index(block);
+        let retired = fm.sample_erase(bi, self.blocks[bi as usize].erase_count)?;
+        if retired {
+            self.blocks[bi as usize].bad = true;
+            if self.victim_index.contains(bi as u32) {
+                self.victim_index.unlink(bi as u32);
+            }
+        }
+        Some(FaultEvent::EraseFailed { retired })
     }
 
     fn occupy(&mut self, ch: usize, lun_slot: usize, channel_until: SimTime, lun_until: SimTime) {
@@ -616,6 +724,17 @@ impl FlashArray {
         if self.victim_index.contains(bi as u32) {
             self.victim_index.unlink(bi as u32);
         }
+        // A pending grown-bad mark (program-status failure) converts to a
+        // hard mask at the block's next erase; the erase also resets the
+        // model's read-disturb and retention state.
+        let grown_bad = match self.fault.as_mut() {
+            Some(fm) => {
+                let g = fm.is_grown_bad(bi as u64);
+                fm.on_erase(bi as u64);
+                g
+            }
+            None => false,
+        };
         let endurance = self.timing.endurance;
         let info = &mut self.blocks[bi];
         info.erase_count += 1;
@@ -626,7 +745,7 @@ impl FlashArray {
         // erase itself still succeeds (the controller learns from the
         // status afterwards), but the block must be masked from further
         // use — the "mask bad blocks" duty the paper assigns to WL.
-        if info.erase_count >= endurance {
+        if info.erase_count >= endurance || grown_bad {
             info.bad = true;
         }
         self.needs_erase[bi] = false;
@@ -668,6 +787,30 @@ impl FlashArray {
         self.oob[pi]
     }
 
+    /// The OOB entry of a page through the media-fault model: recovery's
+    /// view of the spare area. `Err(Uncorrectable)` when the installed
+    /// fault model deems the spare area unreadable at `now` (recovery must
+    /// skip-and-reconstruct); otherwise identical to [`FlashArray::oob`].
+    /// Pure and deterministic — probing the same page twice agrees.
+    pub fn oob_checked(
+        &self,
+        addr: PhysicalAddr,
+        now: SimTime,
+    ) -> Result<Option<OobEntry>, FlashError> {
+        let entry = self.oob(addr);
+        if entry.is_some() {
+            if let Some(fm) = &self.fault {
+                let pi = self.geometry.page_index(addr);
+                let bi = self.geometry.block_index(addr.block_addr());
+                let pe = self.blocks[bi as usize].erase_count;
+                if fm.oob_uncorrectable(pi, bi, pe, now) {
+                    return Err(FlashError::Uncorrectable(addr));
+                }
+            }
+        }
+        Ok(entry)
+    }
+
     /// Whether a page was left partially programmed by a power cut.
     pub fn is_torn(&self, addr: PhysicalAddr) -> bool {
         self.torn[self.geometry.page_index(addr) as usize]
@@ -689,7 +832,10 @@ impl FlashArray {
     /// The array afterwards models the dead medium a remount starts from;
     /// wear state (erase counts, bad-block masks) survives.
     pub fn power_cut(&mut self, at: SimTime) -> PowerCutReport {
-        let mut report = PowerCutReport::default();
+        let mut report = PowerCutReport {
+            at,
+            ..PowerCutReport::default()
+        };
         let inflight: Vec<(PhysicalAddr, SimTime)> = std::mem::take(&mut self.inflight_programs);
         for (addr, done) in inflight {
             if done <= at {
@@ -1305,6 +1451,140 @@ mod tests {
         assert_eq!(a.block_info(addr(0, 0).block_addr()).erase_count, 1);
         assert_eq!(a.page_state(addr(0, 0)), PageState::Free);
         let _ = out;
+    }
+
+    #[test]
+    fn fault_model_off_by_default_and_reports_none() {
+        let mut a = array();
+        assert!(a.fault().is_none());
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        assert_eq!(out.fault, None);
+        let r = a.issue(FlashCommand::ReadStart(addr(0, 0)), out.lun_free_at).unwrap();
+        assert_eq!(r.fault, None);
+        assert!(a.oob_checked(addr(0, 0), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn clean_fault_model_changes_no_timing() {
+        use crate::fault::FaultConfig;
+        // A fault model with all rates zeroed must issue with timings
+        // identical to no model at all.
+        let mut plain = array();
+        let mut faulted = array();
+        faulted.install_fault_model(FaultConfig {
+            program_fail_base: 0.0,
+            erase_fail_base: 0.0,
+            raw_bits_base: 0.0,
+            raw_bits_per_pe: 0.0,
+            raw_bits_per_retention_s: 0.0,
+            raw_bits_per_disturb: 0.0,
+            ..FaultConfig::default()
+        });
+        for (cmd, at) in [
+            (FlashCommand::Program(addr(0, 0)), SimTime::ZERO),
+            (FlashCommand::ReadStart(addr(0, 0)), SimTime::ZERO + SimDuration::from_millis(1)),
+            (FlashCommand::TransferOut(addr(0, 0)), SimTime::ZERO + SimDuration::from_millis(2)),
+        ] {
+            let p = plain.issue(cmd, at).unwrap();
+            let f = faulted.issue(cmd, at).unwrap();
+            assert_eq!((p.done_at, p.channel_free_at, p.lun_free_at),
+                       (f.done_at, f.channel_free_at, f.lun_free_at));
+        }
+    }
+
+    #[test]
+    fn read_retries_charge_visible_latency() {
+        use crate::fault::{FaultConfig, FaultEvent};
+        let mut a = array();
+        let t = *a.timing();
+        // Error rate above ECC on tier 0, collapsing on retries.
+        a.install_fault_model(FaultConfig {
+            raw_bits_base: 30.0,
+            ecc_bits: 8,
+            read_retries: 4,
+            retry_error_scale: 0.1,
+            program_fail_base: 0.0,
+            erase_fail_base: 0.0,
+            ..FaultConfig::default()
+        });
+        let w = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        let r = a.issue(FlashCommand::ReadStart(addr(0, 0)), w.lun_free_at).unwrap();
+        let Some(FaultEvent::Read(out)) = r.fault else {
+            panic!("expected a read outcome, got {:?}", r.fault)
+        };
+        assert!(out.retries > 0, "λ=30 ≫ ecc=8 must retry");
+        assert_eq!(
+            r.done_at,
+            w.lun_free_at + t.read_lun_time() * (1 + out.retries as u64),
+            "each retry tier costs a full array read"
+        );
+        assert_eq!(a.fault().unwrap().counters().read_retries, out.retries as u64);
+    }
+
+    #[test]
+    fn program_failure_is_advisory_and_marks_grown_bad() {
+        use crate::fault::{FaultConfig, FaultEvent};
+        let mut a = array();
+        a.install_fault_model(FaultConfig {
+            program_fail_base: 1.0,
+            erase_fail_base: 0.0,
+            raw_bits_base: 0.0,
+            ..FaultConfig::default()
+        });
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        assert_eq!(out.fault, Some(FaultEvent::ProgramFailed));
+        // The page burned: write pointer advanced, state Valid until the
+        // controller invalidates it.
+        assert_eq!(a.block_info(addr(0, 0).block_addr()).write_ptr, 1);
+        assert!(a.fault().unwrap().is_grown_bad(0));
+        // The mark converts to a hard mask at the next erase.
+        a.invalidate(addr(0, 0));
+        a.issue(FlashCommand::Erase(addr(0, 0).block_addr()), out.lun_free_at).unwrap();
+        assert!(a.block_info(addr(0, 0).block_addr()).bad);
+        assert_eq!(a.bad_blocks(), 1);
+    }
+
+    #[test]
+    fn erase_failure_streak_retires_block() {
+        use crate::fault::{FaultConfig, FaultEvent};
+        let mut a = array();
+        a.install_fault_model(FaultConfig {
+            erase_fail_base: 1.0,
+            erase_retire_after: 2,
+            program_fail_base: 0.0,
+            raw_bits_base: 0.0,
+            ..FaultConfig::default()
+        });
+        let block = addr(0, 0).block_addr();
+        let mut now = SimTime::ZERO;
+        let o1 = a.issue(FlashCommand::Erase(block), now).unwrap();
+        assert_eq!(o1.fault, Some(FaultEvent::EraseFailed { retired: false }));
+        assert_eq!(a.block_info(block).erase_count, 0, "failed erase does not reset");
+        now = o1.lun_free_at;
+        let o2 = a.issue(FlashCommand::Erase(block), now).unwrap();
+        assert_eq!(o2.fault, Some(FaultEvent::EraseFailed { retired: true }));
+        assert!(a.block_info(block).bad);
+        assert_eq!(a.fault().unwrap().counters().erase_fails, 2);
+    }
+
+    #[test]
+    fn oob_checked_reports_uncorrectable_spare_area() {
+        use crate::fault::FaultConfig;
+        use crate::oob::{OobEntry, OobTag};
+        let mut a = array();
+        a.install_fault_model(FaultConfig {
+            raw_bits_base: 500.0,
+            ecc_bits: 2,
+            program_fail_base: 0.0,
+            erase_fail_base: 0.0,
+            ..FaultConfig::default()
+        });
+        let out = a.issue(FlashCommand::Program(addr(0, 0)), SimTime::ZERO).unwrap();
+        a.set_oob(addr(0, 0), OobEntry { tag: OobTag::Data { lpn: 1 }, seq: 1, stamp: 1 });
+        let probe = a.oob_checked(addr(0, 0), out.done_at);
+        assert!(matches!(probe, Err(FlashError::Uncorrectable(_))));
+        // Unwritten pages are never uncorrectable — there is nothing to read.
+        assert_eq!(a.oob_checked(addr(1, 0), out.done_at), Ok(None));
     }
 
     #[test]

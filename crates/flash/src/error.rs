@@ -36,6 +36,10 @@ pub enum FlashError {
     /// Program targeted a block whose erase a power cut interrupted; it
     /// must be erased again first.
     NeedsErase(BlockAddr),
+    /// Read found more raw bit errors than the configured ECC strength
+    /// could correct, on every read-retry tier: the data is lost. Only
+    /// produced with a media-fault model installed.
+    Uncorrectable(PhysicalAddr),
 }
 
 impl fmt::Display for FlashError {
@@ -69,6 +73,9 @@ impl fmt::Display for FlashError {
             }
             FlashError::NeedsErase(b) => {
                 write!(f, "program into block {b:?} with an interrupted erase")
+            }
+            FlashError::Uncorrectable(a) => {
+                write!(f, "uncorrectable bit errors reading page {a:?}")
             }
         }
     }

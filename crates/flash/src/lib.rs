@@ -32,6 +32,7 @@ pub mod address;
 pub mod array;
 pub mod command;
 pub mod error;
+pub mod fault;
 pub mod memory;
 pub mod oob;
 pub mod timing;
@@ -40,6 +41,7 @@ pub use address::{BlockAddr, Geometry, PhysicalAddr};
 pub use array::{BlockInfo, FlashArray, IssueOutcome, PageState, PowerCutReport};
 pub use command::FlashCommand;
 pub use error::FlashError;
+pub use fault::{FaultConfig, FaultCounters, FaultEvent, FaultModel, ReadOutcome};
 pub use memory::{MemoryKind, MemoryManager};
 pub use oob::{OobEntry, OobTag};
 pub use timing::{CellType, TimingSpec};

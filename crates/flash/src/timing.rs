@@ -80,10 +80,15 @@ impl TimingSpec {
 
     /// Spec for a cell type.
     pub fn for_cell(cell: CellType) -> Self {
-        match cell {
+        let spec = match cell {
             CellType::Slc => Self::slc(),
             CellType::Mlc => Self::mlc(),
-        }
+        };
+        // Presets must uphold `t_cmd < t_read < t_prog < t_erase`; a
+        // future preset that silently violates it would skew every
+        // experiment built on the ordering.
+        debug_assert!(spec.validate().is_ok(), "invalid preset for {cell:?}");
+        spec
     }
 
     /// Scale the channel transfer time for a different page size, keeping
@@ -135,8 +140,12 @@ impl TimingSpec {
         self.t_cmd * 2 + self.t_read + self.t_prog
     }
 
-    /// Sanity-check the spec.
+    /// Sanity-check the spec: the experiments rely on the documented
+    /// ordering `t_cmd < t_read < t_prog < t_erase`.
     pub fn validate(&self) -> Result<(), String> {
+        if self.t_cmd >= self.t_read {
+            return Err("t_cmd must be below t_read for NAND flash".into());
+        }
         if self.t_read >= self.t_prog {
             return Err("t_read must be below t_prog for NAND flash".into());
         }
@@ -156,8 +165,14 @@ mod tests {
 
     #[test]
     fn presets_are_valid_and_ordered() {
-        for spec in [TimingSpec::slc(), TimingSpec::mlc()] {
+        for spec in [
+            TimingSpec::slc(),
+            TimingSpec::mlc(),
+            TimingSpec::for_cell(CellType::Slc),
+            TimingSpec::for_cell(CellType::Mlc),
+        ] {
             spec.validate().unwrap();
+            assert!(spec.t_cmd < spec.t_read);
             assert!(spec.t_read < spec.t_prog);
             assert!(spec.t_prog < spec.t_erase);
         }
@@ -206,6 +221,9 @@ mod tests {
     fn validate_catches_inverted_timings() {
         let mut s = TimingSpec::slc();
         s.t_read = s.t_prog + SimDuration::from_nanos(1);
+        assert!(s.validate().is_err());
+        let mut s = TimingSpec::slc();
+        s.t_cmd = s.t_read;
         assert!(s.validate().is_err());
         let mut s = TimingSpec::slc();
         s.t_erase = SimDuration::ZERO;
