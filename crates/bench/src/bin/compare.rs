@@ -24,14 +24,18 @@
 //! slower per event trips it. Experiments in only one file never trip
 //! either gate.
 //!
-//! Result-row *columns* are never compared: only the timing/throughput
-//! fields above are scraped. In particular, the reliability columns
-//! (`uber`, `corrected_bits`, `retries`, …) that fault-model-enabled runs
-//! emit — and fault-free runs omit entirely — diff as not-comparable
-//! content, never as a gate failure: a baseline recorded before the fault
-//! model existed stays a valid gate for a current file that has it.
+//! Result-row *columns* are never compared as values: only the
+//! timing/throughput fields above gate. Column *names* are scraped per
+//! experiment, and columns present in only one of the two files — the
+//! reliability columns (`uber`, `corrected_bits`, …) of fault-model runs,
+//! or the stage-attribution / timeline columns (`st_queue_us`,
+//! `explained_p999`, `tl_rows`, …) of observability-enabled runs — are
+//! listed in an informational "result-column drift" section: a baseline
+//! recorded before those subsystems existed stays a valid gate for a
+//! current file that has them, and a new stage column shows up loudly
+//! instead of silently diffing as noise.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-experiment numbers scraped from harness JSON.
 #[derive(Debug, Default, Clone)]
@@ -39,6 +43,10 @@ struct Exp {
     wall_seconds: Option<f64>,
     events_simulated: Option<u64>,
     events_per_sec: Option<f64>,
+    /// Union of the result-row column names this experiment emitted —
+    /// reported as informational drift when the two files disagree,
+    /// never compared by value and never a gate.
+    columns: BTreeSet<String>,
 }
 
 impl Exp {
@@ -46,13 +54,27 @@ impl Exp {
         self.wall_seconds = other.wall_seconds.or(self.wall_seconds);
         self.events_simulated = other.events_simulated.or(self.events_simulated);
         self.events_per_sec = other.events_per_sec.or(self.events_per_sec);
+        self.columns.extend(other.columns);
     }
 
     fn is_empty(&self) -> bool {
         self.wall_seconds.is_none()
             && self.events_simulated.is_none()
             && self.events_per_sec.is_none()
+            && self.columns.is_empty()
     }
+}
+
+/// Column names of one single-line row object (`{"label": "x", "iops":
+/// 1, ...}`): every quoted string immediately followed by a colon, except
+/// the row label itself.
+fn row_columns(line: &str) -> impl Iterator<Item = String> + '_ {
+    line.split('"').skip(1).step_by(2).zip(
+        line.split('"').skip(2).step_by(2),
+    )
+    .filter(|(_, after)| after.trim_start().starts_with(':'))
+    .map(|(name, _)| name.to_string())
+    .filter(|n| n != "label")
 }
 
 /// Minimal scraper for the harness's own hand-rolled JSON: the fields of
@@ -119,6 +141,8 @@ fn scrape(path: &str) -> BTreeMap<String, Exp> {
             if let Ok(v) = rest.parse::<u64>() {
                 cur.events_simulated = Some(v);
             }
+        } else if line.starts_with("{\"label\":") {
+            cur.columns.extend(row_columns(line));
         }
     }
     flush(&mut cur_id, &mut cur, &mut last_flushed);
@@ -229,6 +253,30 @@ fn main() {
     if !drifted.is_empty() {
         println!("\nevent-count drift (simulation behavior changed, not just speed):");
         for d in &drifted {
+            println!("  {d}");
+        }
+    }
+    // Column names one side emits and the other doesn't — observability
+    // (`st_*`, `explained_*`, `tl_rows`) or reliability columns recorded
+    // by only one build. Informational only — row values never gate.
+    let col_drift: Vec<String> = cur
+        .iter()
+        .filter_map(|(id, c)| {
+            let b = base.get(id)?;
+            let added: Vec<String> =
+                c.columns.difference(&b.columns).map(|s| format!("+{s}")).collect();
+            let removed: Vec<String> =
+                b.columns.difference(&c.columns).map(|s| format!("-{s}")).collect();
+            if added.is_empty() && removed.is_empty() {
+                None
+            } else {
+                Some(format!("{id}: {}", added.into_iter().chain(removed).collect::<Vec<_>>().join(" ")))
+            }
+        })
+        .collect();
+    if !col_drift.is_empty() {
+        println!("\nresult-column drift (informational only — row values never gate):");
+        for d in &col_drift {
             println!("  {d}");
         }
     }

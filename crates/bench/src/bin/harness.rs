@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! harness [IDS|all] [--scale smoke|demo|full] [--jobs [N]] [--csv] [--json PATH]
+//!         [--trace PATH] [--timeline PATH]
 //! ```
 //!
 //! Examples:
@@ -17,13 +18,21 @@
 //!   with a per-thread counter, so `events_simulated` (and hence the JSON
 //!   shape) matches the sequential run; `events_per_sec` reflects the
 //!   parallel run's (contended) wall clock.
+//! * `harness --trace trace.json --timeline timeline.csv` — run the
+//!   instrumented observability capture (a reader/flooder contention run
+//!   with lifecycle spans and the time-sliced timeline enabled) and write
+//!   the Chrome-trace/Perfetto JSON and the telemetry (CSV, or JSON when
+//!   the path ends in `.json`). These flags run *in addition to* any
+//!   requested experiments; alone, they skip the suite entirely.
 //!
 //! Row columns are emitted exactly as the experiments produce them: the
 //! media-reliability columns (`uber`, `corrected_bits`, `retries`, …)
-//! appear only in rows of fault-model-enabled runs (E25/E26) — fault-free
-//! experiments emit no reliability keys at all, keeping their JSON
-//! byte-identical to builds without the fault subsystem. `compare` treats
-//! such absent-vs-present columns as not-comparable, never a gate failure.
+//! appear only in rows of fault-model-enabled runs (E25/E26), and the
+//! stage-attribution columns (`st_queue_us`, `explained_p999`, …) only in
+//! rows of observability-enabled runs (E27) — other experiments emit no
+//! such keys at all, keeping their JSON byte-identical to builds without
+//! those subsystems. `compare` treats absent-vs-present columns as
+//! informational drift, never a gate failure.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -36,6 +45,8 @@ fn main() {
     let mut scale = Scale::Demo;
     let mut csv = false;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut timeline_path: Option<String> = None;
     let mut jobs = 1usize;
     let mut i = 0;
     while i < args.len() {
@@ -63,6 +74,26 @@ fn main() {
                     }
                 }
             }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace needs a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--timeline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => timeline_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--timeline needs a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--jobs" => {
                 // Optional numeric value; bare `--jobs` or `--jobs 0`
                 // mean "all available cores".
@@ -79,7 +110,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: harness [IDS|all] [--scale smoke|demo|full] [--jobs [N]] [--csv] [--json PATH]"
+                    "usage: harness [IDS|all] [--scale smoke|demo|full] [--jobs [N]] [--csv] [--json PATH] [--trace PATH] [--timeline PATH]"
                 );
                 eprintln!("experiments:");
                 for e in suite::all() {
@@ -91,7 +122,10 @@ fn main() {
         }
         i += 1;
     }
-    if ids.is_empty() || ids.iter().any(|s| s == "all") {
+    // `--trace`/`--timeline` with no experiment ids means "just capture".
+    let capture_only =
+        ids.is_empty() && (trace_path.is_some() || timeline_path.is_some());
+    if !capture_only && (ids.is_empty() || ids.iter().any(|s| s == "all")) {
         ids = suite::all().iter().map(|e| e.id.to_string()).collect();
     }
     let experiments: Vec<_> = ids
@@ -123,11 +157,40 @@ fn main() {
         run_sequential(&experiments, scale, &print)
     };
     let total_wall_seconds = total_started.elapsed().as_secs_f64();
-    eprintln!(
-        "{} experiments in {total_wall_seconds:.1}s ({jobs} job{})",
-        results.len(),
-        if jobs == 1 { "" } else { "s" }
-    );
+    if !results.is_empty() {
+        eprintln!(
+            "{} experiments in {total_wall_seconds:.1}s ({jobs} job{})",
+            results.len(),
+            if jobs == 1 { "" } else { "s" }
+        );
+    }
+    if trace_path.is_some() || timeline_path.is_some() {
+        eprintln!("capturing observability artifacts ({scale:?}) …");
+        let a = eagletree_experiments::obs_capture(scale);
+        eprintln!(
+            "  {} spans ({} dropped), {} timeline rows",
+            a.spans,
+            a.dropped,
+            a.timeline_csv.lines().count().saturating_sub(1)
+        );
+        let write = |path: &str, body: &str, what: &str| {
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path} ({what})");
+        };
+        if let Some(p) = &trace_path {
+            write(p, &a.perfetto, "Perfetto trace — load in ui.perfetto.dev");
+        }
+        if let Some(p) = &timeline_path {
+            if p.ends_with(".json") {
+                write(p, &a.timeline_json, "timeline JSON");
+            } else {
+                write(p, &a.timeline_csv, "timeline CSV");
+            }
+        }
+    }
     if let Some(path) = json_path {
         let doc = to_json(&scale, jobs, total_wall_seconds, &results);
         if let Err(e) = std::fs::write(&path, doc) {

@@ -2,7 +2,7 @@
 
 use crate::sched::SchedPolicy;
 use crate::types::OpClass;
-use eagletree_core::QueueKind;
+use eagletree_core::{ObsConfig, QueueKind};
 use eagletree_flash::FaultConfig;
 
 /// Which mapping scheme the FTL uses.
@@ -214,6 +214,12 @@ pub struct ControllerConfig {
     /// Background scrubbing. Only meaningful with a fault model (the
     /// disturb/retention state it reads lives there); `None` disables.
     pub scrub: Option<ScrubConfig>,
+    /// Observability: lifecycle spans, stage-attributed latency and
+    /// time-sliced telemetry (see `eagletree_core::obs`). The default
+    /// disables everything; enabling it only *records* — control flow,
+    /// RNG draws and event ordering are untouched, so results stay
+    /// byte-identical with observability on or off.
+    pub obs: ObsConfig,
 }
 
 impl Default for ControllerConfig {
@@ -238,6 +244,7 @@ impl Default for ControllerConfig {
             queue: QueueKind::default(),
             fault: None,
             scrub: None,
+            obs: ObsConfig::default(),
         }
     }
 }

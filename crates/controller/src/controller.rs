@@ -13,7 +13,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
-use eagletree_core::{OnlineStats, SimDuration, SimRng, SimTime, TraceKind, TraceLog};
+use eagletree_core::{
+    Cause, Obs, ObsConfig, OnlineStats, SimDuration, SimRng, SimTime, TraceKind, TraceLog,
+    NO_SPAN,
+};
 use eagletree_flash::{
     BlockAddr, FaultEvent, FlashArray, FlashCommand, Geometry, MemoryKind, MemoryManager,
     OobEntry, OobTag, PageState, PhysicalAddr, TimingSpec,
@@ -157,6 +160,29 @@ struct PendingOp {
     tag: Option<u8>,
     enqueued_at: SimTime,
     kind: PendKind,
+    /// Lifecycle span this op belongs to ([`NO_SPAN`] with obs off).
+    span: u64,
+}
+
+/// Issue-time observability context, handed from [`Controller::issue`] to
+/// `issue_cmd` through a field so the ~18 `issue_cmd` call sites stay
+/// untouched: the span of the op being issued, whether it is bound to a
+/// host request (vs. an internal op), and when it entered the pending set.
+#[derive(Debug, Clone, Copy)]
+struct ObsCur {
+    span: u64,
+    host: bool,
+    enqueued_at: SimTime,
+}
+
+impl Default for ObsCur {
+    fn default() -> Self {
+        ObsCur {
+            span: NO_SPAN,
+            host: false,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
 }
 
 struct AppIo {
@@ -358,6 +384,12 @@ pub struct Controller {
     buffer: Option<WriteBuffer>,
     flushes_inflight: u32,
     tracer: Option<TraceLog>,
+    /// Lifecycle-span collector (`ObsConfig::span_capacity > 0`). Boxed
+    /// so the disabled default costs one pointer; pure observation — it
+    /// never feeds back into scheduling, timing or the RNG.
+    obs: Option<Box<Obs>>,
+    /// Context of the op currently being issued (see [`ObsCur`]).
+    obs_cur: ObsCur,
     logical_pages: u64,
     serviced: ClassTable,
     stats: CtrlStats,
@@ -462,6 +494,10 @@ impl Controller {
         } else {
             None
         };
+        let obs = cfg
+            .obs
+            .spans_enabled()
+            .then(|| Box::new(Obs::new(cfg.obs.span_capacity)));
         let agenda = Self::new_agenda(&geometry, &timing, &cfg);
         Ok(Controller {
             reverse: vec![None; geometry.total_pages() as usize],
@@ -491,6 +527,8 @@ impl Controller {
             buffer,
             flushes_inflight: 0,
             tracer,
+            obs,
+            obs_cur: ObsCur::default(),
             logical_pages,
             serviced: class_table(0),
             stats: CtrlStats::new(),
@@ -726,6 +764,35 @@ impl Controller {
         self.tracer.as_ref()
     }
 
+    /// The span collector, when `ObsConfig::span_capacity > 0`.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable span collector (the OS layer opens host spans and drains
+    /// finished breakdowns through this).
+    pub fn obs_mut(&mut self) -> Option<&mut Obs> {
+        self.obs.as_deref_mut()
+    }
+
+    /// The configured observability knobs.
+    pub fn obs_config(&self) -> ObsConfig {
+        self.cfg.obs
+    }
+
+    /// Display names of the span event lanes, index-aligned with
+    /// [`eagletree_core::Span`] busy-slice lane ids: "misc", then one per
+    /// LUN in geometry order ("ch0/lun0", …). For Perfetto export and
+    /// gantt rendering.
+    pub fn obs_lane_names(&self) -> Vec<String> {
+        let g = self.array.geometry();
+        std::iter::once("misc".to_string())
+            .chain((0..g.channels).flat_map(|c| {
+                (0..g.luns_per_channel).map(move |l| format!("ch{c}/lun{l}"))
+            }))
+            .collect()
+    }
+
     /// Whether `lpn`'s latest contents sit in the write buffer.
     pub fn is_buffered(&self, lpn: Lpn) -> bool {
         self.buffer.as_ref().is_some_and(|b| b.contains(lpn))
@@ -750,6 +817,20 @@ impl Controller {
             req.lpn,
             self.logical_pages
         );
+        if let Some(o) = &mut self.obs {
+            // The OS layer opens (and binds) host spans at enqueue time so
+            // they capture queue wait; for controller-only drivers, open
+            // one here covering the device portion.
+            if o.request_span(req.id).is_none() {
+                let kind = match req.kind {
+                    RequestKind::Read => "AppRead",
+                    RequestKind::Write => "AppWrite",
+                    RequestKind::Trim => "Trim",
+                };
+                let span = o.open(kind, None, now);
+                o.bind_request(req.id, span);
+            }
+        }
         match req.kind {
             RequestKind::Trim => {
                 if let Some(b) = &mut self.buffer {
@@ -775,6 +856,9 @@ impl Controller {
                 }
                 self.stats.trims_completed += 1;
                 self.completions.push(Completion { id: req.id, at: now });
+                if let Some(o) = &mut self.obs {
+                    o.close_request(req.id, now);
+                }
             }
             RequestKind::Write if self.buffer.is_some() => {
                 // Battery-backed buffering: durable on arrival.
@@ -782,6 +866,9 @@ impl Controller {
                 self.buffer.as_mut().unwrap().write(req.lpn);
                 self.stats.app_writes_completed += 1;
                 self.completions.push(Completion { id: req.id, at: now });
+                if let Some(o) = &mut self.obs {
+                    o.close_request(req.id, now);
+                }
                 self.maybe_flush(now);
             }
             RequestKind::Read
@@ -794,6 +881,9 @@ impl Controller {
                 self.buffer.as_mut().unwrap().note_read_hit();
                 self.stats.app_reads_completed += 1;
                 self.completions.push(Completion { id: req.id, at: now });
+                if let Some(o) = &mut self.obs {
+                    o.close_request(req.id, now);
+                }
             }
             RequestKind::Read | RequestKind::Write => {
                 if req.kind == RequestKind::Write {
@@ -902,6 +992,17 @@ impl Controller {
         if let Some(f) = self.fetches.get_mut(&tvpn) {
             f.waiting.push(waiter);
         } else {
+            if let Some(o) = &mut self.obs {
+                // Link the fetch span to the request it stalls (or the
+                // flush policy) rather than the generic mapping policy.
+                let cause = match waiter {
+                    Waiter::Request(id) => o
+                        .request_span(id)
+                        .map_or(Cause::Policy("mapping"), Cause::Op),
+                    Waiter::Flush { .. } => Cause::Policy("flush"),
+                };
+                o.set_cause(cause);
+            }
             self.fetches.insert(
                 tvpn,
                 FetchJob {
@@ -914,6 +1015,9 @@ impl Controller {
                 now,
                 PendKind::MapFetchRead { tvpn },
             );
+            if let Some(o) = &mut self.obs {
+                o.set_cause(Cause::None);
+            }
         }
     }
 
@@ -990,6 +1094,28 @@ impl Controller {
         if let Some(t) = &mut self.tracer {
             t.record(now, seq, TraceKind::Enqueue { queue: class.name() });
         }
+        let span = if self.obs.is_none() {
+            NO_SPAN
+        } else {
+            match Self::pend_request(&kind) {
+                // Host-bound phase: continue the request's lifecycle span.
+                Some(id) => self
+                    .obs
+                    .as_ref()
+                    .and_then(|o| o.request_span(id))
+                    .unwrap_or(NO_SPAN),
+                // Internal op: open a fresh span, causally linked to the
+                // job/policy that spawned it.
+                None => {
+                    let cause = self.pend_cause(&kind);
+                    match (self.obs.as_mut(), cause) {
+                        (Some(o), Cause::None) => o.open_internal(class.name(), now),
+                        (Some(o), c) => o.open_caused(class.name(), now, c),
+                        (None, _) => NO_SPAN,
+                    }
+                }
+            }
+        };
         let key = match kind {
             PendKind::Transfer { .. } => QueueKey::Transfer,
             _ => QueueKey::Class(class, tag),
@@ -1003,8 +1129,90 @@ impl Controller {
                 tag,
                 enqueued_at: now,
                 kind,
+                span,
             },
         );
+    }
+
+    /// The application request a pending op serves directly, if any —
+    /// such ops continue the request's lifecycle span instead of opening
+    /// an internal one.
+    fn pend_request(kind: &PendKind) -> Option<RequestId> {
+        match kind {
+            PendKind::AppRead { id, .. } => Some(*id),
+            PendKind::Write {
+                what: WriteWhat::App { id, .. },
+                ..
+            } => Some(*id),
+            PendKind::HybridWrite {
+                what: HybridWhat::App { id, .. },
+            } => Some(*id),
+            PendKind::Transfer {
+                done: DoneWhat::AppReadXfer { id },
+                ..
+            } => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Span cause for an op spawned by an [`IoSource`]-attributed job.
+    fn source_cause(source: IoSource) -> Cause {
+        Cause::Policy(match source {
+            IoSource::Application => "host",
+            IoSource::GarbageCollection => "gc",
+            IoSource::WearLeveling => "wear-leveling",
+            IoSource::Mapping => "mapping",
+            IoSource::Merge => "merge",
+            IoSource::Scrub => "scrub",
+        })
+    }
+
+    /// Derive the cause of an internal op structurally from its pending
+    /// kind: GC/WL/merge phases point at their job's source policy,
+    /// mapping and checkpoint traffic at theirs. `MapFetchRead` returns
+    /// [`Cause::None`] so the ambient cause context set by
+    /// [`Self::park_on_fetch`] (which links the stalled *request*) wins.
+    fn pend_cause(&self, kind: &PendKind) -> Cause {
+        let job_cause = |job: usize| {
+            self.jobs[job]
+                .as_ref()
+                .map_or(Cause::Policy("gc"), |j| Self::source_cause(j.source))
+        };
+        let merge_cause = |mj: usize| {
+            self.merge_jobs[mj]
+                .as_ref()
+                .map_or(Cause::Policy("merge"), |j| Self::source_cause(j.source))
+        };
+        match kind {
+            PendKind::Erase { job, .. } | PendKind::GcMove { job, .. } => job_cause(*job),
+            PendKind::Write {
+                what: WriteWhat::Gc { job, .. },
+                ..
+            } => job_cause(*job),
+            PendKind::Write {
+                what: WriteWhat::Translation { .. },
+                ..
+            }
+            | PendKind::WbRead { .. } => Cause::Policy("mapping-writeback"),
+            PendKind::Write {
+                what: WriteWhat::Flush { .. },
+                ..
+            }
+            | PendKind::HybridWrite {
+                what: HybridWhat::Flush { .. },
+            } => Cause::Policy("flush"),
+            PendKind::MergeRead { mj } | PendKind::MergeProgram { mj, .. } => merge_cause(*mj),
+            PendKind::MergeErase { source, .. } => Self::source_cause(*source),
+            PendKind::CkptWrite | PendKind::CkptErase { .. } => Cause::Policy("checkpoint"),
+            PendKind::Transfer { done, .. } => match done {
+                DoneWhat::GcXfer { job, .. } => job_cause(*job),
+                DoneWhat::MapFetchXfer { .. } => Cause::Policy("mapping"),
+                DoneWhat::WbXfer { .. } => Cause::Policy("mapping-writeback"),
+                DoneWhat::MergeXfer { mj, .. } => merge_cause(*mj),
+                _ => Cause::None,
+            },
+            _ => Cause::None,
+        }
     }
 
     /// Write-lane key for ops whose issuability is a pure function of
@@ -1056,12 +1264,50 @@ impl Controller {
             .array
             .geometry()
             .lun_index(cmd.channel(), cmd.lun());
+        if self.obs_cur.span != NO_SPAN {
+            if let Some(o) = &mut self.obs {
+                // ECC read-retry rounds extend the busy window; attribute
+                // the extra rounds' share of it to the Retry stage.
+                let retry = match out.fault {
+                    Some(FaultEvent::Read(r)) if r.retries > 0 => {
+                        let busy = out.done_at.saturating_since(now);
+                        busy * r.retries as u64 / (r.retries as u64 + 1)
+                    }
+                    _ => SimDuration::ZERO,
+                };
+                o.on_issue(
+                    self.obs_cur.span,
+                    lane,
+                    now,
+                    out.done_at,
+                    retry,
+                    self.obs_cur.enqueued_at,
+                    self.obs_cur.host,
+                );
+            }
+        }
         (lane, out)
+    }
+
+    /// Close the current op's internal span without a flash command —
+    /// for pending ops consumed at issue time with no NAND work (a
+    /// RAM-resolved map fetch, a superseded GC move, a trimmed merge
+    /// source, a skipped writeback read). Host-bound spans stay open:
+    /// the request's completion closes them.
+    fn obs_close_cur(&mut self, now: SimTime) {
+        if self.obs_cur.span != NO_SPAN && !self.obs_cur.host {
+            if let Some(o) = &mut self.obs {
+                o.close(self.obs_cur.span, now);
+            }
+        }
     }
 
     fn complete_app(&mut self, id: RequestId, now: SimTime) {
         if let Some(t) = &mut self.tracer {
             t.record(now, id, TraceKind::Complete);
+        }
+        if let Some(o) = &mut self.obs {
+            o.close_request(id, now);
         }
         let io = self.app.remove(&id).expect("completing unknown request");
         if io.pinned {
@@ -2067,6 +2313,11 @@ impl Controller {
     /// issuability.
     fn issue(&mut self, slot: u32, now: SimTime) {
         let op = self.pending.remove(slot);
+        self.obs_cur = ObsCur {
+            span: op.span,
+            host: Self::pend_request(&op.kind).is_some(),
+            enqueued_at: op.enqueued_at,
+        };
         self.ops_since_scrub += 1;
         self.serviced[class_index(op.class)] += 1;
         self.stats.wait_us[class_index(op.class)]
@@ -2101,6 +2352,7 @@ impl Controller {
             PendKind::MapFetchRead { tvpn } => match self.ftl.translation_location(tvpn) {
                 None => {
                     // Entries live in RAM structures: resolve immediately.
+                    self.obs_close_cur(now);
                     self.events
                         .schedule(MISC_LANE, now, CtrlEvent::Done(DoneWhat::MapFetchXfer { tvpn }));
                 }
@@ -2120,6 +2372,7 @@ impl Controller {
                     }
                 };
                 if skip {
+                    self.obs_close_cur(now);
                     self.enqueue(
                         OpClass::MappingWrite,
                         None,
@@ -2195,6 +2448,7 @@ impl Controller {
                 let from_ppn = self.array.geometry().page_index(from);
                 let Some(content) = self.reverse[from_ppn as usize] else {
                     // Superseded while queued: space reclaims for free.
+                    self.obs_close_cur(now);
                     self.stats.gc_skipped += 1;
                     self.move_done(job, now);
                     return;
@@ -2277,6 +2531,7 @@ impl Controller {
                     None => {
                         // Trimmed since enqueue: a filler program keeps the
                         // destination's page order instead.
+                        self.obs_close_cur(now);
                         let source = self.merge_jobs[mj].as_ref().unwrap().source;
                         let (_, write_class) = Self::merge_classes(source);
                         self.enqueue(
@@ -3005,6 +3260,10 @@ impl Controller {
         } else {
             None
         };
+        let obs = cfg
+            .obs
+            .spans_enabled()
+            .then(|| Box::new(Obs::new(cfg.obs.span_capacity)));
         let report = RecoveryReport {
             mode,
             used_checkpoint: rec.used_checkpoint,
@@ -3047,6 +3306,8 @@ impl Controller {
             buffer,
             flushes_inflight: 0,
             tracer,
+            obs,
+            obs_cur: ObsCur::default(),
             logical_pages,
             serviced: class_table(0),
             stats: CtrlStats::new(),

@@ -12,7 +12,7 @@ use eagletree_controller::{
     Completion, Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RequestKind,
     SchedPolicy, SsdRequest, WlConfig,
 };
-use eagletree_core::{QueueKind, SimRng, SimTime};
+use eagletree_core::{ObsConfig, QueueKind, SimRng, SimTime};
 use eagletree_flash::{Geometry, TimingSpec};
 
 struct Driver {
@@ -66,10 +66,20 @@ fn run_fingerprint(mapping: MappingKind, sched: SchedPolicy) -> String {
 }
 
 fn run_fingerprint_on(mapping: MappingKind, sched: SchedPolicy, queue: QueueKind) -> String {
+    run_fingerprint_obs(mapping, sched, queue, ObsConfig::default())
+}
+
+fn run_fingerprint_obs(
+    mapping: MappingKind,
+    sched: SchedPolicy,
+    queue: QueueKind,
+    obs: ObsConfig,
+) -> String {
     let cfg = ControllerConfig {
         mapping,
         sched,
         queue,
+        obs,
         wl: WlConfig {
             check_every_erases: 16,
             young_delta: 4,
@@ -201,6 +211,38 @@ fn heap_and_calendar_agendas_are_byte_identical() {
             assert!(
                 heap == cal,
                 "{mapping:?}/{name}: calendar agenda diverged from heap oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn observability_never_perturbs_the_schedule() {
+    // The span collector is a pure recorder: it schedules no events,
+    // consults no RNG and steers no control flow, so the fixed-seed
+    // fingerprint (completions, counters, trace) of an instrumented run
+    // must be byte-identical to the uninstrumented one — across every
+    // mapping scheme and both event-queue backends.
+    let on = ObsConfig {
+        span_capacity: 1 << 16,
+        timeline_interval_us: 100,
+    };
+    for mapping in [
+        MappingKind::PageMap,
+        MappingKind::Dftl { cmt_entries: 24 },
+        MappingKind::Hybrid {
+            log_blocks: 3,
+            merge: MergePolicy::Fifo,
+        },
+    ] {
+        for queue in [QueueKind::Heap, QueueKind::Calendar] {
+            let off =
+                run_fingerprint_obs(mapping, SchedPolicy::Fifo, queue, ObsConfig::default());
+            let with =
+                run_fingerprint_obs(mapping, SchedPolicy::Fifo, queue, on);
+            assert!(
+                off == with,
+                "{mapping:?}/{queue:?}: enabling observability changed the simulation"
             );
         }
     }

@@ -24,6 +24,7 @@
 pub mod blkio;
 pub mod calendar;
 pub mod event;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -31,6 +32,9 @@ pub mod trace;
 
 pub use blkio::{BlkOp, BlkRecord};
 pub use event::{global_events_popped, thread_events_popped, EventQueue, QueueKind, ScheduledEvent};
+pub use obs::{
+    Cause, Obs, ObsConfig, Span, Stage, StageBreakdown, StageNs, Timeline, NO_SPAN,
+};
 pub use rng::{SimRng, Zipf};
 pub use stats::{Histogram, OnlineStats, Tail, TimeSeries};
 pub use time::{SimDuration, SimTime};

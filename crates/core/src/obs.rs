@@ -1,0 +1,1006 @@
+//! Observability: per-op lifecycle spans, stage-attributed latency and
+//! time-sliced telemetry.
+//!
+//! §2.3 of the paper promises "massive visual traces showing exactly how
+//! every IO was handled throughout the simulator components". This module
+//! is the structured successor to the flat [`crate::trace::TraceLog`]:
+//!
+//! * [`Span`] — the lifecycle of one operation (an application request or
+//!   an internal GC / wear-leveling / merge / mapping / scrub / checkpoint
+//!   op) from creation to completion, carrying a [`StageNs`] breakdown of
+//!   *where* its latency went, a [`Cause`] link to whatever triggered it,
+//!   and an interference annotation when it was stalled behind an internal
+//!   op on its LUN.
+//! * [`Obs`] — the collector: open-span cursors keyed by span id, a ring
+//!   buffer of the most recent closed spans, request-id bindings for the
+//!   host layer, and per-lane "last internal op" memory for interference
+//!   attribution. Pure observation: it never schedules events, never
+//!   consults the RNG, and never influences control flow, so enabling it
+//!   cannot perturb a simulation (fingerprints stay byte-identical).
+//! * [`StageBreakdown`] — per-stage latency histograms whose stage sums
+//!   equal end-to-end latency *by construction*: every attribution call
+//!   advances a single cursor (`last`), so no nanosecond is counted twice
+//!   or dropped.
+//! * [`Timeline`] — fixed-interval rows of named telemetry columns
+//!   (IOPS, write amplification, queue depths, GC/merge/scrub activity,
+//!   error rates), exportable as CSV or JSON.
+//! * [`Obs::to_perfetto`] — a Chrome-trace / Perfetto JSON exporter with
+//!   one track per event lane (misc + one per LUN) plus per-tenant tracks.
+//!
+//! Everything is gated behind [`ObsConfig`]; the default configuration
+//! disables all of it and costs one `Option` test per hook site.
+
+use std::collections::HashMap;
+
+use crate::stats::{Histogram, Tail};
+use crate::time::{SimDuration, SimTime};
+
+/// Sentinel span id: "no span" (ids start at 1).
+pub const NO_SPAN: u64 = 0;
+
+/// Observability configuration. The default disables everything; a
+/// disabled collector is never even allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsConfig {
+    /// Retain up to this many closed spans (a ring buffer keeping the most
+    /// recent; older spans are counted as dropped). `0` disables span
+    /// collection entirely.
+    pub span_capacity: usize,
+    /// Emit one telemetry row per this many microseconds of virtual time.
+    /// `0` disables the timeline.
+    pub timeline_interval_us: u64,
+}
+
+impl ObsConfig {
+    /// True when span collection is on.
+    pub fn spans_enabled(&self) -> bool {
+        self.span_capacity > 0
+    }
+
+    /// True when timeline sampling is on.
+    pub fn timeline_enabled(&self) -> bool {
+        self.timeline_interval_us > 0
+    }
+}
+
+/// Latency stage of an operation's lifecycle. Together the stages
+/// partition an op's end-to-end latency:
+///
+/// * `QueueWait` — host-side: enqueued in the OS dispatch queue (beyond
+///   any QoS hold).
+/// * `QosHold` — host-side: the tenant's QoS policy (token bucket) had
+///   the IO rate-blocked while device slots were available.
+/// * `SchedPending` — device-side: waiting in the controller's pending
+///   set for the scheduler to issue it, including mapping-fetch parks and
+///   the gaps between multi-phase flash commands.
+/// * `Media` — NAND busy time of the issued flash commands.
+/// * `Retry` — the portion of NAND busy time spent on extra ECC
+///   read-retry rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    QueueWait,
+    QosHold,
+    SchedPending,
+    Media,
+    Retry,
+}
+
+impl Stage {
+    /// Number of stages; sizes every per-stage table.
+    pub const COUNT: usize = 5;
+
+    /// All stages, in declaration order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::QueueWait,
+        Stage::QosHold,
+        Stage::SchedPending,
+        Stage::Media,
+        Stage::Retry,
+    ];
+
+    /// Stable snake_case name (CSV/JSON column stems, trace args).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::QosHold => "qos_hold",
+            Stage::SchedPending => "sched_pending",
+            Stage::Media => "media",
+            Stage::Retry => "retry",
+        }
+    }
+}
+
+/// Per-stage nanosecond totals of one span. The sum over stages equals
+/// the span's end-to-end latency exactly (cursor accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageNs(pub [u64; Stage::COUNT]);
+
+impl StageNs {
+    /// Add `ns` to `stage`.
+    pub fn add(&mut self, stage: Stage, ns: u64) {
+        self.0[stage as usize] += ns;
+    }
+
+    /// Nanoseconds attributed to `stage`.
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.0[stage as usize]
+    }
+
+    /// Total nanoseconds across all stages (== end-to-end latency).
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// The stage holding the largest share (ties break toward the earlier
+    /// stage, deterministically).
+    pub fn dominant(&self) -> Stage {
+        let mut best = 0;
+        for i in 1..Stage::COUNT {
+            if self.0[i] > self.0[best] {
+                best = i;
+            }
+        }
+        Stage::ALL[best]
+    }
+}
+
+/// Why an internal op exists: the host request span that forced it (a
+/// DFTL mapping fetch) or the background policy that scheduled it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Cause {
+    /// No recorded trigger.
+    #[default]
+    None,
+    /// Triggered by the op with this span id.
+    Op(u64),
+    /// Scheduled by a named background policy ("gc", "wear-leveling",
+    /// "scrub", "merge", "mapping-writeback", "checkpoint", "flush").
+    Policy(&'static str),
+}
+
+impl Cause {
+    /// Render for trace args ("", "op:12", "policy:gc").
+    pub fn label(&self) -> String {
+        match self {
+            Cause::None => String::new(),
+            Cause::Op(id) => format!("op:{id}"),
+            Cause::Policy(p) => format!("policy:{p}"),
+        }
+    }
+}
+
+/// A closed span: one operation's completed lifecycle.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Unique id (1-based; [`NO_SPAN`] never appears).
+    pub id: u64,
+    /// Op kind ("AppRead", "GcWrite", "Erase", …).
+    pub kind: &'static str,
+    /// Owning tenant for host requests; `None` for internal ops.
+    pub tenant: Option<u32>,
+    /// Creation instant (host enqueue / controller enqueue).
+    pub start: SimTime,
+    /// Completion instant.
+    pub end: SimTime,
+    /// Stage attribution; `stages.total() == (end - start)` exactly.
+    pub stages: StageNs,
+    /// What triggered this op, when known.
+    pub cause: Cause,
+    /// Interference: `(span id, kind)` of an internal op that occupied
+    /// this op's LUN lane while it waited to issue.
+    pub stalled_behind: Option<(u64, &'static str)>,
+    /// Flash busy windows `(lane, from, to)` of the issued commands
+    /// (lane 0 = misc; `1 + lun_index` otherwise). Empty for ops that
+    /// completed without touching flash.
+    pub busy: Vec<(u32, SimTime, SimTime)>,
+}
+
+/// An open span's cursor state.
+struct OpenSpan {
+    kind: &'static str,
+    tenant: Option<u32>,
+    start: SimTime,
+    /// The last attributed boundary; the next attribution call charges
+    /// `now - last` to its stage and advances the cursor.
+    last: SimTime,
+    stages: StageNs,
+    cause: Cause,
+    stalled_behind: Option<(u64, &'static str)>,
+    busy: Vec<(u32, SimTime, SimTime)>,
+}
+
+/// The span collector. Owned by the controller (one per device); the OS
+/// layer reaches it through the controller to open host-request spans and
+/// drain finished breakdowns.
+pub struct Obs {
+    capacity: usize,
+    next_id: u64,
+    open: HashMap<u64, OpenSpan>,
+    /// Host request id → open span id.
+    req_spans: HashMap<u64, u64>,
+    /// Closed host breakdowns awaiting pickup by the completion path.
+    finished: HashMap<u64, StageNs>,
+    /// Ring buffer of the most recent closed spans.
+    closed: Vec<Span>,
+    ring_start: usize,
+    dropped: u64,
+    /// Cause applied to internal spans opened via [`Obs::open_internal`];
+    /// set by the triggering policy code around its enqueues.
+    cause_ctx: Cause,
+    /// Per lane: the last internal op issued there `(span id, kind,
+    /// busy-until)` — the interference source a host op can stall behind.
+    lane_internal: Vec<Option<(u64, &'static str, SimTime)>>,
+}
+
+impl Obs {
+    /// A collector retaining up to `capacity` closed spans.
+    pub fn new(capacity: usize) -> Self {
+        Obs {
+            capacity,
+            next_id: 1,
+            open: HashMap::new(),
+            req_spans: HashMap::new(),
+            finished: HashMap::new(),
+            closed: Vec::new(),
+            ring_start: 0,
+            dropped: 0,
+            cause_ctx: Cause::None,
+            lane_internal: Vec::new(),
+        }
+    }
+
+    /// Open a host-request span (cause always [`Cause::None`]: host IOs
+    /// are roots of the causality graph).
+    pub fn open(&mut self, kind: &'static str, tenant: Option<u32>, now: SimTime) -> u64 {
+        self.open_with(kind, tenant, now, Cause::None)
+    }
+
+    /// Open an internal-op span, linking the currently set cause context.
+    pub fn open_internal(&mut self, kind: &'static str, now: SimTime) -> u64 {
+        let cause = self.cause_ctx;
+        self.open_with(kind, None, now, cause)
+    }
+
+    /// Open an internal-op span with an explicit cause (bypassing the
+    /// context), for callers that can derive the trigger structurally.
+    pub fn open_caused(&mut self, kind: &'static str, now: SimTime, cause: Cause) -> u64 {
+        self.open_with(kind, None, now, cause)
+    }
+
+    fn open_with(
+        &mut self,
+        kind: &'static str,
+        tenant: Option<u32>,
+        now: SimTime,
+        cause: Cause,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.open.insert(
+            id,
+            OpenSpan {
+                kind,
+                tenant,
+                start: now,
+                last: now,
+                stages: StageNs::default(),
+                cause,
+                stalled_behind: None,
+                busy: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Set the cause attached to subsequently opened internal spans. The
+    /// triggering code sets it before its enqueues and resets to
+    /// [`Cause::None`] after.
+    pub fn set_cause(&mut self, cause: Cause) {
+        self.cause_ctx = cause;
+    }
+
+    /// Charge `now - last` to `stage` and advance the cursor.
+    pub fn acc(&mut self, span: u64, stage: Stage, now: SimTime) {
+        if let Some(s) = self.open.get_mut(&span) {
+            s.stages.add(stage, now.saturating_since(s.last).as_nanos());
+            s.last = now;
+        }
+    }
+
+    /// Charge the wait since the last boundary to the host queue stages:
+    /// up to `qos_hold` of it to [`Stage::QosHold`], the rest to
+    /// [`Stage::QueueWait`]; advance the cursor to `now`.
+    pub fn acc_queue(&mut self, span: u64, now: SimTime, qos_hold: SimDuration) {
+        if let Some(s) = self.open.get_mut(&span) {
+            let wait = now.saturating_since(s.last);
+            let hold = qos_hold.min(wait);
+            s.stages.add(Stage::QosHold, hold.as_nanos());
+            s.stages.add(Stage::QueueWait, (wait - hold).as_nanos());
+            s.last = now;
+        }
+    }
+
+    /// Record a flash-command issue for `span`: the wait since the last
+    /// boundary becomes [`Stage::SchedPending`], the busy window
+    /// `[now, done_at)` splits into [`Stage::Media`] and [`Stage::Retry`],
+    /// and the cursor advances to `done_at`. Internal spans (not bound to
+    /// a host request) close here — their lifecycle ends when the
+    /// command's effect lands — and mark the lane busy for interference
+    /// attribution; host-bound spans instead pick up a "stalled behind"
+    /// annotation if an internal op occupied the lane after they were
+    /// enqueued (`waited_since`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_issue(
+        &mut self,
+        span: u64,
+        lane: u32,
+        now: SimTime,
+        done_at: SimTime,
+        retry: SimDuration,
+        waited_since: SimTime,
+        host_bound: bool,
+    ) {
+        let Some(s) = self.open.get_mut(&span) else {
+            return;
+        };
+        s.stages
+            .add(Stage::SchedPending, now.saturating_since(s.last).as_nanos());
+        let busy = done_at.saturating_since(now);
+        let retry = retry.min(busy);
+        s.stages.add(Stage::Media, (busy - retry).as_nanos());
+        s.stages.add(Stage::Retry, retry.as_nanos());
+        s.last = done_at;
+        s.busy.push((lane, now, done_at));
+        let li = lane as usize;
+        if host_bound {
+            if s.stalled_behind.is_none() {
+                if let Some(Some((sid, kind, until))) = self.lane_internal.get(li) {
+                    if *until > waited_since {
+                        s.stalled_behind = Some((*sid, kind));
+                    }
+                }
+            }
+        } else {
+            let kind = s.kind;
+            if self.lane_internal.len() <= li {
+                self.lane_internal.resize(li + 1, None);
+            }
+            self.lane_internal[li] = Some((span, kind, done_at));
+            self.close(span, done_at);
+        }
+    }
+
+    /// Close `span` at `end`, charging any remainder since the cursor to
+    /// [`Stage::SchedPending`], and push it to the closed ring. Returns
+    /// the final breakdown (zeroes if the span was unknown).
+    pub fn close(&mut self, span: u64, end: SimTime) -> StageNs {
+        let Some(mut s) = self.open.remove(&span) else {
+            return StageNs::default();
+        };
+        s.stages
+            .add(Stage::SchedPending, end.saturating_since(s.last).as_nanos());
+        let stages = s.stages;
+        let closed = Span {
+            id: span,
+            kind: s.kind,
+            tenant: s.tenant,
+            start: s.start,
+            end,
+            stages,
+            cause: s.cause,
+            stalled_behind: s.stalled_behind,
+            busy: s.busy,
+        };
+        if self.closed.len() < self.capacity {
+            self.closed.push(closed);
+        } else if self.capacity > 0 {
+            self.closed[self.ring_start] = closed;
+            self.ring_start = (self.ring_start + 1) % self.capacity;
+            self.dropped += 1;
+        } else {
+            self.dropped += 1;
+        }
+        stages
+    }
+
+    /// Bind a host request id to its span (set before the request reaches
+    /// the controller, so the device layers find it).
+    pub fn bind_request(&mut self, req: u64, span: u64) {
+        self.req_spans.insert(req, span);
+    }
+
+    /// The span bound to a host request id, if any.
+    pub fn request_span(&self, req: u64) -> Option<u64> {
+        self.req_spans.get(&req).copied()
+    }
+
+    /// Close the span bound to host request `req` at `end`; the final
+    /// breakdown is stashed for [`Obs::take_finished`].
+    pub fn close_request(&mut self, req: u64, end: SimTime) {
+        if let Some(span) = self.req_spans.remove(&req) {
+            let stages = self.close(span, end);
+            self.finished.insert(req, stages);
+        }
+    }
+
+    /// Drain the finished breakdown of a completed host request.
+    pub fn take_finished(&mut self, req: u64) -> Option<StageNs> {
+        self.finished.remove(&req)
+    }
+
+    /// Closed spans, oldest retained first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        let (newer, older) = self.closed.split_at(self.ring_start.min(self.closed.len()));
+        older.iter().chain(newer.iter())
+    }
+
+    /// Closed spans currently retained.
+    pub fn closed_count(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Spans evicted from the ring after it filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Spans opened but not yet closed (0 at quiescence).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Render a plain listing of up to `limit` retained spans.
+    pub fn render_spans(&self, limit: usize) -> String {
+        let mut out = String::new();
+        for s in self.spans().take(limit) {
+            let st = &s.stages;
+            out.push_str(&format!(
+                "{:>12}  #{:<6} {:<13} {:>12}  [qw {} qos {} sched {} media {} retry {}]",
+                s.start,
+                s.id,
+                s.kind,
+                SimDuration::from_nanos(st.total()).to_string(),
+                SimDuration::from_nanos(st.get(Stage::QueueWait)),
+                SimDuration::from_nanos(st.get(Stage::QosHold)),
+                SimDuration::from_nanos(st.get(Stage::SchedPending)),
+                SimDuration::from_nanos(st.get(Stage::Media)),
+                SimDuration::from_nanos(st.get(Stage::Retry)),
+            ));
+            if s.cause != Cause::None {
+                out.push_str(&format!("  cause={}", s.cause.label()));
+            }
+            if let Some((sid, kind)) = s.stalled_behind {
+                out.push_str(&format!("  stalled-behind={kind}#{sid}"));
+            }
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("… {} older spans dropped\n", self.dropped));
+        }
+        out
+    }
+
+    /// Render an ASCII Gantt chart of span busy windows between `from`
+    /// and `to`, `width` columns wide: one row per observed lane, cells
+    /// showing the occupying op kind's letter (lowercase application,
+    /// uppercase internal). Drops are surfaced below the chart.
+    pub fn render_gantt(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        width: usize,
+        lane_names: &[String],
+    ) -> String {
+        assert!(to > from && width > 0);
+        let window = to.since(from).as_nanos();
+        let mut rows: Vec<(u32, Vec<u8>)> = Vec::new();
+        for s in self.spans() {
+            for &(lane, b_from, b_to) in &s.busy {
+                if b_from >= to || b_to <= from {
+                    continue;
+                }
+                let row = match rows.iter_mut().find(|(l, _)| *l == lane) {
+                    Some((_, r)) => r,
+                    None => {
+                        rows.push((lane, vec![b'.'; width]));
+                        rows.sort_by_key(|(l, _)| *l);
+                        &mut rows.iter_mut().find(|(l, _)| *l == lane).unwrap().1
+                    }
+                };
+                let start_ns = b_from.saturating_since(from).as_nanos();
+                let end_ns = b_to.saturating_since(from).as_nanos().min(window);
+                let a = (start_ns as u128 * width as u128 / window as u128) as usize;
+                let b = ((end_ns as u128 * width as u128).div_ceil(window as u128) as usize)
+                    .min(width)
+                    .max(a + 1);
+                let ch = kind_char(s.kind);
+                for cell in &mut row[a..b] {
+                    *cell = ch;
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "span occupancy {from} .. {to}  ({window} ns, {width} cols)\n",
+        ));
+        for (lane, row) in rows {
+            let name = lane_names
+                .get(lane as usize)
+                .map(String::as_str)
+                .unwrap_or("?");
+            out.push_str(&format!(
+                "{name:>10} |{}|\n",
+                String::from_utf8_lossy(&row)
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "({} older spans dropped from the ring)\n",
+                self.dropped
+            ));
+        }
+        out
+    }
+
+    /// Export retained spans as Chrome-trace / Perfetto JSON: pid 1 is
+    /// the device (one thread per event lane — misc, then one per LUN),
+    /// pid 2 the tenants (one thread per tenant). Device tracks carry the
+    /// flash busy windows; tenant tracks carry full host-request spans.
+    /// Load the file at `ui.perfetto.dev` or `chrome://tracing`.
+    pub fn to_perfetto(&self, lane_names: &[String], tenant_names: &[String]) -> String {
+        let mut ev: Vec<String> = Vec::new();
+        ev.push("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"ssd-device\"}}".into());
+        for (i, name) in lane_names.iter().enumerate() {
+            ev.push(format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{i},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                jstr(name)
+            ));
+        }
+        if !tenant_names.is_empty() {
+            ev.push(
+                "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"tenants\"}}"
+                    .into(),
+            );
+            for (i, name) in tenant_names.iter().enumerate() {
+                ev.push(format!(
+                    "{{\"ph\":\"M\",\"pid\":2,\"tid\":{i},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                    jstr(name)
+                ));
+            }
+        }
+        for s in self.spans() {
+            let args = span_args(s);
+            if s.busy.is_empty() {
+                ev.push(x_event(1, 0, s.kind, s.start, s.end, &args));
+            } else {
+                for &(lane, from, to) in &s.busy {
+                    ev.push(x_event(1, lane, s.kind, from, to, &args));
+                }
+            }
+            if let Some(t) = s.tenant {
+                ev.push(x_event(2, t, s.kind, s.start, s.end, &args));
+            }
+        }
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", ev.join(",\n"))
+    }
+}
+
+/// Gantt cell letter for an op kind: lowercase application, uppercase
+/// internal.
+fn kind_char(kind: &str) -> u8 {
+    match kind {
+        "AppRead" => b'r',
+        "AppWrite" | "Flush" => b'w',
+        "Trim" => b't',
+        "GcRead" | "GcWrite" => b'G',
+        "WlRead" | "WlWrite" => b'L',
+        "MergeRead" | "MergeWrite" => b'M',
+        "MappingRead" | "MappingWrite" => b'm',
+        "Erase" => b'E',
+        "ScrubRead" | "ScrubWrite" => b'S',
+        _ => kind.as_bytes().first().copied().unwrap_or(b'?'),
+    }
+}
+
+fn span_args(s: &Span) -> String {
+    let st = &s.stages;
+    let mut args = format!(
+        "\"span\":{},\"queue_wait_ns\":{},\"qos_hold_ns\":{},\"sched_pending_ns\":{},\"media_ns\":{},\"retry_ns\":{}",
+        s.id,
+        st.get(Stage::QueueWait),
+        st.get(Stage::QosHold),
+        st.get(Stage::SchedPending),
+        st.get(Stage::Media),
+        st.get(Stage::Retry),
+    );
+    if s.cause != Cause::None {
+        args.push_str(&format!(",\"cause\":{}", jstr(&s.cause.label())));
+    }
+    if let Some((sid, kind)) = s.stalled_behind {
+        args.push_str(&format!(",\"stalled_behind\":{}", jstr(&format!("{kind}#{sid}"))));
+    }
+    args
+}
+
+fn x_event(pid: u32, tid: u32, name: &str, from: SimTime, to: SimTime, args: &str) -> String {
+    let ts = from.as_nanos() as f64 / 1_000.0;
+    let dur = (to.saturating_since(from).as_nanos() as f64 / 1_000.0).max(0.001);
+    format!(
+        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{{args}}}}}",
+        jstr(name)
+    )
+}
+
+/// Minimal JSON string escape (the build container has no serde).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Per-stage latency histograms plus an end-to-end total histogram fed
+/// from the same [`StageNs`] records — so `total` and the stage sums
+/// describe exactly the same population of IOs.
+#[derive(Debug, Clone)]
+pub struct StageBreakdown {
+    stages: [Histogram; Stage::COUNT],
+    total: Histogram,
+}
+
+impl Default for StageBreakdown {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageBreakdown {
+    pub fn new() -> Self {
+        StageBreakdown {
+            stages: std::array::from_fn(|_| Histogram::new()),
+            total: Histogram::new(),
+        }
+    }
+
+    /// Record one IO's breakdown.
+    pub fn record(&mut self, st: StageNs) {
+        for (h, &ns) in self.stages.iter_mut().zip(st.0.iter()) {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        self.total.record(SimDuration::from_nanos(st.total()));
+    }
+
+    /// IOs recorded.
+    pub fn count(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// Histogram of one stage.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
+
+    /// Histogram of end-to-end latency (stage sums).
+    pub fn total(&self) -> &Histogram {
+        &self.total
+    }
+
+    /// Mean microseconds spent in `stage` per IO.
+    pub fn mean_us(&self, stage: Stage) -> f64 {
+        self.stages[stage as usize].mean().as_micros_f64()
+    }
+
+    /// Tail summary of one stage.
+    pub fn tail(&self, stage: Stage) -> Tail {
+        self.stages[stage as usize].tail()
+    }
+
+    /// Tail summary of the stage sums.
+    pub fn total_tail(&self) -> Tail {
+        self.total.tail()
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &StageBreakdown) {
+        for (a, b) in self.stages.iter_mut().zip(other.stages.iter()) {
+            a.merge(b);
+        }
+        self.total.merge(&other.total);
+    }
+}
+
+/// Fixed-interval telemetry rows: each row is one interval's values for a
+/// fixed set of named columns. The sampler computes the values (counter
+/// deltas, instantaneous depths); this container only stores and exports.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    interval: SimDuration,
+    columns: Vec<&'static str>,
+    rows: Vec<(SimTime, Vec<f64>)>,
+}
+
+impl Timeline {
+    /// A timeline with the given sampling interval and column names.
+    pub fn new(interval: SimDuration, columns: Vec<&'static str>) -> Self {
+        assert!(interval > SimDuration::ZERO, "interval must be positive");
+        assert!(!columns.is_empty(), "timeline needs at least one column");
+        Timeline {
+            interval,
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Column names, in row order.
+    pub fn columns(&self) -> &[&'static str] {
+        &self.columns
+    }
+
+    /// Append one row starting at `at` (must carry one value per column).
+    pub fn push_row(&mut self, at: SimTime, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push((at, values));
+    }
+
+    /// Rows recorded so far.
+    pub fn rows(&self) -> &[(SimTime, Vec<f64>)] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Export as CSV: `t_us` then one column per name.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_us");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (t, vals) in &self.rows {
+            out.push_str(&format!("{}", t.as_nanos() as f64 / 1_000.0));
+            for v in vals {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Export as JSON: `{"interval_us": …, "columns": […], "rows":
+    /// [[t_us, …], …]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"interval_us\": {},\n  \"columns\": [{}],\n  \"rows\": [\n",
+            self.interval.as_micros_f64(),
+            self.columns
+                .iter()
+                .map(|c| jstr(c))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        for (i, (t, vals)) in self.rows.iter().enumerate() {
+            out.push_str(&format!("    [{}", t.as_nanos() as f64 / 1_000.0));
+            for v in vals {
+                out.push_str(&format!(", {v}"));
+            }
+            out.push(']');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    #[test]
+    fn config_defaults_off() {
+        let c = ObsConfig::default();
+        assert!(!c.spans_enabled());
+        assert!(!c.timeline_enabled());
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["queue_wait", "qos_hold", "sched_pending", "media", "retry"]
+        );
+    }
+
+    #[test]
+    fn host_span_stage_sums_equal_end_to_end() {
+        let mut o = Obs::new(16);
+        let span = o.open("AppRead", Some(1), t(0));
+        o.bind_request(7, span);
+        // 10us in the OS queue, 4 of them QoS-held.
+        o.acc_queue(span, t(10), SimDuration::from_micros(4));
+        // Issues at 25us, media until 75us with 20us of retry.
+        o.on_issue(
+            span,
+            3,
+            t(25),
+            t(75),
+            SimDuration::from_micros(20),
+            t(10),
+            true,
+        );
+        o.close_request(7, t(75));
+        let st = o.take_finished(7).unwrap();
+        assert_eq!(st.get(Stage::QueueWait), 6_000);
+        assert_eq!(st.get(Stage::QosHold), 4_000);
+        assert_eq!(st.get(Stage::SchedPending), 15_000);
+        assert_eq!(st.get(Stage::Media), 30_000);
+        assert_eq!(st.get(Stage::Retry), 20_000);
+        assert_eq!(st.total(), 75_000);
+        assert_eq!(st.dominant(), Stage::Media);
+        let s = o.spans().next().unwrap();
+        assert_eq!(s.end.since(s.start).as_nanos(), st.total());
+        assert_eq!(s.tenant, Some(1));
+        assert_eq!(o.open_count(), 0);
+        assert!(o.take_finished(7).is_none(), "finished drains once");
+    }
+
+    #[test]
+    fn internal_span_closes_at_issue_and_marks_interference() {
+        let mut o = Obs::new(16);
+        o.set_cause(Cause::Policy("gc"));
+        let gc = o.open_internal("GcRead", t(0));
+        o.set_cause(Cause::None);
+        // Issues at 5us, busy until 60us: closes itself.
+        o.on_issue(gc, 2, t(5), t(60), SimDuration::ZERO, t(0), false);
+        assert_eq!(o.open_count(), 0);
+        let gc_span = o.spans().next().unwrap();
+        assert_eq!(gc_span.cause, Cause::Policy("gc"));
+        assert_eq!(gc_span.stages.total(), 60_000);
+        // A host read enqueued at 10us that issues on the same lane at
+        // 70us was stalled behind the GC read (busy until 60 > 10).
+        let app = o.open("AppRead", None, t(10));
+        o.on_issue(app, 2, t(70), t(95), SimDuration::ZERO, t(10), true);
+        let st = o.close(app, t(95));
+        assert_eq!(st.total(), 85_000);
+        let app_span = o.spans().nth(1).unwrap();
+        assert_eq!(app_span.stalled_behind, Some((gc, "GcRead")));
+        // A host op on a different lane is not stalled.
+        let other = o.open("AppRead", None, t(10));
+        o.on_issue(other, 4, t(70), t(95), SimDuration::ZERO, t(10), true);
+        o.close(other, t(95));
+        assert_eq!(o.spans().nth(2).unwrap().stalled_behind, None);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut o = Obs::new(2);
+        for i in 0..5u64 {
+            let s = o.open("AppWrite", None, t(i));
+            o.close(s, t(i + 1));
+        }
+        assert_eq!(o.closed_count(), 2);
+        assert_eq!(o.dropped(), 3);
+        // Oldest retained first: spans 4 and 5 (ids are 1-based).
+        let ids: Vec<u64> = o.spans().map(|s| s.id).collect();
+        assert_eq!(ids, vec![4, 5]);
+        assert!(o.render_spans(10).contains("dropped"));
+        let g = o.render_gantt(t(0), t(10), 20, &[]);
+        assert!(g.contains("dropped"), "gantt must surface drops: {g}");
+    }
+
+    #[test]
+    fn gantt_places_busy_windows_per_lane() {
+        let mut o = Obs::new(8);
+        let a = o.open_internal("GcWrite", t(0));
+        o.on_issue(a, 1, t(0), t(50), SimDuration::ZERO, t(0), false);
+        let b = o.open("AppRead", None, t(0));
+        o.on_issue(b, 2, t(50), t(75), SimDuration::ZERO, t(0), true);
+        o.close(b, t(75));
+        let names = vec!["misc".to_string(), "c0l0".to_string(), "c0l1".to_string()];
+        let g = o.render_gantt(t(0), t(100), 20, &names);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("c0l0") && lines[1].contains('G'));
+        assert!(lines[2].contains("c0l1") && lines[2].contains('r'));
+        let bar = &lines[2][lines[2].find('|').unwrap() + 1..];
+        assert!(bar.starts_with('.'), "read must not start at t=0: {bar}");
+    }
+
+    #[test]
+    fn perfetto_export_shape() {
+        let mut o = Obs::new(8);
+        let s = o.open("AppRead", Some(0), t(0));
+        o.on_issue(s, 1, t(5), t(30), SimDuration::from_micros(10), t(0), true);
+        o.close(s, t(30));
+        let trivial = o.open("Trim", Some(1), t(40));
+        o.close(trivial, t(40));
+        let json = o.to_perfetto(
+            &["misc".to_string(), "c0l0".to_string()],
+            &["default".to_string(), "reader".to_string()],
+        );
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\":\"AppRead\""));
+        assert!(json.contains("\"retry_ns\":10000"));
+        // Flash-less spans land on the misc lane with a non-zero duration.
+        assert!(json.contains("\"name\":\"Trim\""));
+        // Braces balance (cheap well-formedness check without a parser).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn stage_breakdown_totals_match() {
+        let mut b = StageBreakdown::new();
+        let mut st = StageNs::default();
+        st.add(Stage::QueueWait, 10_000);
+        st.add(Stage::Media, 40_000);
+        b.record(st);
+        let mut st2 = StageNs::default();
+        st2.add(Stage::Media, 90_000);
+        b.record(st2);
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.stage(Stage::Media).count(), 2);
+        assert!(b.mean_us(Stage::Media) > 0.0);
+        assert_eq!(b.total().mean().as_nanos(), 70_000);
+        let mut c = StageBreakdown::new();
+        c.merge(&b);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.total_tail().count, 2);
+        assert_eq!(c.tail(Stage::Media).count, 2);
+    }
+
+    #[test]
+    fn timeline_exports_csv_and_json() {
+        let mut tl = Timeline::new(
+            SimDuration::from_micros(100),
+            vec!["iops", "gc_ops"],
+        );
+        assert!(tl.is_empty());
+        tl.push_row(t(0), vec![10.0, 2.0]);
+        tl.push_row(t(100), vec![8.0, 0.0]);
+        assert_eq!(tl.len(), 2);
+        let csv = tl.to_csv();
+        assert!(csv.starts_with("t_us,iops,gc_ops\n"));
+        assert!(csv.contains("\n100,8,0\n"));
+        let json = tl.to_json();
+        assert!(json.contains("\"interval_us\": 100"));
+        assert!(json.contains("\"columns\": [\"iops\", \"gc_ops\"]"));
+        assert!(json.contains("[100, 8, 0]"));
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn timeline_rejects_wrong_arity() {
+        let mut tl = Timeline::new(SimDuration::from_micros(1), vec!["a"]);
+        tl.push_row(SimTime::ZERO, vec![1.0, 2.0]);
+    }
+}

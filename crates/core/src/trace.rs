@@ -36,49 +36,72 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// Bounded in-memory trace capture.
+/// Bounded in-memory trace capture: a ring buffer retaining the **most
+/// recent** `capacity` events. For post-hoc debugging the tail of a run
+/// is the useful half — the crash, the stall, the tail-latency spike all
+/// live at the end — so once full, each new event overwrites the oldest
+/// and bumps the `dropped` counter.
 #[derive(Debug, Clone)]
 pub struct TraceLog {
     events: Vec<TraceEvent>,
     capacity: usize,
+    /// Index of the oldest retained event once the ring has wrapped.
+    start: usize,
     dropped: u64,
 }
 
 impl TraceLog {
-    /// A log retaining up to `capacity` events (further events are counted
-    /// but dropped, keeping long runs bounded).
+    /// A log retaining up to `capacity` of the most recent events (older
+    /// events are counted as dropped, keeping long runs bounded).
     pub fn new(capacity: usize) -> Self {
         TraceLog {
             events: Vec::new(),
             capacity,
+            start: 0,
             dropped: 0,
         }
     }
 
-    /// Append an event.
+    /// Append an event, evicting the oldest if the ring is full.
     pub fn record(&mut self, time: SimTime, id: u64, kind: TraceKind) {
+        let ev = TraceEvent { time, id, kind };
         if self.events.len() < self.capacity {
-            self.events.push(TraceEvent { time, id, kind });
+            self.events.push(ev);
+        } else if self.capacity > 0 {
+            self.events[self.start] = ev;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
         } else {
             self.dropped += 1;
         }
     }
 
-    /// All captured events, in record order (= time order, since the
+    /// All retained events, oldest first (= time order, since the
     /// simulator never rewinds).
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.events.split_at(self.start);
+        older.iter().chain(newer.iter())
     }
 
-    /// Events dropped after the capacity was reached.
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or, at capacity 0, never stored).
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Render a plain listing of every event.
+    /// Render a plain listing of every retained event.
     pub fn render_listing(&self) -> String {
         let mut out = String::new();
-        for e in &self.events {
+        for e in self.events() {
             match e.kind {
                 TraceKind::Enqueue { queue } => {
                     out.push_str(&format!("{:>12}  #{:<6} enqueue {}\n", e.time, e.id, queue));
@@ -95,19 +118,21 @@ impl TraceLog {
             }
         }
         if self.dropped > 0 {
-            out.push_str(&format!("… {} further events dropped\n", self.dropped));
+            out.push_str(&format!("… {} earlier events dropped\n", self.dropped));
         }
         out
     }
 
     /// Render an ASCII Gantt chart of flash occupancy between `from` and
     /// `to`, `width` columns wide. One row per (channel, LUN) observed;
-    /// cells show the first letter of the occupying command.
+    /// cells show the first letter of the occupying command. Ring
+    /// evictions are surfaced below the chart so a sparse window is never
+    /// mistaken for an idle device.
     pub fn render_gantt(&self, from: SimTime, to: SimTime, width: usize) -> String {
         assert!(to > from && width > 0);
         let span = to.since(from).as_nanos();
         let mut rows: Vec<((u32, u32), Vec<u8>)> = Vec::new();
-        for e in &self.events {
+        for e in self.events() {
             let TraceKind::FlashOp { op, channel, lun, busy } = e.kind else {
                 continue;
             };
@@ -141,6 +166,12 @@ impl TraceLog {
         for ((c, l), row) in rows {
             out.push_str(&format!("c{c}l{l} |{}|\n", String::from_utf8_lossy(&row)));
         }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "({} earlier events dropped from the ring)\n",
+                self.dropped
+            ));
+        }
         out
     }
 }
@@ -163,14 +194,38 @@ mod tests {
     }
 
     #[test]
-    fn record_and_capacity() {
+    fn record_keeps_most_recent_at_capacity() {
         let mut log = TraceLog::new(2);
         for i in 0..5 {
             log.record(SimTime::from_nanos(i), i, TraceKind::Complete);
         }
-        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 3);
-        assert!(log.render_listing().contains("dropped"));
+        // The ring retains the newest events, oldest first.
+        let ids: Vec<u64> = log.events().map(|e| e.id).collect();
+        assert_eq!(ids, vec![3, 4]);
+        assert!(log.render_listing().contains("3 earlier events dropped"));
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut log = TraceLog::new(0);
+        log.record(SimTime::ZERO, 0, TraceKind::Complete);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn gantt_surfaces_ring_drops() {
+        let mut log = TraceLog::new(1);
+        let e1 = flash("PROG", 0, 0, 0, 50);
+        let e2 = flash("READ", 0, 0, 60_000, 25);
+        log.record(e1.time, 0, e1.kind);
+        log.record(e2.time, 1, e2.kind);
+        let g = log.render_gantt(SimTime::ZERO, SimTime::from_nanos(100_000), 20);
+        // Only the retained (newer) op renders; the eviction is noted.
+        assert!(g.contains('R') && !g.contains('P'));
+        assert!(g.contains("1 earlier events dropped"));
     }
 
     #[test]

@@ -10,17 +10,21 @@
 //! * [`metrics`] — per-run measurement extraction ([`metrics::Measured`])
 //!   and tabular output ([`metrics::Table`], aligned text and CSV).
 //! * [`experiment`] — the generic sweep template.
-//! * [`suite`] — the predefined experiments E1–E22 and the G1 "game"
+//! * [`suite`] — the predefined experiments E1–E27 and the G1 "game"
 //!   (see DESIGN.md for the per-experiment index).
+//! * [`capture`] — the instrumented observability run behind the bench
+//!   harness `--trace` / `--timeline` flags (Perfetto + timeline export).
 
+pub mod capture;
 pub mod experiment;
 pub mod metrics;
 pub mod setup;
 pub mod suite;
 
+pub use capture::{obs_capture, ObsArtifacts};
 pub use experiment::{Experiment, Scale};
 pub use metrics::{
-    downsample, measure, measure_since, snapshot, sparkline, CounterSnapshot, Measured, Row,
-    Table,
+    downsample, measure, measure_since, merged_stage_breakdown, push_stage_columns, snapshot,
+    sparkline, CounterSnapshot, Measured, Row, Table,
 };
 pub use setup::Setup;

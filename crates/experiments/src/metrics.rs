@@ -4,8 +4,10 @@
 //! [`Table`] renders swept series as the aligned text / CSV "rows the paper
 //! would plot".
 
-use eagletree_controller::{wear_summary, ClassTable, MergeCounters, OpClass, ReliabilityStats};
-use eagletree_core::Histogram;
+use eagletree_controller::{
+    wear_summary, ClassTable, MergeCounters, OpClass, ReliabilityStats, RequestKind,
+};
+use eagletree_core::{Histogram, Stage, StageBreakdown};
 use eagletree_os::{Os, ThreadStats};
 
 /// Condensed metrics of one simulation run, over a set of measured threads.
@@ -52,6 +54,44 @@ pub struct Measured {
     /// Media-reliability counters — `Some` only when the run had a fault
     /// model installed, so fault-free outputs carry no reliability columns.
     pub reliability: Option<ReliabilityStats>,
+    /// Stage-attributed latency: the merged read+write [`StageBreakdown`]
+    /// over every tenant of the run — `Some` only when observability was
+    /// enabled ([`eagletree_core::ObsConfig::span_capacity`] > 0), so
+    /// obs-off outputs carry no stage columns.
+    pub stages: Option<StageBreakdown>,
+}
+
+/// Merge the per-tenant, per-kind stage breakdowns of every tenant into
+/// one [`StageBreakdown`]; `None` when observability was off (no tenant
+/// recorded one).
+pub fn merged_stage_breakdown(os: &Os) -> Option<StageBreakdown> {
+    let mut merged: Option<StageBreakdown> = None;
+    for t in 0..os.tenant_names().len() {
+        let ts = os.tenant_stats(t);
+        for kind in [RequestKind::Read, RequestKind::Write] {
+            if let Some(b) = ts.stage_breakdown(kind) {
+                merged.get_or_insert_with(StageBreakdown::new).merge(b);
+            }
+        }
+    }
+    merged
+}
+
+/// Append the stage-mean columns (`st_<stage>_us`) of a breakdown to a
+/// row — what experiments with observability enabled surface through
+/// the harness `--json` output.
+pub fn push_stage_columns(mut row: Row, b: &StageBreakdown) -> Row {
+    const COLS: [(&str, Stage); Stage::COUNT] = [
+        ("st_queue_us", Stage::QueueWait),
+        ("st_qos_us", Stage::QosHold),
+        ("st_pend_us", Stage::SchedPending),
+        ("st_media_us", Stage::Media),
+        ("st_retry_us", Stage::Retry),
+    ];
+    for (name, stage) in COLS {
+        row = row.push(name, b.mean_us(stage));
+    }
+    row
 }
 
 /// Controller counter snapshot, for measuring steady-state deltas after a
@@ -213,6 +253,7 @@ pub fn measure(os: &Os, threads: &[usize]) -> Measured {
         wear_max: wear.max_erases,
         makespan_s: os.now().as_nanos() as f64 / 1e9,
         reliability: ctrl.reliability(),
+        stages: merged_stage_breakdown(os),
     }
 }
 

@@ -1,4 +1,4 @@
-//! The predefined experiment suite: E1–E26 and the G1 game.
+//! The predefined experiment suite: E1–E27 and the G1 game.
 //!
 //! Each experiment reproduces one question the paper poses (see the
 //! per-experiment index in DESIGN.md, and EXPERIMENTS.md for measured
@@ -52,6 +52,7 @@ pub fn all() -> Vec<Experiment> {
         Experiment::new("E24", "QoS isolation under a replayed bursty trace neighbor", "§2.2 OS scheduler × consolidation, driven by recorded traffic", e24_replayed_noisy_neighbor),
         Experiment::new("E25", "Media reliability: UBER, ECC retries and read tails vs device age, per scheme, ± scrubbing", "§2.2 controller modules, extended to media reliability (fault injection)", e25_reliability_aging),
         Experiment::new("E26", "Scrub interference: foreground tenant tails vs scrub aggressiveness", "§1-Q2 internal ops × QoS, extended to background scrubbing", e26_scrub_interference),
+        Experiment::new("E27", "Tail forensics: p999 outliers bucketed by dominant latency stage", "§1-Q2 interference, attributed per stage via lifecycle spans", e27_tail_forensics),
         Experiment::new("G1", "The scheduling game", "§3 demonstration game", g1_game),
     ]
 }
@@ -1742,6 +1743,122 @@ fn e26_scrub_interference(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E27 — tail forensics
+
+/// *Where* does the tail come from? An E19/E26-style contention run — a
+/// latency-sensitive Zipf reader against a flooding sequential writer on
+/// an aged device — with the span collector enabled, per QoS arm. The
+/// reader's stage-attributed breakdown must explain ≥95% of its measured
+/// end-to-end latency at both p50 and p999 (the spans are exhaustive by
+/// construction — any gap is a lost stage), and every read slower than
+/// the p999 threshold is bucketed by its *dominant* stage, turning "the
+/// tail got worse" into "the tail is scheduler-pending time behind GC".
+fn e27_tail_forensics(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E27",
+        "Reader tail explained per stage; p999 outliers bucketed by dominant stage",
+        "qos",
+    );
+    for (name, qos) in [
+        ("none", QosPolicy::None),
+        ("token_bucket", QosPolicy::TokenBucket),
+    ] {
+        let mut setup = Setup::small();
+        setup.os.qos = qos;
+        setup.os.queue_depth = 32;
+        setup.ctrl.wl.static_enabled = false;
+        setup.ctrl.fault = Some(e25_fault(2_500));
+        setup.ctrl.obs.span_capacity = 1 << 18;
+        setup.ctrl.obs.timeline_interval_us = 500;
+        let logical = setup.logical_pages();
+        let mut os = setup.build();
+        os.add_thread(sequential_fill(32));
+        os.run();
+        let (reader, _) = TenantProfile::new("reader", 2048)
+            .weight(8)
+            .tier(0)
+            .thread(
+                Pumped::new(
+                    ZipfGen::new(Region::whole(), scale.ios(logical / 2), 0.99, ZipfKind::Reads),
+                    4,
+                    0xE27,
+                )
+                .named("zipf-reader"),
+            )
+            .install(&mut os);
+        let (flooder, _) = TenantProfile::new("flooder", 4096)
+            .weight(1)
+            .tier(1)
+            .iops_limit(4_000.0)
+            .burst(4.0)
+            .thread(
+                Pumped::new(SeqWriteGen::new(Region::whole(), scale.ios(logical * 2)), 256, 0x72E)
+                    .named("seq-flooder"),
+            )
+            .install(&mut os);
+        os.run();
+        let tail = os.tenant_stats(reader).tail(eagletree_controller::OpClass::AppRead);
+        let bd = os
+            .tenant_stats(reader)
+            .stage_breakdown(RequestKind::Read)
+            .expect("observability enabled")
+            .clone();
+        let fl_qos_us = os
+            .tenant_stats(flooder)
+            .stage_breakdown(RequestKind::Write)
+            .map_or(0.0, |b| b.mean_us(eagletree_core::Stage::QosHold));
+        // How much of the measured end-to-end tail the stage sums explain:
+        // both sides come from the same log-bucketed histogram family, so
+        // a lost stage shows up as a ratio well below 1.
+        let span_tail = bd.total_tail();
+        let explained = |span: SimDuration, measured: SimDuration| {
+            if measured == SimDuration::ZERO {
+                0.0
+            } else {
+                span.as_nanos() as f64 / measured.as_nanos() as f64
+            }
+        };
+        // Bucket the p999 outliers by their dominant stage.
+        let reader_tag = Some(reader as u32);
+        let threshold = tail.p999.as_nanos();
+        let mut outliers = [0u64; eagletree_core::Stage::COUNT];
+        let obs = os.obs().expect("observability enabled");
+        for s in obs.spans() {
+            if s.kind == "AppRead" && s.tenant == reader_tag && s.stages.total() >= threshold {
+                outliers[s.stages.dominant() as usize] += 1;
+            }
+        }
+        let mut row = Row::new(name.to_string())
+            .push("reader_p50_us", tail.p50.as_micros_f64())
+            .push("reader_p99_us", tail.p99.as_micros_f64())
+            .push("reader_p999_us", tail.p999.as_micros_f64())
+            .push("explained_p50", explained(span_tail.p50, tail.p50))
+            .push("explained_p999", explained(span_tail.p999, tail.p999));
+        row = crate::metrics::push_stage_columns(row, &bd);
+        row = row.push("fl_qos_us", fl_qos_us);
+        row = row.push("p999_outliers", outliers.iter().sum::<u64>() as f64);
+        for (i, stage) in eagletree_core::Stage::ALL.iter().enumerate() {
+            row = row.push(
+                match stage {
+                    eagletree_core::Stage::QueueWait => "out_queue",
+                    eagletree_core::Stage::QosHold => "out_qos",
+                    eagletree_core::Stage::SchedPending => "out_pend",
+                    eagletree_core::Stage::Media => "out_media",
+                    eagletree_core::Stage::Retry => "out_retry",
+                },
+                outliers[i] as f64,
+            );
+        }
+        row = row
+            .push("spans", obs.closed_count() as f64)
+            .push("spans_dropped", obs.dropped() as f64)
+            .push("tl_rows", os.timeline().map_or(0, |tl| tl.len()) as f64);
+        t.rows.push(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // G1 — the game
 
 /// The demo game: grid-search scheduling-related knobs and score each
@@ -1814,14 +1931,14 @@ mod tests {
     #[test]
     fn suite_is_complete_and_indexed() {
         let s = all();
-        assert_eq!(s.len(), 27);
+        assert_eq!(s.len(), 28);
         let ids: Vec<&str> = s.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
                 "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23",
-                "E24", "E25", "E26", "G1"
+                "E24", "E25", "E26", "E27", "G1"
             ]
         );
         assert!(by_id("e3").is_some());
@@ -2152,6 +2269,48 @@ mod tests {
             t.rows[0].get("WA").unwrap() > 1.0,
             "steady-state overwrite should amplify writes: {t}",
             t = t.render()
+        );
+    }
+
+    #[test]
+    fn smoke_e27_stage_breakdown_explains_the_tail() {
+        let t = e27_tail_forensics(Scale::Smoke);
+        assert_eq!(t.rows.len(), 2);
+        for r in &t.rows {
+            // The acceptance bar: the stage sums must explain ≥95% of the
+            // measured end-to-end latency at the median and deep tail.
+            for col in ["explained_p50", "explained_p999"] {
+                let e = r.get(col).unwrap();
+                assert!(
+                    (0.95..=1.05).contains(&e),
+                    "{col}={e:.3} for {}: breakdown lost a stage\n{}",
+                    r.label,
+                    t.render()
+                );
+            }
+            // Every p999 outlier got a dominant-stage bucket, and the
+            // buckets sum to the outlier count.
+            let n = r.get("p999_outliers").unwrap();
+            assert!(n > 0.0, "no p999 outliers found: {}", t.render());
+            let sum: f64 = ["out_queue", "out_qos", "out_pend", "out_media", "out_retry"]
+                .iter()
+                .map(|c| r.get(c).unwrap())
+                .sum();
+            assert_eq!(sum, n);
+            assert!(r.get("spans").unwrap() > 0.0);
+            assert!(r.get("tl_rows").unwrap() > 0.0, "timeline sampled no intervals");
+            // Media time is charged on every read that touched flash.
+            assert!(r.get("st_media_us").unwrap() > 0.0);
+        }
+        // The QosHold stage only exists under the token bucket: the
+        // rate-capped flooder accrues hold time, the flat dispatcher none.
+        let none = t.rows.iter().find(|r| r.label == "none").unwrap();
+        let tb = t.rows.iter().find(|r| r.label == "token_bucket").unwrap();
+        assert_eq!(none.get("fl_qos_us").unwrap(), 0.0);
+        assert!(
+            tb.get("fl_qos_us").unwrap() > 0.0,
+            "token bucket must charge the flooder hold time: {}",
+            t.render()
         );
     }
 

@@ -16,10 +16,15 @@ use eagletree_workloads::{
 /// everything observable (virtual clock, per-tenant counts and tails,
 /// namespace utilization, controller counters).
 fn run_fingerprint(qos: QosPolicy) -> String {
+    run_fingerprint_obs(qos, eagletree_core::ObsConfig::default())
+}
+
+fn run_fingerprint_obs(qos: QosPolicy, obs: eagletree_core::ObsConfig) -> String {
     let mut setup = Setup::small();
     setup.os.qos = qos;
     setup.os.queue_depth = 16;
     setup.ctrl.wl.static_enabled = false;
+    setup.ctrl.obs = obs;
     let mut os = setup.build();
     os.add_thread(sequential_fill(32));
     os.run();
@@ -111,6 +116,24 @@ fn three_tenant_run_is_byte_identical_under_every_qos_policy() {
         let b = run_fingerprint(qos.clone());
         assert_eq!(a, b, "fingerprint drift under {qos:?}");
         assert!(a.contains("tenant=zipf-reader"));
+    }
+}
+
+#[test]
+fn observability_does_not_perturb_tenant_runs() {
+    // The whole OS-side instrumentation path — span opening per submitted
+    // IO, QoS-hold marking, stage accounting on completion, timeline
+    // sampling — must be invisible to the simulation itself: the
+    // fingerprint of an instrumented run matches the plain run byte for
+    // byte under every QoS policy.
+    let on = eagletree_core::ObsConfig {
+        span_capacity: 1 << 16,
+        timeline_interval_us: 200,
+    };
+    for qos in policies() {
+        let off = run_fingerprint(qos.clone());
+        let with = run_fingerprint_obs(qos.clone(), on);
+        assert_eq!(off, with, "observability changed the simulation under {qos:?}");
     }
 }
 

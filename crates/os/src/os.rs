@@ -19,10 +19,12 @@
 use std::collections::{HashMap, VecDeque};
 
 use eagletree_controller::{
-    Completion, Controller, CrashImage, IoTags, RequestId, RequestKind, SsdRequest,
+    class_index, Completion, Controller, CrashImage, IoTags, OpClass, RequestId, RequestKind,
+    SsdRequest,
 };
 use eagletree_core::{
-    EventQueue, Histogram, OnlineStats, QueueKind, SimDuration, SimTime, TimeSeries,
+    EventQueue, Histogram, Obs, OnlineStats, QueueKind, SimDuration, SimTime, TimeSeries,
+    Timeline, NO_SPAN,
 };
 
 use crate::qos::{self, QosPolicy, QosSlot, TenantCand};
@@ -128,6 +130,8 @@ struct QueuedIo {
     io: OsIo,
     enqueued_at: SimTime,
     seq: u64,
+    /// Lifecycle span opened at submission ([`NO_SPAN`] with obs off).
+    span: u64,
 }
 
 struct ThreadState {
@@ -153,6 +157,9 @@ struct TenantEntry {
     stats: TenantStats,
     /// The implicit whole-device tenant (identity translation).
     is_default: bool,
+    /// Instant this tenant became QoS rate-blocked with device slots
+    /// free (span accounting only; `None` when dispatchable).
+    held_since: Option<SimTime>,
 }
 
 struct Inflight {
@@ -187,13 +194,59 @@ pub struct Os {
     /// Dispatch scratch (reused; no per-IO allocation).
     scratch_heads: Vec<DispatchCandidate>,
     scratch_tenants: Vec<TenantCand>,
+    /// Time-sliced telemetry, when `ObsConfig::timeline_interval_us` is
+    /// set on the controller.
+    timeline: Option<Timeline>,
+    /// Start of the current (not yet emitted) timeline interval.
+    tl_next: SimTime,
+    /// Cumulative-counter snapshot at the last emitted row.
+    tl_prev: TlSnap,
 }
+
+/// Snapshot of the cumulative counters a timeline row differences.
+#[derive(Debug, Clone, Copy, Default)]
+struct TlSnap {
+    completions: u64,
+    issued: [u64; OpClass::COUNT],
+    corrected_bits: u64,
+    read_retries: u64,
+    grown_bad: u64,
+}
+
+/// Timeline column names, in row order. Issue columns are per-interval
+/// flash-command counts; `iops` is host completions per second over the
+/// interval; `wa` is the cumulative write amplification at the interval
+/// boundary; depth columns are instantaneous.
+const TL_COLUMNS: &[&str] = &[
+    "iops",
+    "wa",
+    "os_backlog",
+    "dev_inflight",
+    "app_read_issues",
+    "app_write_issues",
+    "gc_issues",
+    "wl_issues",
+    "merge_issues",
+    "mapping_issues",
+    "scrub_issues",
+    "erase_issues",
+    "corrected_bits",
+    "read_retries",
+    "grown_bad",
+];
 
 impl Os {
     /// An OS over a controller.
     pub fn new(ctrl: Controller, cfg: OsConfig) -> Self {
         assert!(cfg.queue_depth > 0, "queue depth must be positive");
         let timers = EventQueue::with_kind(cfg.queue);
+        let obs_cfg = ctrl.obs_config();
+        let timeline = obs_cfg.timeline_enabled().then(|| {
+            Timeline::new(
+                SimDuration::from_micros(obs_cfg.timeline_interval_us),
+                TL_COLUMNS.to_vec(),
+            )
+        });
         Os {
             ctrl,
             cfg,
@@ -212,6 +265,9 @@ impl Os {
             last_served: 0,
             scratch_heads: Vec::new(),
             scratch_tenants: Vec::new(),
+            timeline,
+            tl_next: SimTime::ZERO,
+            tl_prev: TlSnap::default(),
         }
     }
 
@@ -241,6 +297,7 @@ impl Os {
             inflight: 0,
             stats: TenantStats::new(cfg.namespace_pages),
             is_default: false,
+            held_since: None,
         });
         self.qos_slots.push(QosSlot::new(cfg.qos));
         self.tenants.len() - 1
@@ -309,6 +366,7 @@ impl Os {
             inflight: 0,
             stats: TenantStats::new(self.ctrl.logical_pages()),
             is_default: true,
+            held_since: None,
         });
         self.qos_slots.push(QosSlot::new(crate::QosParams::default()));
         let t = self.tenants.len() - 1;
@@ -367,6 +425,23 @@ impl Os {
     /// The controller (counters, wear metrics, write amplification …).
     pub fn controller(&self) -> &Controller {
         &self.ctrl
+    }
+
+    /// The structured span collector, when observability is enabled on
+    /// the controller (`ObsConfig::span_capacity > 0`).
+    pub fn obs(&self) -> Option<&Obs> {
+        self.ctrl.obs()
+    }
+
+    /// The sampled telemetry timeline, when enabled
+    /// (`ObsConfig::timeline_interval_us > 0`).
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Tenant names in id order (the Perfetto exporter's tenant tracks).
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.tenants.iter().map(|t| t.name.clone()).collect()
     }
 
     /// Simulation events processed so far: controller agenda events plus
@@ -457,9 +532,11 @@ impl Os {
     }
 
     /// Run until no further progress is possible (all queues empty, no
-    /// in-flight IOs, no timers, controller idle).
+    /// in-flight IOs, no timers, controller idle). Flushes the trailing
+    /// partial telemetry interval, when the timeline is on.
     pub fn run(&mut self) {
         self.run_inner(None);
+        self.timeline_final();
     }
 
     /// Run until progress stops or virtual time would pass `horizon`.
@@ -486,6 +563,7 @@ impl Os {
                 }
             }
             self.now = next;
+            self.timeline_tick();
             let completions = self.ctrl.advance(next);
             for c in completions {
                 self.handle_completion(c);
@@ -510,6 +588,78 @@ impl Os {
                 self.handle_completion(c);
             }
         }
+    }
+
+    /// Emit telemetry rows for every whole interval the clock just
+    /// crossed. Called right after `now` advances and before the events
+    /// at `now` are processed, so each row covers activity strictly
+    /// before its interval end.
+    fn timeline_tick(&mut self) {
+        let Some(tl) = &self.timeline else { return };
+        let interval = tl.interval();
+        while self.now >= self.tl_next + interval {
+            let end = self.tl_next + interval;
+            self.timeline_row(self.tl_next, end);
+            self.tl_next = end;
+        }
+    }
+
+    /// Flush the trailing partial interval at the end of a run.
+    fn timeline_final(&mut self) {
+        if self.timeline.is_none() {
+            return;
+        }
+        if self.now > self.tl_next {
+            let end = self.now;
+            self.timeline_row(self.tl_next, end);
+            self.tl_next = end;
+        }
+    }
+
+    /// Compute and append one telemetry row covering `[from, to)`.
+    fn timeline_row(&mut self, from: SimTime, to: SimTime) {
+        let issued = self.ctrl.stats().issued;
+        let (cb, rr, gb) = self.ctrl.reliability().map_or((0, 0, 0), |r| {
+            (r.corrected_bits, r.read_retries, r.grown_bad_blocks)
+        });
+        let completions: u64 = self.tenants.iter().map(|t| t.stats.completed()).sum();
+        let prev = self.tl_prev;
+        let secs = to.since(from).as_secs_f64();
+        let iops = if secs > 0.0 {
+            (completions - prev.completions) as f64 / secs
+        } else {
+            0.0
+        };
+        let d = |a: OpClass| (issued[class_index(a)] - prev.issued[class_index(a)]) as f64;
+        let backlog: usize = self.tenants.iter().map(|t| t.backlog).sum();
+        let row = vec![
+            iops,
+            self.ctrl.write_amplification(),
+            backlog as f64,
+            self.inflight.len() as f64,
+            d(OpClass::AppRead),
+            d(OpClass::AppWrite),
+            d(OpClass::GcRead) + d(OpClass::GcWrite),
+            d(OpClass::WlRead) + d(OpClass::WlWrite),
+            d(OpClass::MergeRead) + d(OpClass::MergeWrite),
+            d(OpClass::MappingRead) + d(OpClass::MappingWrite),
+            d(OpClass::ScrubRead) + d(OpClass::ScrubWrite),
+            d(OpClass::Erase),
+            (cb - prev.corrected_bits) as f64,
+            (rr - prev.read_retries) as f64,
+            (gb - prev.grown_bad) as f64,
+        ];
+        self.tl_prev = TlSnap {
+            completions,
+            issued,
+            corrected_bits: cb,
+            read_retries: rr,
+            grown_bad: gb,
+        };
+        self.timeline
+            .as_mut()
+            .expect("caller checked")
+            .push_row(from, row);
     }
 
     /// Earliest token-refill instant the main loop must wake for: only
@@ -637,6 +787,19 @@ impl Os {
             let wait_us = self.now.saturating_since(q.enqueued_at).as_micros_f64();
             self.threads[tid].stats.queue_wait_us.record(wait_us);
             self.tenants[tenant].stats.queue_wait_us.record(wait_us);
+            if q.span != NO_SPAN {
+                // The span's host wait splits into QoS hold (while the
+                // tenant was rate-blocked) and plain queue wait; bind the
+                // device request id so the controller continues the span.
+                let hold = match self.tenants[tenant].held_since.take() {
+                    Some(since) => self.now.saturating_since(since),
+                    None => SimDuration::ZERO,
+                };
+                if let Some(o) = self.ctrl.obs_mut() {
+                    o.acc_queue(q.span, self.now, hold);
+                    o.bind_request(id, q.span);
+                }
+            }
             // Namespace translation: queues hold tenant-relative LBAs
             // (bounds-checked at submission); the device sees absolute ones.
             let lpn = self.tenants[tenant].ns.base + q.io.lpn;
@@ -659,6 +822,22 @@ impl Os {
                 self.now,
             );
         }
+        // Dispatch stopped with device slots free: under a token bucket
+        // any still-backlogged tenant is rate-blocked — note when the
+        // hold began so its next dispatch can attribute the wait.
+        if self.cfg.qos == QosPolicy::TokenBucket
+            && self.inflight.len() < self.cfg.queue_depth
+            && self.ctrl.obs().is_some()
+        {
+            let now = self.now;
+            for e in &mut self.tenants {
+                if e.backlog > 0 {
+                    e.held_since.get_or_insert(now);
+                } else {
+                    e.held_since = None;
+                }
+            }
+        }
     }
 
     fn handle_completion(&mut self, c: Completion) {
@@ -674,6 +853,9 @@ impl Os {
         };
         {
             let tenant = self.threads[inf.thread].tenant;
+            if let Some(st) = self.ctrl.obs_mut().and_then(|o| o.take_finished(c.id)) {
+                self.tenants[tenant].stats.record_stages(inf.io.kind, st);
+            }
             let te = &mut self.tenants[tenant];
             te.inflight -= 1;
             te.stats
@@ -761,10 +943,20 @@ impl Os {
                 ns.translate(io.lpn, &self.tenants[tenant].name);
                 let seq = self.next_seq;
                 self.next_seq += 1;
+                let now = self.now;
+                let span = self.ctrl.obs_mut().map_or(NO_SPAN, |o| {
+                    let kind = match io.kind {
+                        RequestKind::Read => "AppRead",
+                        RequestKind::Write => "AppWrite",
+                        RequestKind::Trim => "Trim",
+                    };
+                    o.open(kind, Some(tenant as u32), now)
+                });
                 self.threads[tid].queue.push_back(QueuedIo {
                     io,
                     enqueued_at: self.now,
                     seq,
+                    span,
                 });
                 self.tenants[tenant].backlog += 1;
             }
@@ -1208,6 +1400,57 @@ mod tests {
         assert_eq!(o.tenant_stats(t).writes_completed, 32);
         assert_eq!(o.tenant_count(), 2);
         assert_eq!(o.tenant_name(t), "t");
+    }
+
+    #[test]
+    fn obs_spans_and_timeline_capture_lifecycles() {
+        let mut ccfg = ControllerConfig::default();
+        ccfg.obs.span_capacity = 4096;
+        ccfg.obs.timeline_interval_us = 200;
+        let ctrl =
+            Controller::new(Geometry::tiny(), TimingSpec::slc(), ccfg).unwrap();
+        let mut o = Os::new(ctrl, OsConfig::default());
+        let t = o.add_thread(Box::new(SeqWriter::new(100, 4)));
+        o.run();
+        assert_eq!(o.thread_stats(t).writes_completed, 100);
+        let obs = o.obs().expect("spans enabled");
+        assert_eq!(obs.open_count(), 0, "all spans closed at quiescence");
+        assert!(obs.closed_count() > 0);
+        // Every host write fed a per-tenant stage breakdown, and the
+        // cursor accounting makes stage sums equal end-to-end latency.
+        let bd = o
+            .tenant_stats(0)
+            .stage_breakdown(RequestKind::Write)
+            .expect("write breakdowns recorded");
+        assert_eq!(bd.count(), 100);
+        assert!(bd.total().mean() > SimDuration::ZERO);
+        for s in obs.spans() {
+            assert_eq!(
+                s.stages.total(),
+                s.end.since(s.start).as_nanos(),
+                "span {} stage sums must equal end-to-end",
+                s.id
+            );
+        }
+        let tl = o.timeline().expect("timeline enabled");
+        assert!(!tl.is_empty(), "run must span telemetry intervals");
+        assert!(tl.to_csv().starts_with("t_us,iops,wa,"));
+        let writes: f64 = tl
+            .rows()
+            .iter()
+            .map(|(_, v)| v[TL_COLUMNS.iter().position(|c| *c == "app_write_issues").unwrap()])
+            .sum();
+        assert!(writes >= 100.0, "all write issues land in some interval");
+        // Obs off: no collector, no timeline, no breakdowns.
+        let mut plain = os(OsConfig::default());
+        plain.add_thread(Box::new(SeqWriter::new(10, 2)));
+        plain.run();
+        assert!(plain.obs().is_none());
+        assert!(plain.timeline().is_none());
+        assert!(plain
+            .tenant_stats(0)
+            .stage_breakdown(RequestKind::Write)
+            .is_none());
     }
 
     #[test]

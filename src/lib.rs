@@ -67,7 +67,7 @@ pub mod prelude {
         ControllerConfig, GcConfig, IoTags, MappingKind, RequestKind, SchedPolicy,
         TemperatureMode, Temperature, VictimPolicy, WlConfig, WriteAllocPolicy,
     };
-    pub use eagletree_core::{SimDuration, SimRng, SimTime, Zipf};
+    pub use eagletree_core::{Cause, ObsConfig, SimDuration, SimRng, SimTime, Stage, Zipf};
     pub use eagletree_experiments::{
         downsample, measure, measure_since, snapshot, sparkline, Scale, Setup, Table,
     };
