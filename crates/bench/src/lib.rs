@@ -11,6 +11,8 @@
 //!   (event queue, flash command issue, Zipf sampling, end-to-end small
 //!   simulations).
 
+#![forbid(unsafe_code)]
+
 /// Re-exported so benches and the harness share one entry point.
 pub use eagletree_experiments::{suite, Scale, Table};
 

@@ -9,14 +9,14 @@
 //! (dynamic wear leveling), GC migrations, DFTL translation pages, and
 //! open-interface update-locality groups.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eagletree_flash::{BlockAddr, Geometry, PhysicalAddr};
 
 use crate::config::WriteAllocPolicy;
 
 /// A write stream: pages in one stream share active blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stream {
     /// Default / hot application data.
     Hot,
@@ -49,7 +49,7 @@ struct ActiveBlock {
 struct LunAlloc {
     /// Free blocks with their erase counts (for age-aware allocation).
     free: Vec<(BlockAddr, u32)>,
-    active: HashMap<Stream, ActiveBlock>,
+    active: BTreeMap<Stream, ActiveBlock>,
 }
 
 /// Per-LUN free-space manager.
@@ -68,7 +68,7 @@ impl Allocator {
         let mut luns = vec![
             LunAlloc {
                 free: Vec::new(),
-                active: HashMap::new(),
+                active: BTreeMap::new(),
             };
             geometry.total_luns() as usize
         ];
@@ -95,7 +95,7 @@ impl Allocator {
             luns: vec![
                 LunAlloc {
                     free: Vec::new(),
-                    active: HashMap::new(),
+                    active: BTreeMap::new(),
                 };
                 geometry.total_luns() as usize
             ],

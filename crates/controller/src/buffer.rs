@@ -12,7 +12,7 @@
 //! was re-dirtied (or trimmed) while the program was in flight and discard
 //! the stale flash copy instead of publishing it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::types::Lpn;
 
@@ -20,7 +20,7 @@ use crate::types::Lpn;
 #[derive(Debug, Clone)]
 pub struct WriteBuffer {
     capacity: usize,
-    entries: HashMap<Lpn, u64>,
+    entries: BTreeMap<Lpn, u64>,
     order: VecDeque<Lpn>,
     next_version: u64,
     /// Overwrites absorbed in RAM (writes that never cost a flash program).
@@ -37,7 +37,7 @@ impl WriteBuffer {
         assert!(capacity > 0, "write buffer capacity must be positive");
         WriteBuffer {
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: VecDeque::new(),
             next_version: 0,
             absorbed: 0,
@@ -90,7 +90,7 @@ impl WriteBuffer {
     /// The buffered logical pages, oldest first. Battery-backed RAM
     /// survives a power cut; remount re-installs exactly this list.
     pub fn resident_lpns(&self) -> Vec<Lpn> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         self.order
             .iter()
             .filter(|l| self.entries.contains_key(l) && seen.insert(**l))

@@ -268,7 +268,7 @@ impl ControllerConfig {
             MappingKind::Hybrid { log_blocks: 0, .. } => {
                 return Err("hybrid log_blocks must be non-zero".into());
             }
-            _ => {}
+            MappingKind::PageMap | MappingKind::Dftl { .. } | MappingKind::Hybrid { .. } => {}
         }
         if self.wl.static_enabled && self.wl.check_every_erases == 0 {
             return Err("wl.check_every_erases must be non-zero".into());

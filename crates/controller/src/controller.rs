@@ -11,7 +11,7 @@
 //! the configured [`crate::sched::SchedPolicy`] and write allocator — precisely
 //! the design space the paper exposes.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use eagletree_core::{
     Cause, Obs, ObsConfig, OnlineStats, SimDuration, SimRng, SimTime, TraceKind, TraceLog,
@@ -370,16 +370,16 @@ pub struct Controller {
     hybrid_scratch: Vec<(u64, Lpn)>,
     lun_scratch: Vec<bool>,
     op_seq: u64,
-    app: HashMap<RequestId, AppIo>,
+    app: BTreeMap<RequestId, AppIo>,
     jobs: Vec<Option<ReclaimJob>>,
     merge_jobs: Vec<Option<MergeJob>>,
     /// At most one merge runs at a time: it bounds destination-block use
     /// and keeps fold programs in NAND page order.
     merge_active: bool,
-    fetches: HashMap<u64, FetchJob>,
+    fetches: BTreeMap<u64, FetchJob>,
     wb_jobs: Vec<Option<WbJob>>,
     reverse: Vec<Option<PageContent>>,
-    victims: HashSet<BlockAddr>,
+    victims: BTreeSet<BlockAddr>,
     reclaim_active: Vec<u32>,
     buffer: Option<WriteBuffer>,
     flushes_inflight: u32,
@@ -402,7 +402,7 @@ pub struct Controller {
     /// landed yet; their minimum bounds the checkpoint watermark, so a
     /// snapshot never claims to cover an entry it cannot contain.
     inflight_stamps: BTreeSet<u64>,
-    stamp_by_ppn: HashMap<Ppn, u64>,
+    stamp_by_ppn: BTreeMap<Ppn, u64>,
     /// Periodic mapping checkpoint, when configured.
     ckpt: Option<CkptState>,
     /// Trim journal for the next checkpoint (only maintained when
@@ -517,13 +517,13 @@ impl Controller {
             hybrid_scratch: Vec::new(),
             lun_scratch: Vec::new(),
             op_seq: 0,
-            app: HashMap::new(),
+            app: BTreeMap::new(),
             jobs: Vec::new(),
             merge_jobs: Vec::new(),
             merge_active: false,
-            fetches: HashMap::new(),
+            fetches: BTreeMap::new(),
             wb_jobs: Vec::new(),
-            victims: HashSet::new(),
+            victims: BTreeSet::new(),
             buffer,
             flushes_inflight: 0,
             tracer,
@@ -536,7 +536,7 @@ impl Controller {
             completions: Vec::new(),
             stamp_next: 1,
             inflight_stamps: BTreeSet::new(),
-            stamp_by_ppn: HashMap::new(),
+            stamp_by_ppn: BTreeMap::new(),
             ckpt,
             trim_barriers: BTreeMap::new(),
             lost_lpns: BTreeSet::new(),
@@ -1479,7 +1479,7 @@ impl Controller {
         let lbn = {
             let FtlKind::Hybrid(h) = &self.ftl else { return };
             let g = *self.array.geometry();
-            let logs: HashSet<Ppn> = h.log_bases().into_iter().collect();
+            let logs: BTreeSet<Ppn> = h.log_bases().into_iter().collect();
             let data = h.data_block_map();
             let skip = |b: BlockAddr| {
                 let base = g.page_index(b.page(0));
@@ -1894,7 +1894,7 @@ impl Controller {
         let lbn = {
             let FtlKind::Hybrid(h) = &self.ftl else { return };
             let g = *self.array.geometry();
-            let logs: HashSet<Ppn> = h.log_bases().into_iter().collect();
+            let logs: BTreeSet<Ppn> = h.log_bases().into_iter().collect();
             let data = h.data_block_map();
             let skip = |b: BlockAddr| {
                 let base = g.page_index(b.page(0));
@@ -3296,13 +3296,13 @@ impl Controller {
             hybrid_scratch: Vec::new(),
             lun_scratch: Vec::new(),
             op_seq: 0,
-            app: HashMap::new(),
+            app: BTreeMap::new(),
             jobs: Vec::new(),
             merge_jobs: Vec::new(),
             merge_active: false,
-            fetches: HashMap::new(),
+            fetches: BTreeMap::new(),
             wb_jobs: Vec::new(),
-            victims: HashSet::new(),
+            victims: BTreeSet::new(),
             buffer,
             flushes_inflight: 0,
             tracer,
@@ -3315,7 +3315,7 @@ impl Controller {
             completions: Vec::new(),
             stamp_next,
             inflight_stamps: BTreeSet::new(),
-            stamp_by_ppn: HashMap::new(),
+            stamp_by_ppn: BTreeMap::new(),
             trim_barriers: if ckpt.is_some() {
                 seeded_barriers
             } else {

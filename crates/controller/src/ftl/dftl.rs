@@ -22,7 +22,7 @@
 //! / GTD / pending structures model the *cost* (which operations require
 //! flash IOs), never the values.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ftl::lru::LruCache;
 use crate::ftl::{Ftl, MapLookup, TranslationWriteback};
@@ -37,7 +37,7 @@ pub struct Dftl {
     /// tvpn → flash location of the translation page.
     gtd: Vec<Option<Ppn>>,
     /// GC-relocated entries not yet persisted nor cached, by tvpn.
-    pending: HashMap<u64, HashSet<Lpn>>,
+    pending: BTreeMap<u64, BTreeSet<Lpn>>,
     /// Dirty-eviction writebacks awaiting the controller.
     queued: Vec<TranslationWriteback>,
     /// Mapping entries per translation page.
@@ -72,7 +72,7 @@ impl Dftl {
             map: vec![None; logical_pages as usize],
             cmt: LruCache::new(cmt_entries),
             gtd: vec![None; tvpns as usize],
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             queued: Vec::new(),
             entries_per_tp,
             stats: DftlStats::default(),

@@ -270,7 +270,7 @@ impl Hybrid {
 
     /// Invert the directory: base PPN → lbn for every registered data
     /// block, for O(1) membership tests in whole-array block scans.
-    pub fn data_block_map(&self) -> std::collections::HashMap<Ppn, u64> {
+    pub fn data_block_map(&self) -> std::collections::BTreeMap<Ppn, u64> {
         self.dir
             .iter()
             .enumerate()

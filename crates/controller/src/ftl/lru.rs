@@ -4,7 +4,7 @@
 //! pin count; pinned entries are skipped by eviction so mapping entries of
 //! in-flight IOs cannot disappear under them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const NIL: usize = usize::MAX;
 
@@ -20,7 +20,7 @@ struct Node {
 /// LRU cache with dirty flags and pinning.
 #[derive(Debug, Clone)]
 pub struct LruCache {
-    map: HashMap<u64, usize>,
+    map: BTreeMap<u64, usize>,
     nodes: Vec<Node>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -33,7 +33,7 @@ impl LruCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LRU capacity must be positive");
         LruCache {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             nodes: Vec::new(),
             free: Vec::new(),
             head: NIL,

@@ -24,6 +24,8 @@
 //!   outgrow the ECC (pairs with `eagletree_flash::fault`).
 //! * [`Controller`] — the orchestrator tying it all to the flash array.
 
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 pub mod buffer;
 pub mod config;

@@ -32,7 +32,7 @@
 //! candidates are compared by `(class, tag, enqueue-time, seq)` keys, and
 //! callers sort head candidates by `seq` before handing them to a policy.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::types::OpClass;
 
@@ -40,7 +40,7 @@ use crate::types::OpClass;
 pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// Which group a pending op belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub(crate) enum QueueKey {
     /// Register transfers: issued before anything else whenever their
     /// channel frees, since a LUN holding data blocks all other commands.
@@ -88,7 +88,7 @@ pub(crate) struct PendingSet<T> {
     free: Vec<u32>,
     queues: Vec<Queue>,
     groups: Vec<Group>,
-    by_key: HashMap<QueueKey, u32>,
+    by_key: BTreeMap<QueueKey, u32>,
     live: usize,
 }
 
@@ -97,7 +97,7 @@ impl<T> PendingSet<T> {
     pub(crate) const TRANSFER_GROUP: u32 = 0;
 
     pub(crate) fn new() -> Self {
-        let mut by_key = HashMap::new();
+        let mut by_key = BTreeMap::new();
         by_key.insert(QueueKey::Transfer, Self::TRANSFER_GROUP);
         PendingSet {
             slots: Vec::new(),

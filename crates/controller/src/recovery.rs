@@ -43,7 +43,7 @@
 //! has no checkpoint to consult — are RAM-only and may be *resurrected*
 //! by recovery.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eagletree_core::{SimDuration, SimTime};
 use eagletree_flash::{BlockAddr, FlashArray, OobTag, PageState, PowerCutReport};
@@ -219,7 +219,7 @@ pub(crate) fn recover_medium(
     // Journaled trims: copies of these logical pages with seq at or below
     // the barrier were dead at snapshot time and must not be resurrected
     // when their block gets re-scanned.
-    let trim_barriers: HashMap<Lpn, u64> = record
+    let trim_barriers: BTreeMap<Lpn, u64> = record
         .map(|r| r.trims.iter().copied().collect())
         .unwrap_or_default();
     let trimmed = |lpn: u64, seq: u64| trim_barriers.get(&lpn).is_some_and(|&b| seq <= b);
@@ -442,7 +442,7 @@ pub(crate) fn classify_hybrid(
     let ppb = g.pages_per_block as u64;
     let lbns = logical_pages.div_ceil(ppb).max(1);
     // lbn → best aligned candidate (most live pages, ties to lowest base).
-    let mut candidates: HashMap<u64, (Ppn, u32)> = HashMap::new();
+    let mut candidates: BTreeMap<u64, (Ppn, u32)> = BTreeMap::new();
     let mut aligned: Vec<(Ppn, u64, u32)> = Vec::new(); // (base, lbn, live)
     let mut logs: Vec<(Ppn, Vec<Lpn>)> = Vec::new();
     for block in g.blocks() {

@@ -21,7 +21,7 @@
 //! lazily-journaled deallocations; the property suite therefore still
 //! does not require *every* trimmed page to stay unmapped across a cut.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eagletree_controller::{
     Completion, Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RecoveryMode,
@@ -70,9 +70,9 @@ fn config(mapping: MappingKind, checkpoint_interval: u64) -> ControllerConfig {
 #[derive(Default)]
 struct Ledger {
     /// Completion instant of the last acknowledged write per lpn.
-    write_ack: HashMap<u64, SimTime>,
+    write_ack: BTreeMap<u64, SimTime>,
     /// Submission (= completion) instant of the last trim per lpn.
-    trim_ack: HashMap<u64, SimTime>,
+    trim_ack: BTreeMap<u64, SimTime>,
 }
 
 impl Ledger {
@@ -92,7 +92,7 @@ struct Driver {
     c: Controller,
     now: SimTime,
     next_id: u64,
-    writes: HashMap<u64, u64>, // request id -> lpn
+    writes: BTreeMap<u64, u64>, // request id -> lpn
     ledger: Ledger,
 }
 
@@ -102,7 +102,7 @@ impl Driver {
             c,
             now: SimTime::ZERO,
             next_id: 0,
-            writes: HashMap::new(),
+            writes: BTreeMap::new(),
             ledger: Ledger::default(),
         }
     }
@@ -243,7 +243,7 @@ fn check_crash(
         }
 
         // 2. No double-mapped physical page.
-        let mut owners: HashMap<u64, u64> = HashMap::new();
+        let mut owners: BTreeMap<u64, u64> = BTreeMap::new();
         for lpn in 0..logical {
             if let Some(ppn) = c2.peek_mapping(lpn) {
                 if let Some(prev) = owners.insert(ppn, lpn) {

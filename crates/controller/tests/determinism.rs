@@ -257,7 +257,7 @@ fn sched_policies_actually_differ() {
         .into_iter()
         .map(|(_, p)| run_fingerprint(MappingKind::PageMap, p))
         .collect();
-    let distinct: std::collections::HashSet<&String> = prints.iter().collect();
+    let distinct: std::collections::BTreeSet<&String> = prints.iter().collect();
     // On this mix reads are the minority class, so reads-first,
     // EDF-with-default-deadlines and Fair legitimately converge on the
     // same schedule; FIFO and TagPriority must still disagree with them

@@ -17,7 +17,7 @@
 //!   a power-cut + remount of a medium that already carries grown bad
 //!   blocks (the wear-out × recovery composition).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use eagletree_controller::{
     Completion, Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RecoveryMode,
@@ -36,8 +36,8 @@ struct Driver {
     now: SimTime,
     next_id: u64,
     done: Vec<Completion>,
-    writes: HashMap<u64, u64>,
-    acked: HashSet<u64>,
+    writes: BTreeMap<u64, u64>,
+    acked: BTreeSet<u64>,
 }
 
 impl Driver {
@@ -47,8 +47,8 @@ impl Driver {
             now: SimTime::ZERO,
             next_id: 0,
             done: Vec::new(),
-            writes: HashMap::new(),
-            acked: HashSet::new(),
+            writes: BTreeMap::new(),
+            acked: BTreeSet::new(),
         }
     }
 
@@ -266,7 +266,7 @@ fn no_acknowledged_write_is_lost_without_a_ledger_entry() {
             faulty_cfg(mapping, SchedPolicy::Fifo, QueueKind::Heap),
             2000,
         );
-        let lost: HashSet<u64> = d.c.lost_data().collect();
+        let lost: BTreeSet<u64> = d.c.lost_data().collect();
         let g = *d.c.array().geometry();
         let mut verified = 0u64;
         for &lpn in &d.acked {
@@ -325,7 +325,7 @@ fn remount_tolerates_grown_bad_blocks() {
             "churn must retire blocks before the cut: {rel:?}"
         );
         let acked = std::mem::take(&mut d.acked);
-        let pre_lost: HashSet<u64> = d.c.lost_data().collect();
+        let pre_lost: BTreeSet<u64> = d.c.lost_data().collect();
         let image = d.c.power_cut(d.now);
         let (c2, rep) = Controller::remount(image, cfg, mode).expect("remount scarred medium");
         c2.check_invariants();

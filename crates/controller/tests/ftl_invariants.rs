@@ -15,7 +15,7 @@
 //! bookkeeping — easy to introduce with multi-step merge machinery — fails
 //! here first.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use eagletree_controller::{
     Completion, Controller, ControllerConfig, IoTags, MappingKind, MergePolicy, RequestKind,
@@ -113,7 +113,7 @@ fn check_scheme(name: &str, mapping: MappingKind, ops: &[Op], qd: usize) -> Resu
     let mut d = build(mapping);
     let logical = d.c.logical_pages();
     // Model: the set of logical pages whose last operation was a write.
-    let mut written: HashSet<u64> = HashSet::new();
+    let mut written: BTreeSet<u64> = BTreeSet::new();
     let mut read_ids: Vec<u64> = Vec::new();
     for chunk in ops.chunks(qd) {
         for op in chunk {
@@ -148,7 +148,7 @@ fn check_scheme(name: &str, mapping: MappingKind, ops: &[Op], qd: usize) -> Resu
     d.run();
 
     // Every submitted request completed.
-    let done_ids: HashSet<u64> = d.done.iter().map(|c| c.id).collect();
+    let done_ids: BTreeSet<u64> = d.done.iter().map(|c| c.id).collect();
     prop_assert_eq!(
         done_ids.len() as u64,
         d.next_id,
@@ -181,7 +181,7 @@ fn check_scheme(name: &str, mapping: MappingKind, ops: &[Op], qd: usize) -> Resu
     }
 
     // 2. Bijectivity: no two logical pages share a physical page.
-    let mut owners: HashMap<u64, u64> = HashMap::new();
+    let mut owners: BTreeMap<u64, u64> = BTreeMap::new();
     for lpn in 0..logical {
         if let Some(ppn) = d.c.peek_mapping(lpn) {
             if let Some(prev) = owners.insert(ppn, lpn) {

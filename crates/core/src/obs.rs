@@ -30,7 +30,7 @@
 //! Everything is gated behind [`ObsConfig`]; the default configuration
 //! disables all of it and costs one `Option` test per hook site.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::stats::{Histogram, Tail};
 use crate::time::{SimDuration, SimTime};
@@ -215,11 +215,11 @@ struct OpenSpan {
 pub struct Obs {
     capacity: usize,
     next_id: u64,
-    open: HashMap<u64, OpenSpan>,
+    open: BTreeMap<u64, OpenSpan>,
     /// Host request id → open span id.
-    req_spans: HashMap<u64, u64>,
+    req_spans: BTreeMap<u64, u64>,
     /// Closed host breakdowns awaiting pickup by the completion path.
-    finished: HashMap<u64, StageNs>,
+    finished: BTreeMap<u64, StageNs>,
     /// Ring buffer of the most recent closed spans.
     closed: Vec<Span>,
     ring_start: usize,
@@ -238,9 +238,9 @@ impl Obs {
         Obs {
             capacity,
             next_id: 1,
-            open: HashMap::new(),
-            req_spans: HashMap::new(),
-            finished: HashMap::new(),
+            open: BTreeMap::new(),
+            req_spans: BTreeMap::new(),
+            finished: BTreeMap::new(),
             closed: Vec::new(),
             ring_start: 0,
             dropped: 0,

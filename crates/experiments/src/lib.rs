@@ -15,6 +15,8 @@
 //! * [`capture`] — the instrumented observability run behind the bench
 //!   harness `--trace` / `--timeline` flags (Perfetto + timeline export).
 
+#![forbid(unsafe_code)]
+
 pub mod capture;
 pub mod experiment;
 pub mod metrics;

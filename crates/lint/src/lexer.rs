@@ -1,0 +1,404 @@
+//! A small Rust lexer sufficient for the determinism lint passes.
+//!
+//! This is *not* a full Rust front-end (the offline container has no
+//! `syn`; see the crate docs). It produces a flat token stream with
+//! line numbers, correctly skipping string/char literals and comments
+//! so the rule passes never match inside them, and it captures line
+//! comments verbatim so `lint:allow` escapes can be parsed.
+//!
+//! Design notes that matter for rule correctness:
+//! - Float literals (`1.0`, `1e9`, `2f64`) lex as [`TokKind::Float`];
+//!   integer literals (including `0x1e9`, which contains an `e` but is
+//!   hex) lex as [`TokKind::Int`]. Rule R3 keys on this distinction.
+//! - `'a` lexes as a lifetime, `'a'` as a char literal.
+//! - The multi-char operators `=>`, `::`, `->`, `..=`, `..` are single
+//!   tokens (the match-arm parser in R4 relies on `=>`); every other
+//!   operator is one `Punct` per char.
+//! - Nested block comments are handled; raw strings up to any `#` depth.
+
+/// Token category. `text` is always populated for idents, puncts and
+/// numeric literals; string/char literal bodies are not retained (no
+/// rule needs them, and skipping them is the point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Int,
+    Float,
+    Str,
+    Char,
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A captured `//` line comment (used for `lint:allow` escapes).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: token stream plus every line comment in the file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    // Advance over `len` chars, keeping the line counter in sync.
+    macro_rules! bump {
+        ($len:expr) => {{
+            for k in 0..$len {
+                if b[i + k] == '\n' {
+                    line += 1;
+                }
+            }
+            i += $len;
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // Line comment (also covers `///` and `//!`).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(LineComment {
+                line,
+                text: b[start..i].iter().collect(),
+            });
+            continue; // the `\n` is consumed by the whitespace branch
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1u32;
+            bump!(2);
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!(2);
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+        // Raw / byte / plain string literals: b"", r"", br#""#, r#""#.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut saw_r = false;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            if j < n && b[j] == 'r' {
+                saw_r = true;
+                j += 1;
+            }
+            if saw_r && j < n && (b[j] == '"' || b[j] == '#') {
+                // Raw string: count hashes, then scan to `"` + hashes.
+                let tok_line = line;
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    bump!(j + 1 - i);
+                    'raw: while i < n {
+                        if b[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                bump!(1 + hashes);
+                                break 'raw;
+                            }
+                        }
+                        bump!(1);
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    continue;
+                }
+                // `r#ident` raw identifier — fall through to ident path.
+            } else if !saw_r && j < n && b[j] == '"' {
+                // b"..." byte string: scan like a plain string below.
+                let tok_line = line;
+                bump!(j + 1 - i);
+                while i < n && b[i] != '"' {
+                    if b[i] == '\\' && i + 1 < n {
+                        bump!(2);
+                    } else {
+                        bump!(1);
+                    }
+                }
+                if i < n {
+                    bump!(1);
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                continue;
+            }
+            // else: plain identifier starting with r/b.
+        }
+        if c == '"' {
+            let tok_line = line;
+            bump!(1);
+            while i < n && b[i] != '"' {
+                if b[i] == '\\' && i + 1 < n {
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            if i < n {
+                bump!(1);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Lifetime vs char literal.
+        if c == '\'' {
+            let tok_line = line;
+            // Lifetime: 'ident NOT followed by a closing quote.
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j >= n || b[j] != '\'' {
+                    let text: String = b[i..j].iter().collect();
+                    bump!(j - i);
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line: tok_line,
+                    });
+                    continue;
+                }
+            }
+            // Char literal: '<char or escape>'.
+            bump!(1);
+            if i < n && b[i] == '\\' {
+                bump!(2);
+                while i < n && b[i] != '\'' {
+                    bump!(1); // \u{...}
+                }
+            } else if i < n {
+                bump!(1);
+            }
+            if i < n && b[i] == '\'' {
+                bump!(1);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'o' | 'b') {
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fraction: `.` followed by a digit (so `1.max(2)` and
+                // `1..5` stay integers).
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                } else if i < n
+                    && b[i] == '.'
+                    && (i + 1 >= n || (!ident_start(b[i + 1]) && b[i + 1] != '.'))
+                {
+                    // Trailing-dot float like `1.` (not `1.x` or `1..`).
+                    is_float = true;
+                    i += 1;
+                }
+                // Exponent: 1e9, 1.5e-3.
+                if i < n && (b[i] == 'e' || b[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (b[j] == '+' || b[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Type suffix: u64, f64, ...
+                let suf = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let suffix: String = b[suf..i].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    is_float = true;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            out.toks.push(Tok {
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Identifier / keyword (incl. raw idents `r#type`).
+        if ident_start(c) || (c == 'r' && i + 1 < n && b[i + 1] == '#') {
+            let tok_line = line;
+            let start = i;
+            if c == 'r' && i + 1 < n && b[i + 1] == '#' {
+                i += 2;
+            }
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Multi-char operators the rule passes care about.
+        let two: String = b[i..(i + 2).min(n)].iter().collect();
+        let three: String = b[i..(i + 3).min(n)].iter().collect();
+        let (text, len) = if three == "..=" {
+            ("..=".to_string(), 3)
+        } else if two == "=>" || two == "::" || two == "->" || two == ".." {
+            (two, 2)
+        } else {
+            (c.to_string(), 1)
+        };
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text,
+            line,
+        });
+        bump!(len);
+    }
+    out
+}
+
+fn ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn floats_vs_ints() {
+        let ks = kinds("1e9 0x1e9 1.0 1_000 2f64 1.max(2) 0..3 1..=4");
+        assert_eq!(ks[0].0, TokKind::Float); // 1e9
+        assert_eq!(ks[1].0, TokKind::Int); // 0x1e9
+        assert_eq!(ks[2].0, TokKind::Float); // 1.0
+        assert_eq!(ks[3].0, TokKind::Int); // 1_000
+        assert_eq!(ks[4].0, TokKind::Float); // 2f64
+        assert_eq!(ks[5].0, TokKind::Int); // 1 (then .max)
+        assert!(ks.iter().any(|k| k.1 == "..=" || k.1 == ".."));
+    }
+
+    #[test]
+    fn lifetimes_chars_strings() {
+        let ks = kinds("'a 'x' \"has // no comment\" r#\"raw \" str\"# b\"bytes\"");
+        assert_eq!(ks[0].0, TokKind::Lifetime);
+        assert_eq!(ks[1].0, TokKind::Char);
+        assert_eq!(ks[2].0, TokKind::Str);
+        assert_eq!(ks[3].0, TokKind::Str);
+        assert_eq!(ks[4].0, TokKind::Str);
+    }
+
+    #[test]
+    fn comments_captured_not_tokenized() {
+        let l = lex("let x = 1; // lint:allow(R1) because\n/* block /* nested */ */ y");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("lint:allow"));
+        assert!(l.toks.iter().any(|t| t.is_ident("y")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("nested")));
+    }
+
+    #[test]
+    fn fat_arrow_and_paths_are_single_tokens() {
+        let ks = kinds("OpClass::HostRead => x, a >= b");
+        assert!(ks.iter().any(|k| k.1 == "::"));
+        assert!(ks.iter().any(|k| k.1 == "=>"));
+        // `>=` stays two puncts; only `=>` is fused.
+        assert!(ks.iter().filter(|k| k.1 == ">").count() >= 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let l = lex("a\n\"str\nwith nl\"\nb");
+        let a = l.toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! `cargo run -p lint` — the determinism lint CLI.
+//!
+//! Flags:
+//! - `--deny-all`      exit 1 if any deny-tier finding lacks a `lint:allow`
+//! - `--json PATH`     write the machine-readable findings report
+//! - `--root PATH`     workspace root (default: this crate's `../..`)
+//! - positional paths  lint specific `.rs` files instead of the workspace walk
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut json: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            f if !f.starts_with('-') => files.push(PathBuf::from(f)),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this binary was built from, so the
+    // tool works from any cwd inside (or outside) the tree.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let rep = if files.is_empty() {
+        lint::lint_workspace(&root)
+    } else {
+        lint::lint_files(&files, &root)
+    };
+    let rep = match rep {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", rep.render());
+    if let Some(p) = json {
+        if let Err(e) = std::fs::write(&p, rep.to_json()) {
+            eprintln!("lint: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", p.display());
+    }
+    if deny_all && rep.violations() > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("lint: {err}");
+    }
+    eprintln!(
+        "usage: cargo run -p lint -- [--deny-all] [--json PATH] [--root PATH] [FILES...]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

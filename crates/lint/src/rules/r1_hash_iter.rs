@@ -1,0 +1,186 @@
+//! R1 — no iteration over `HashMap`/`HashSet` in simulation paths.
+//!
+//! `std`'s hash containers iterate in insertion-order-unstable (and,
+//! with the default `RandomState`, per-process-random) order. Any
+//! simulation-path loop over one is a latent nondeterminism bug: the
+//! moment the loop body issues ops, touches an RNG, or breaks early,
+//! fixed-seed runs stop being byte-identical.
+//!
+//! Detection (lexical, per file):
+//! 1. Collect *hash-typed names*: identifiers annotated
+//!    `name: HashMap<..>` / `name: HashSet<..>` (struct fields, fn
+//!    params, let bindings) and `let name = HashMap::new()/
+//!    with_capacity(..)/from(..)/default()` bindings.
+//! 2. Flag iteration over those names: `for .. in name` /
+//!    `for .. in &name` / `for .. in &mut name` (incl. `a.b.name`),
+//!    and receiver calls `name.iter() / iter_mut() / keys() / values()
+//!    / values_mut() / into_keys() / into_values() / drain(..) /
+//!    retain(..) / into_iter()`.
+//!
+//! Name resolution is file-scoped, so a same-named non-hash variable
+//! elsewhere in the file can false-positive; rename it or carry a
+//! `lint:allow(R1)` with the justification. The fix for true
+//! positives is `BTreeMap`/`BTreeSet` or collect-then-sort.
+
+use crate::allow::AllowSet;
+use crate::lexer::{Tok, TokKind};
+use crate::report::{Finding, Rule, Tier};
+use std::collections::BTreeSet;
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "into_iter",
+];
+
+pub fn run(path: &str, toks: &[Tok], allows: &mut AllowSet, findings: &mut Vec<Finding>) {
+    let names = hash_typed_names(toks);
+    if names.is_empty() {
+        return;
+    }
+
+    let mut flag = |line: u32, name: &str, how: &str, allows: &mut AllowSet| {
+        let allowed = allows.cover(Rule::R1, line);
+        findings.push(Finding {
+            rule: Rule::R1,
+            tier: Tier::Deny,
+            path: path.to_string(),
+            line,
+            message: format!(
+                "iteration over hash container `{name}` ({how}) is insertion-order-unstable; \
+                 use BTreeMap/BTreeSet or collect-and-sort"
+            ),
+            allowed,
+        });
+    };
+
+    for i in 0..toks.len() {
+        // name . method ( — receiver form.
+        if toks[i].kind == TokKind::Ident
+            && names.contains(toks[i].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && ITER_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+        {
+            let m = toks[i + 2].text.clone();
+            flag(toks[i].line, &toks[i].text, &format!(".{m}()"), allows);
+        }
+        // for .. in [&[mut]] path-ending-in-name {
+        if toks[i].is_ident("for") {
+            if let Some(in_pos) = find_at_depth0(toks, i + 1, "in") {
+                // The loop body starts at the first depth-0 `{` after `in`.
+                if let Some(body) = find_open_brace(toks, in_pos + 1) {
+                    let expr = &toks[in_pos + 1..body];
+                    if let Some(last) = expr.last() {
+                        if last.kind == TokKind::Ident && names.contains(last.text.as_str()) {
+                            flag(last.line, &last.text, "for-loop", allows);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pass 1: names with a hash-container type.
+fn hash_typed_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Ident && HASH_TYPES.contains(&toks[i].text.as_str())) {
+            continue;
+        }
+        // `name : [std :: collections ::] HashMap` — walk back over the
+        // optional path prefix and reference sigils to the `:`.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        while j >= 1 && (toks[j - 1].is_punct("&") || toks[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        if j >= 2 && toks[j - 1].is_punct(":") && toks[j - 2].kind == TokKind::Ident {
+            names.insert(toks[j - 2].text.clone());
+            continue;
+        }
+        // `let [mut] name [ : _ ] = [path ::] HashMap :: new/with_capacity/
+        // from/default` — look forward for the constructor, back for `let`.
+        let ctor = toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|t| {
+                ["new", "with_capacity", "from", "default"].contains(&t.text.as_str())
+            });
+        if ctor {
+            // Scan back to the statement head for `let (mut)? name`.
+            let mut k = i;
+            while k > 0 {
+                let t = &toks[k - 1];
+                if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                    break;
+                }
+                if t.is_ident("let") {
+                    let mut m = k; // token after `let`
+                    if toks.get(m).is_some_and(|t| t.is_ident("mut")) {
+                        m += 1;
+                    }
+                    if let Some(n) = toks.get(m) {
+                        if n.kind == TokKind::Ident {
+                            names.insert(n.text.clone());
+                        }
+                    }
+                    break;
+                }
+                k -= 1;
+            }
+        }
+    }
+    names
+}
+
+/// First index at paren/bracket/brace depth 0 (relative to `from`)
+/// whose token is the ident `what`.
+fn find_at_depth0(toks: &[Tok], from: usize, what: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth == 0 && t.is_ident(what) {
+            return Some(i);
+        }
+        if depth < 0 {
+            return None;
+        }
+    }
+    None
+}
+
+fn find_open_brace(toks: &[Tok], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" if depth == 0 => return Some(i),
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth < 0 {
+            return None;
+        }
+    }
+    None
+}

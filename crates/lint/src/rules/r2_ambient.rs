@@ -1,0 +1,62 @@
+//! R2 — no ambient wall-clock or randomness in simulation paths.
+//!
+//! Simulated time comes from the event clock (`SimTime`) and all
+//! randomness from the seeded `core::rng` SplitMix64; anything that
+//! reads the host environment makes fixed-seed runs
+//! machine-dependent. Flagged:
+//!
+//! - `Instant::now` (path form — the `Instant` *type* alone may appear
+//!   in harness-facing signatures)
+//! - `SystemTime`, `UNIX_EPOCH` (any use)
+//! - `thread_rng`, `OsRng`, `getrandom` (any use)
+//! - `RandomState`, `DefaultHasher` (env-seeded hashers; any use)
+//!
+//! The bench/harness crates are outside the walker's scope, so timing
+//! a *host-side* measurement there is fine; the one simulation-crate
+//! site that legitimately measures host wall time (E18's events/sec
+//! meta-experiment) carries a `lint:allow(R2)`.
+
+use crate::allow::AllowSet;
+use crate::lexer::{Tok, TokKind};
+use crate::report::{Finding, Rule, Tier};
+use crate::rules::is_path2;
+
+const BANNED_IDENTS: [(&str, &str); 6] = [
+    ("SystemTime", "wall-clock read"),
+    ("UNIX_EPOCH", "wall-clock anchor"),
+    ("thread_rng", "ambient RNG"),
+    ("OsRng", "ambient RNG"),
+    ("RandomState", "env-seeded hasher"),
+    ("DefaultHasher", "env-seeded hasher"),
+];
+
+pub fn run(path: &str, toks: &[Tok], allows: &mut AllowSet, findings: &mut Vec<Finding>) {
+    let mut flag = |line: u32, what: &str, why: &str, allows: &mut AllowSet| {
+        let allowed = allows.cover(Rule::R2, line);
+        findings.push(Finding {
+            rule: Rule::R2,
+            tier: Tier::Deny,
+            path: path.to_string(),
+            line,
+            message: format!(
+                "`{what}` ({why}) in a simulation path — use the event clock / seeded rng"
+            ),
+            allowed,
+        });
+    };
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if is_path2(toks, i, "Instant", "now") {
+            flag(toks[i].line, "Instant::now", "wall-clock read", allows);
+            continue;
+        }
+        for (name, why) in BANNED_IDENTS {
+            if toks[i].text == name {
+                flag(toks[i].line, name, why, allows);
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! R3 — no floating-point arithmetic flowing into integer time values.
+//!
+//! The PR-5 bug class: `(wait_s * 1e9).ceil() as u64` rounded a
+//! token-bucket wakeup *early* and span the main loop on zero
+//! progress. Nanosecond timelines are integers; the instant a float
+//! enters the computation, rounding direction and platform rounding
+//! mode become correctness inputs.
+//!
+//! Two detectors, findings anchored at the cast:
+//!
+//! **Statement-level** — within one statement (see
+//! [`crate::rules::statements`]), all three of:
+//! 1. a float: float literal, `f32`/`f64` (incl. `as f64`), or a
+//!    float-producing method (`ceil`, `floor`, `round`, `powf`,
+//!    `powi`, `sqrt`, `exp`, `ln`, `log2`, `log10`, `as_secs_f64`);
+//! 2. a cast into a wide integer (`as u64/u128/i64/i128` — narrow
+//!    `u32`/`usize` casts are index/label math, not timestamps);
+//! 3. a *time-typed name*: an identifier with a snake-case part in
+//!    {ns, nanos, nano, time, timestamp, deadline, wake, wakeup,
+//!    latency, tick(s), horizon, interval, gap, warp, period, when,
+//!    sec(s), millis, micros}, or `SimTime`/`SimDuration`/
+//!    `from_nanos`/`as_nanos`/`from_micros`/`from_millis`.
+//!
+//! **Function-level** — inside a fn whose *name* carries a time
+//! *unit* (a part in {ns, nanos, nano, wake, wakeup, deadline, tick,
+//! ticks} — names that merely mention "time" don't qualify; E21's
+//! `mount_time` experiment would), a float marker anywhere in the
+//! body plus a wide-int cast anywhere in the body flags, even when
+//! they sit in different statements (`let ns = (d * 1e9 / r).ceil();
+//! … ns as u64`).
+//!
+//! ns → float conversions (reporting, `as_secs_f64` itself) never
+//! flag: the rule requires the cast *into* an integer.
+
+use crate::allow::AllowSet;
+use crate::lexer::{Tok, TokKind};
+use crate::report::{Finding, Rule, Tier};
+use crate::rules::{matching_close, statements};
+
+const FLOAT_METHODS: [&str; 11] = [
+    "ceil", "floor", "round", "powf", "powi", "sqrt", "exp", "ln", "log2", "log10", "as_secs_f64",
+];
+const INT_TARGETS: [&str; 4] = ["u64", "u128", "i64", "i128"];
+const TIME_PARTS: [&str; 21] = [
+    "ns", "nanos", "nano", "time", "timestamp", "deadline", "wake", "wakeup", "latency", "tick",
+    "ticks", "horizon", "interval", "gap", "warp", "period", "when", "sec", "secs", "millis",
+    "micros",
+];
+const TIME_UNIT_PARTS: [&str; 8] = [
+    "ns", "nanos", "nano", "wake", "wakeup", "deadline", "tick", "ticks",
+];
+const TIME_IDENTS: [&str; 6] = [
+    "SimTime",
+    "SimDuration",
+    "from_nanos",
+    "as_nanos",
+    "from_micros",
+    "from_millis",
+];
+
+pub fn run(path: &str, toks: &[Tok], allows: &mut AllowSet, findings: &mut Vec<Finding>) {
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    let flag = |cast: &Tok,
+                    target: &str,
+                    flagged_lines: &mut Vec<u32>,
+                    allows: &mut AllowSet,
+                    findings: &mut Vec<Finding>| {
+        if flagged_lines.contains(&cast.line) {
+            return;
+        }
+        flagged_lines.push(cast.line);
+        let allowed = allows.cover(Rule::R3, cast.line);
+        findings.push(Finding {
+            rule: Rule::R3,
+            tier: Tier::Deny,
+            path: path.to_string(),
+            line: cast.line,
+            message: format!(
+                "float arithmetic cast into integer `as {target}` in a time context — \
+                 compute in integer nanoseconds (u64/u128) with explicit overflow/rounding guards"
+            ),
+            allowed,
+        });
+    };
+
+    // Statement-level.
+    for (s, e) in statements(toks) {
+        let st = &toks[s..e];
+        let Some(cast_at) = int_cast(st) else { continue };
+        if has_float(st) && has_time_name(st) {
+            flag(
+                &st[cast_at],
+                &st[cast_at + 1].text.clone(),
+                &mut flagged_lines,
+                allows,
+                findings,
+            );
+        }
+    }
+
+    // Function-level: whole-body scan of time-unit-named fns.
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn")
+            && toks[i + 1].kind == TokKind::Ident
+            && is_time_unit_name(&toks[i + 1].text)
+        {
+            if let Some(open) = fn_open_brace(toks, i + 1) {
+                let close = matching_close(toks, open);
+                let body = &toks[open..close];
+                if has_float(body) {
+                    if let Some(cast_at) = int_cast(body) {
+                        flag(
+                            &body[cast_at],
+                            &body[cast_at + 1].text.clone(),
+                            &mut flagged_lines,
+                            allows,
+                            findings,
+                        );
+                    }
+                }
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Index of the `as` in the first wide-int cast.
+fn int_cast(st: &[Tok]) -> Option<usize> {
+    (0..st.len().saturating_sub(1)).find(|&i| {
+        st[i].is_ident("as")
+            && st[i + 1].kind == TokKind::Ident
+            && INT_TARGETS.contains(&st[i + 1].text.as_str())
+    })
+}
+
+fn has_float(st: &[Tok]) -> bool {
+    st.iter().enumerate().any(|(i, t)| match t.kind {
+        TokKind::Float => true,
+        TokKind::Ident => {
+            t.text == "f64"
+                || t.text == "f32"
+                || (FLOAT_METHODS.contains(&t.text.as_str())
+                    // method position: preceded by `.`, followed by `(`
+                    && i > 0
+                    && st[i - 1].is_punct(".")
+                    && st.get(i + 1).is_some_and(|n| n.is_punct("(")))
+        }
+        _ => false,
+    })
+}
+
+fn is_time_name(name: &str) -> bool {
+    if TIME_IDENTS.contains(&name) {
+        return true;
+    }
+    name.split('_').any(|p| TIME_PARTS.contains(&p))
+}
+
+fn is_time_unit_name(name: &str) -> bool {
+    name.split('_').any(|p| TIME_UNIT_PARTS.contains(&p))
+}
+
+fn has_time_name(st: &[Tok]) -> bool {
+    st.iter()
+        .any(|t| t.kind == TokKind::Ident && is_time_name(&t.text))
+}
+
+/// The `{` opening the body of the fn whose name is at `name_at`.
+fn fn_open_brace(toks: &[Tok], name_at: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(name_at) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return Some(j),
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,195 @@
+//! R4 — exhaustive matches over the policy enums.
+//!
+//! `OpClass`, `SchedPolicy`, `OsSchedPolicy`, `QosPolicy` and
+//! `MappingKind` are the design-space axes this simulator exists to
+//! sweep. A `_` wildcard arm over one of them means adding a variant
+//! (a new op class, a fourth FTL) silently falls into whatever the
+//! wildcard did — the compiler stays quiet exactly when we most need
+//! it to shout. PR 2 hit this: `ClassTable` had to grow compile-time
+//! length assertions because a bare `[u64; 9]` absorbed new op
+//! classes.
+//!
+//! Detection: for every `match`, parse the arm list; if any arm
+//! *pattern* references one of the policy enums by path
+//! (`OpClass::…`), the match is policy-relevant, and any arm whose
+//! pattern is a bare `_` — or a bare lowercase catch-all binding —
+//! is flagged (guards don't rescue it: `_ if …` still swallows
+//! future variants). A `_` nested inside a larger pattern
+//! (`(OpClass::HostRead, _)` / `Some(_)`) does not flag on its own;
+//! a bare `_` arm in a match over tuples *containing* a policy enum
+//! does.
+
+use crate::allow::AllowSet;
+use crate::lexer::{Tok, TokKind};
+use crate::report::{Finding, Rule, Tier};
+use crate::rules::matching_close;
+
+const POLICY_ENUMS: [&str; 5] = [
+    "OpClass",
+    "SchedPolicy",
+    "OsSchedPolicy",
+    "QosPolicy",
+    "MappingKind",
+];
+
+pub fn run(path: &str, toks: &[Tok], allows: &mut AllowSet, findings: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("match") {
+            i += 1;
+            continue;
+        }
+        // Scrutinee runs to the first `{` at depth 0.
+        let Some(open) = scrutinee_end(toks, i + 1) else {
+            i += 1;
+            continue;
+        };
+        let close = matching_close(toks, open);
+        let arms = parse_arms(&toks[open + 1..close]);
+        let relevant: Vec<&str> = POLICY_ENUMS
+            .iter()
+            .copied()
+            .filter(|e| {
+                arms.iter().any(|a| {
+                    pattern_mentions_enum(&toks[open + 1..close], a, e)
+                })
+            })
+            .collect();
+        if !relevant.is_empty() {
+            for a in &arms {
+                let arm = &toks[open + 1..close][a.pat_start..a.pat_end];
+                if let Some(w) = wildcard_kind(arm) {
+                    let line = arm[0].line;
+                    let allowed = allows.cover(Rule::R4, line);
+                    findings.push(Finding {
+                        rule: Rule::R4,
+                        tier: Tier::Deny,
+                        path: path.to_string(),
+                        line,
+                        message: format!(
+                            "{w} arm in a match over {} — enumerate every variant so new \
+                             variants fail to compile instead of silently falling through",
+                            relevant.join("/")
+                        ),
+                        allowed,
+                    });
+                }
+            }
+        }
+        i = open + 1;
+    }
+}
+
+struct Arm {
+    pat_start: usize,
+    pat_end: usize, // exclusive, guard excluded
+}
+
+/// End of the scrutinee: index of the `{` opening the arm list.
+/// Depth-tracked so closures/array indexing inside the scrutinee
+/// don't end it early; `None` if the line is actually `match` used as
+/// an identifier (not valid Rust, but be defensive).
+fn scrutinee_end(toks: &[Tok], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" if depth == 0 => return Some(i),
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Split the token range of a match body into arms. Indices are
+/// relative to the body slice. Pattern = tokens before the depth-0
+/// `=>`, with a trailing depth-0 `if <guard>` stripped.
+fn parse_arms(body: &[Tok]) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let pat_start = i;
+        // Find `=>` at depth 0.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut guard_at = None;
+        let mut j = i;
+        while j < body.len() {
+            let t = &body[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => {
+                        arrow = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+            } else if depth == 0 && t.is_ident("if") && guard_at.is_none() {
+                guard_at = Some(j);
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let pat_end = guard_at.unwrap_or(arrow);
+        arms.push(Arm { pat_start, pat_end });
+        // Skip the arm body: block form `{ .. }` else scan to `,` at depth 0.
+        let mut k = arrow + 1;
+        if k < body.len() && body[k].is_punct("{") {
+            // matching_close works on absolute indices of the slice given.
+            let end = matching_close(body, k);
+            k = end + 1;
+            if k < body.len() && body[k].is_punct(",") {
+                k += 1;
+            }
+        } else {
+            let mut d = 0i32;
+            while k < body.len() {
+                let t = &body[k];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        "," if d == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+        }
+        i = k;
+    }
+    arms
+}
+
+fn pattern_mentions_enum(body: &[Tok], arm: &Arm, e: &str) -> bool {
+    let pat = &body[arm.pat_start..arm.pat_end];
+    pat.windows(2)
+        .any(|w| w[0].is_ident(e) && w[1].is_punct("::"))
+}
+
+/// `Some(desc)` when the pattern is a catch-all.
+fn wildcard_kind(pat: &[Tok]) -> Option<&'static str> {
+    // `_` lexes as an identifier token.
+    if pat.len() == 1 && pat[0].is_ident("_") {
+        return Some("`_` wildcard");
+    }
+    if pat.len() == 1
+        && pat[0].kind == TokKind::Ident
+        && pat[0].text.chars().next().is_some_and(|c| c.is_lowercase())
+        && !["true", "false"].contains(&pat[0].text.as_str())
+    {
+        return Some("catch-all binding");
+    }
+    None
+}

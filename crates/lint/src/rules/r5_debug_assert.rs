@@ -1,0 +1,161 @@
+//! R5 — `debug_assert!` density audit (report-only).
+//!
+//! The invariant suites (`check_invariants`, the GC-index oracle, the
+//! crash property tests) catch corruption *after* the fact; a
+//! `debug_assert!` at the mutation site catches it at the moment of
+//! introduction with the failing state still on the stack. This pass
+//! audits every public `&mut self` method in the inherent impl blocks
+//! of the three big mutable façades — `FlashArray`, `Controller`,
+//! `Os` — and reports the ones containing no assertion of any kind
+//! (`debug_assert*` or hard `assert*`).
+//!
+//! Report-only: a zero-assert mutator is a smell, not a violation —
+//! some mutators are trivially total (counter bumps, setters). It
+//! never gates `--deny-all`.
+
+use crate::allow::AllowSet;
+use crate::lexer::{Tok, TokKind};
+use crate::report::{Finding, Rule, Tier};
+use crate::rules::matching_close;
+
+const AUDITED_TYPES: [&str; 3] = ["FlashArray", "Controller", "Os"];
+const ASSERT_MACROS: [&str; 6] = [
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+pub fn run(path: &str, toks: &[Tok], allows: &mut AllowSet, findings: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Inherent impl only: `impl [<..>] Type {` with no `for`.
+        let Some(open) = impl_body(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let header = &toks[i..open];
+        if header.iter().any(|t| t.is_ident("for"))
+            || !header
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && AUDITED_TYPES.contains(&t.text.as_str()))
+        {
+            i = open + 1;
+            continue;
+        }
+        let ty = header
+            .iter()
+            .find(|t| AUDITED_TYPES.contains(&t.text.as_str()))
+            .unwrap()
+            .text
+            .clone();
+        let close = matching_close(toks, open);
+        audit_impl(path, toks, open, close, &ty, allows, findings);
+        i = open + 1;
+    }
+}
+
+/// Index of the `{` opening the impl body.
+fn impl_body(toks: &[Tok], impl_at: usize) -> Option<usize> {
+    let mut depth = 0i32; // tracks `<..>` generics via (/[/{ won't appear before body
+    for (j, t) in toks.iter().enumerate().skip(impl_at + 1) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "{" if depth <= 0 => return Some(j),
+                ";" => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn audit_impl(
+    path: &str,
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    ty: &str,
+    allows: &mut AllowSet,
+    findings: &mut Vec<Finding>,
+) {
+    let mut j = open + 1;
+    while j < close {
+        // `pub fn name` at impl-body depth.
+        if toks[j].is_ident("pub") {
+            // Skip `pub(crate)` etc.
+            let mut f = j + 1;
+            if toks.get(f).is_some_and(|t| t.is_punct("(")) {
+                f = matching_close(toks, f) + 1;
+            }
+            if toks.get(f).is_some_and(|t| t.is_ident("fn")) {
+                let name = toks
+                    .get(f + 1)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                // Signature runs to the fn body `{`.
+                if let Some(body_open) = fn_body(toks, f + 1, close) {
+                    let body_close = matching_close(toks, body_open);
+                    let sig = &toks[f + 1..body_open];
+                    let mutating = sig
+                        .windows(3)
+                        .any(|w| w[0].is_punct("&") && w[1].is_ident("mut") && w[2].is_ident("self"));
+                    if mutating {
+                        let asserts = toks[body_open..body_close]
+                            .windows(2)
+                            .filter(|w| {
+                                w[0].kind == TokKind::Ident
+                                    && ASSERT_MACROS.contains(&w[0].text.as_str())
+                                    && w[1].is_punct("!")
+                            })
+                            .count();
+                        if asserts == 0 {
+                            let line = toks[f + 1].line;
+                            let allowed = allows.cover(Rule::R5, line);
+                            findings.push(Finding {
+                                rule: Rule::R5,
+                                tier: Tier::Report,
+                                path: path.to_string(),
+                                line,
+                                message: format!(
+                                    "public mutating API `{ty}::{name}` contains no \
+                                     debug_assert!/assert! — consider asserting its invariants \
+                                     at the mutation site"
+                                ),
+                                allowed,
+                            });
+                        }
+                    }
+                    j = body_close + 1;
+                    continue;
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+/// The `{` that opens the body of the fn whose name is at `name_at`.
+fn fn_body(toks: &[Tok], name_at: usize, limit: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(limit).skip(name_at) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return Some(j),
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}

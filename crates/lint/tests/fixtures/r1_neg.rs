@@ -1,0 +1,24 @@
+//! R1 negative fixture: the fixed forms — BTree iteration is ordered,
+//! and point lookups into a hash container never observe its order.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn total(counts: &BTreeMap<u64, u64>) -> u64 {
+    counts.values().sum()
+}
+
+pub fn lookup(cache: &HashMap<u64, u64>, lpn: u64) -> Option<u64> {
+    cache.get(&lpn).copied()
+}
+
+pub fn store(cache: &mut HashMap<u64, u64>, lpn: u64, ppn: u64) {
+    cache.insert(lpn, ppn);
+    cache.remove(&(lpn + 1));
+}
+
+pub fn over_vec(items: &[u64]) -> u64 {
+    let mut sum = 0;
+    for v in items.iter() {
+        sum += v;
+    }
+    sum
+}

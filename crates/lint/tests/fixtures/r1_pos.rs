@@ -1,0 +1,34 @@
+//! R1 positive fixture: every iteration form over a hash container
+//! the rule must catch. Lines are asserted by the test — keep stable.
+use std::collections::{HashMap, HashSet};
+
+pub struct Alloc {
+    active: HashMap<u64, u32>,
+}
+
+impl Alloc {
+    pub fn any_open(&self) -> bool {
+        self.active.values().any(|v| *v > 0)
+    }
+}
+
+pub fn total(counts: &HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for (_lpn, n) in counts.iter() {
+        sum += n;
+    }
+    sum
+}
+
+pub fn drain_all(seen: &mut HashSet<u64>) -> usize {
+    seen.drain().count()
+}
+
+pub fn constructed() -> u64 {
+    let map = HashMap::new();
+    let mut n = 0;
+    for _ in &map {
+        n += 1;
+    }
+    n
+}

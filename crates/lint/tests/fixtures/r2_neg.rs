@@ -1,0 +1,14 @@
+//! R2 negative fixture: simulated time and seeded randomness. The
+//! `Instant` *type* in a signature is fine — only the `::now` read is
+//! ambient.
+use std::time::Instant;
+
+pub fn now_sim(clock: &SimClock) -> SimTime {
+    clock.now()
+}
+
+pub fn jitter(rng: &mut SplitMix64) -> u64 {
+    rng.next_u64()
+}
+
+pub fn hold(_deadline: Instant) {}

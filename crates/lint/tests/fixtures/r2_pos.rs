@@ -1,0 +1,23 @@
+//! R2 positive fixture: every ambient-environment read the rule bans.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let started = Instant::now();
+    started.elapsed().as_nanos() as u64
+}
+
+pub fn epoch() -> u64 {
+    SystemTime::now().elapsed().unwrap().as_secs()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn hashed(x: u64) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    let mut h = DefaultHasher::new();
+    x.hash(&mut h);
+    h.finish()
+}

@@ -1,0 +1,18 @@
+//! R3 negative fixture: the fixed forms. Integer fixed-point time
+//! math never flags; ns -> float conversions for *reporting* never
+//! flag (the rule requires a cast into an integer).
+
+const SCALE: u64 = 1 << 20;
+
+pub fn warp_ns(ns: u64, warp_fp: u64) -> u64 {
+    let num = ns as u128 * SCALE as u128 + warp_fp as u128 / 2;
+    (num / warp_fp as u128).min(u64::MAX as u128) as u64
+}
+
+pub fn report_secs(total_ns: u64) -> f64 {
+    total_ns as f64 / 1e9
+}
+
+pub fn page_count(fill: f64, pages: u64) -> u64 {
+    (fill * pages as f64) as u32 as u64
+}

@@ -1,0 +1,17 @@
+//! R3 positive fixture: float arithmetic flowing into integer
+//! nanoseconds — the PR-5 token-bucket bug, in both shapes the rule
+//! detects.
+
+/// Statement-level: float literal + `.ceil()` + `as u64` + an
+/// `ns`-suffixed name, all in one statement.
+pub fn bucket_wait(tokens: f64, rate: f64) -> u64 {
+    let wait_ns = (tokens / rate * 1e9).ceil() as u64;
+    wait_ns
+}
+
+/// Function-level: the fn name carries a time unit (`wake`, `ns`), the
+/// float work and the integer cast sit in *different* statements.
+pub fn wake_ns(d: f64, r: f64) -> u64 {
+    let scaled = (d * 1e9 / r).ceil();
+    scaled as u64
+}

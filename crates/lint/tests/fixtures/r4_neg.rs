@@ -1,0 +1,30 @@
+//! R4 negative fixture: exhaustive matches over policy enums, and
+//! wildcards in places the rule must *not* flag.
+
+/// Exhaustive: a new variant fails to compile. Never flags.
+pub fn weight(class: OpClass) -> u64 {
+    match class {
+        OpClass::AppRead => 3,
+        OpClass::AppWrite => 2,
+        OpClass::GcRead | OpClass::GcWrite => 1,
+    }
+}
+
+/// `_` over a non-policy scrutinee: fine, not our enum.
+pub fn is_zero(n: u64) -> bool {
+    match n {
+        0 => true,
+        _ => false,
+    }
+}
+
+/// `_` nested inside a larger pattern does not swallow whole
+/// variants; only a bare top-level catch-all arm does.
+pub fn hot_weight(class: OpClass, hot: bool) -> u64 {
+    match (class, hot) {
+        (OpClass::AppRead, true) => 6,
+        (OpClass::AppRead, _) => 3,
+        (OpClass::AppWrite, _) => 2,
+        (OpClass::GcRead, _) | (OpClass::GcWrite, _) => 1,
+    }
+}

@@ -1,0 +1,29 @@
+//! R4 positive fixture: catch-all arms in matches over policy enums,
+//! in both shapes the rule detects.
+
+/// Bare `_` wildcard.
+pub fn weight(class: OpClass) -> u64 {
+    match class {
+        OpClass::AppRead => 3,
+        OpClass::AppWrite => 2,
+        _ => 1,
+    }
+}
+
+/// Lowercase catch-all binding — same hazard, different spelling.
+pub fn label(kind: MappingKind) -> &'static str {
+    match kind {
+        MappingKind::PageMap => "page",
+        other => "translated",
+    }
+}
+
+/// A guard does not rescue the wildcard: `_ if ...` still swallows
+/// future variants when the guard is false.
+pub fn urgent(class: OpClass) -> bool {
+    match class {
+        OpClass::AppRead => true,
+        _ if cfg!(debug_assertions) => true,
+        _ => false,
+    }
+}

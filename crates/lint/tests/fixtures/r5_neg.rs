@@ -1,0 +1,29 @@
+//! R5 negative fixture: asserting mutators, read-only methods,
+//! non-audited types, and trait impls are all out of scope.
+
+impl Controller {
+    pub fn advance(&mut self, now: u64) {
+        debug_assert!(now >= self.now, "time must not run backwards");
+        self.now = now;
+    }
+
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn bump(&mut self) {
+        self.ticks += 1;
+    }
+}
+
+impl Widget {
+    pub fn poke(&mut self) {
+        self.n += 1;
+    }
+}
+
+impl Advance for Controller {
+    fn step(&mut self) {
+        self.now += 1;
+    }
+}

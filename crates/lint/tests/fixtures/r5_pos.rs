@@ -1,0 +1,8 @@
+//! R5 positive fixture: a public mutating API on an audited facade
+//! with no assertion anywhere in its body.
+
+impl Controller {
+    pub fn advance(&mut self, now: u64) {
+        self.now = now;
+    }
+}

@@ -1,0 +1,241 @@
+//! Fixture suite pinning the lint engine's behavior.
+//!
+//! Each rule has a positive fixture (the bug class, in every shape the
+//! rule detects — the engine must flag it) and a negative fixture (the
+//! fixed form plus near-misses — the engine must stay silent). The
+//! fixtures are the rules' executable specification: the lexical
+//! heuristics in `src/rules/` may only change in ways that keep this
+//! suite green.
+
+use lint::lint_source;
+use lint::report::{Finding, Rule, Tier};
+
+fn findings(src: &str) -> Vec<Finding> {
+    lint_source("fixture.rs", src)
+}
+
+fn violations(src: &str, rule: Rule) -> Vec<u32> {
+    findings(src)
+        .iter()
+        .filter(|f| f.rule == rule && f.is_violation())
+        .map(|f| f.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- R1
+
+#[test]
+fn r1_flags_every_hash_iteration_form() {
+    let lines = violations(include_str!("fixtures/r1_pos.rs"), Rule::R1);
+    // field receiver `.values()`, param receiver `.iter()`,
+    // `.drain()`, and `for _ in &map` over a constructed binding.
+    assert_eq!(lines, vec![11, 17, 24, 30]);
+}
+
+#[test]
+fn r1_silent_on_btree_iteration_and_hash_point_lookups() {
+    assert_eq!(violations(include_str!("fixtures/r1_neg.rs"), Rule::R1), vec![]);
+}
+
+// ---------------------------------------------------------------- R2
+
+#[test]
+fn r2_flags_wall_clock_and_ambient_randomness() {
+    let lines = violations(include_str!("fixtures/r2_pos.rs"), Rule::R2);
+    for expected in [5u32, 10, 14, 20] {
+        assert!(
+            lines.contains(&expected),
+            "expected an R2 violation on line {expected}, got {lines:?}"
+        );
+    }
+}
+
+#[test]
+fn r2_silent_on_sim_clock_and_seeded_rng() {
+    // The `Instant` *type* in a signature must not flag — only `::now`.
+    assert_eq!(violations(include_str!("fixtures/r2_neg.rs"), Rule::R2), vec![]);
+}
+
+// ---------------------------------------------------------------- R3
+
+#[test]
+fn r3_flags_float_into_ns_in_both_shapes() {
+    let lines = violations(include_str!("fixtures/r3_pos.rs"), Rule::R3);
+    // Statement-level (bucket_wait) and cross-statement fn-level
+    // (wake_ns) — the PR-5 bug in both shapes.
+    assert_eq!(lines.len(), 2, "got {lines:?}");
+}
+
+#[test]
+fn r3_silent_on_integer_fixed_point_and_reporting_casts() {
+    assert_eq!(violations(include_str!("fixtures/r3_neg.rs"), Rule::R3), vec![]);
+}
+
+// ---------------------------------------------------------------- R4
+
+#[test]
+fn r4_flags_wildcard_and_catch_all_arms() {
+    let lines = violations(include_str!("fixtures/r4_pos.rs"), Rule::R4);
+    // `_`, a lowercase binding, and both guarded+bare `_` in `urgent`.
+    assert_eq!(lines, vec![9, 17, 26, 27]);
+}
+
+#[test]
+fn r4_silent_on_exhaustive_and_non_policy_matches() {
+    assert_eq!(violations(include_str!("fixtures/r4_neg.rs"), Rule::R4), vec![]);
+}
+
+// ---------------------------------------------------------------- R5
+
+#[test]
+fn r5_reports_assertless_public_mutators() {
+    let f = findings(include_str!("fixtures/r5_pos.rs"));
+    let r5: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::R5).collect();
+    assert_eq!(r5.len(), 1);
+    assert_eq!(r5[0].tier, Tier::Report);
+    assert!(
+        !r5[0].is_violation(),
+        "R5 is report-only; it must never gate --deny-all"
+    );
+    assert!(r5[0].message.contains("Controller::advance"));
+}
+
+#[test]
+fn r5_silent_on_asserting_private_foreign_and_trait_impls() {
+    let f = findings(include_str!("fixtures/r5_neg.rs"));
+    assert!(f.iter().all(|f| f.rule != Rule::R5), "got {f:?}");
+}
+
+// ------------------------------------------------------- allow escapes
+
+#[test]
+fn allow_above_suppresses_and_carries_reason() {
+    let src = "\
+// lint:allow(R2) host throughput is the experiment's result column
+let started = Instant::now();
+";
+    let f = findings(src);
+    let r2: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::R2).collect();
+    assert_eq!(r2.len(), 1, "finding still reported, just not a violation");
+    assert!(!r2[0].is_violation());
+    assert_eq!(
+        r2[0].allowed.as_deref(),
+        Some("host throughput is the experiment's result column")
+    );
+}
+
+#[test]
+fn allow_same_line_suppresses() {
+    let src = "let t = Instant::now(); // lint:allow(R2) harness-side timing\n";
+    let f = findings(src);
+    assert!(f.iter().any(|f| f.rule == Rule::R2 && !f.is_violation()));
+    assert!(f.iter().all(|f| !f.is_violation()));
+}
+
+#[test]
+fn allow_two_lines_above_does_not_reach() {
+    let src = "\
+// lint:allow(R2) too far away to cover the site
+
+let started = Instant::now();
+";
+    let f = findings(src);
+    assert!(
+        f.iter().any(|f| f.rule == Rule::R2 && f.is_violation()),
+        "an allow two lines up must not suppress"
+    );
+    assert!(
+        f.iter().any(|f| f.rule == Rule::AllowUnused),
+        "and the stale escape is reported unused"
+    );
+}
+
+#[test]
+fn allow_multi_rule_lists_cover_each_named_rule() {
+    let src = "\
+// lint:allow(R1, R2) replay harness mirrors host state outside the sim
+for k in cache.keys() { let t = Instant::now(); }
+let cache: HashMap<u64, u64> = HashMap::new();
+";
+    let f = findings(src);
+    assert!(f.iter().any(|f| f.rule == Rule::R1));
+    assert!(f.iter().any(|f| f.rule == Rule::R2));
+    assert!(
+        f.iter()
+            .filter(|f| f.line == 2)
+            .all(|f| !f.is_violation()),
+        "both rules on the covered line are suppressed: {f:?}"
+    );
+}
+
+#[test]
+fn allow_without_reason_is_a_deny_finding() {
+    let src = "// lint:allow(R1)\nfor k in cache.keys() {}\nlet cache: HashMap<u64, u64> = HashMap::new();\n";
+    let f = findings(src);
+    assert!(
+        f.iter()
+            .any(|f| f.rule == Rule::AllowSyntax && f.is_violation()),
+        "a reasonless escape must itself be a violation: {f:?}"
+    );
+    // And it must NOT suppress the R1 underneath.
+    assert!(f.iter().any(|f| f.rule == Rule::R1 && f.is_violation()));
+}
+
+#[test]
+fn allow_unknown_rule_is_a_deny_finding() {
+    let src = "// lint:allow(R9) not a rule\n";
+    let f = findings(src);
+    assert!(f
+        .iter()
+        .any(|f| f.rule == Rule::AllowSyntax && f.is_violation()));
+}
+
+#[test]
+fn unused_allow_is_reported() {
+    let src = "// lint:allow(R3) nothing here needs this\nlet x = 1 + 2;\n";
+    let f = findings(src);
+    let unused: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::AllowUnused).collect();
+    assert_eq!(unused.len(), 1);
+    assert_eq!(unused[0].tier, Tier::Report);
+}
+
+// ------------------------------------------------------------- report
+
+#[test]
+fn json_report_is_well_formed_and_counts_violations() {
+    let mut rep = lint::report::Report {
+        files_scanned: 1,
+        findings: findings(include_str!("fixtures/r4_pos.rs")),
+    };
+    rep.sort();
+    let json = rep.to_json();
+    assert!(json.contains("\"violations\": 4"));
+    assert!(json.contains("\"rule\": \"R4\""));
+    assert!(json.contains("\"tier\": \"deny\""));
+    // Messages contain backquotes and slashes; the escaper must keep
+    // the output loadable by any JSON parser (no raw control chars).
+    assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
+}
+
+// --------------------------------------------- workspace regression gate
+
+/// The self-check the CI job runs: the six simulation crates must lint
+/// clean. Any new hash iteration, wall-clock read, float→ns flow, or
+/// policy-enum wildcard anywhere in `src/` turns this test red —
+/// before the nondeterminism it would cause can reach a fingerprint
+/// test.
+#[test]
+fn workspace_is_violation_free() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let rep = lint::lint_workspace(&root).expect("workspace sources readable");
+    assert!(rep.files_scanned > 30, "walker found the sim crates");
+    let bad: Vec<String> = rep
+        .findings
+        .iter()
+        .filter(|f| f.is_violation())
+        .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule.name(), f.message))
+        .collect();
+    assert!(bad.is_empty(), "determinism violations:\n{}", bad.join("\n"));
+}

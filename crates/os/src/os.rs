@@ -16,7 +16,7 @@
 //! thread queues. Both stages work over reused scratch buffers — no
 //! allocation per dispatched IO.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use eagletree_controller::{
     class_index, Completion, Controller, CrashImage, IoTags, OpClass, RequestId, RequestKind,
@@ -182,7 +182,7 @@ pub struct Os {
     ns_watermark: u64,
     /// WFQ virtual clock: virtual start time of the last dispatched IO.
     vclock: f64,
-    inflight: HashMap<RequestId, Inflight>,
+    inflight: BTreeMap<RequestId, Inflight>,
     timers: EventQueue<ThreadId>,
     /// Largest timer delay seen so far: the timer queue's wake-source
     /// horizon. Growth re-tunes the calendar backend's bucket width.
@@ -256,7 +256,7 @@ impl Os {
             default_tenant: None,
             ns_watermark: 0,
             vclock: 0.0,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             timers,
             timer_horizon: SimDuration::ZERO,
             now: SimTime::ZERO,

@@ -117,7 +117,17 @@ impl TenantStats {
         match class {
             OpClass::AppRead => self.read_latency.tail(),
             OpClass::AppWrite => self.write_latency.tail(),
-            _ => Tail::default(),
+            OpClass::GcRead
+            | OpClass::GcWrite
+            | OpClass::WlRead
+            | OpClass::WlWrite
+            | OpClass::MergeRead
+            | OpClass::MergeWrite
+            | OpClass::MappingRead
+            | OpClass::MappingWrite
+            | OpClass::Erase
+            | OpClass::ScrubRead
+            | OpClass::ScrubWrite => Tail::default(),
         }
     }
 

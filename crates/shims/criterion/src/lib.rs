@@ -17,6 +17,8 @@
 //! runs exactly one iteration, for `cargo test`), and an optional
 //! filter substring.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -115,6 +117,8 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
+        // Wall-clock is the whole point of a benchmark harness.
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         for _ in 0..self.iters {
             black_box(routine());

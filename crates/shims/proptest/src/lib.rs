@@ -19,6 +19,8 @@
 //! workspace `Cargo.toml` once the build environment has registry
 //! access.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     /// Configuration for a `proptest!` block (subset of the real
     /// `proptest::test_runner::Config`).

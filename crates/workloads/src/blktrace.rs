@@ -34,7 +34,7 @@
 //! closed-loop preserving think times) lives in
 //! [`crate::trace::ReplayThread`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Read};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -347,8 +347,12 @@ pub struct TraceProfile {
 /// footprint (a per-page popularity count — after [`Remap`], at most the
 /// target logical space).
 pub fn characterize<S: TraceSource>(src: &mut S) -> TraceProfile {
-    let mut freq: HashMap<u64, u64> = HashMap::new();
+    let mut freq: BTreeMap<u64, u64> = BTreeMap::new();
     let mut gaps = OnlineStats::new();
+    // Exact integer accumulator for the mean: the ns-typed profile
+    // field must not inherit float summation error (R3 discipline);
+    // OnlineStats still feeds the (dimensionless) burstiness cv.
+    let (mut gap_total, mut gap_count) = (0u128, 0u64);
     let mut last_at: Option<SimTime> = None;
     let (mut records, mut pages_issued) = (0u64, 0u64);
     let (mut reads, mut writes, mut trims) = (0u64, 0u64, 0u64);
@@ -365,7 +369,10 @@ pub fn characterize<S: TraceSource>(src: &mut S) -> TraceProfile {
             pages_issued += 1;
         }
         if let Some(prev) = last_at {
-            gaps.record(rec.at.saturating_since(prev).as_nanos() as f64);
+            let gap = rec.at.saturating_since(prev).as_nanos();
+            gap_total += gap as u128;
+            gap_count += 1;
+            gaps.record(gap as f64);
         }
         last_at = Some(rec.at);
         span = rec.at.saturating_since(SimTime::ZERO);
@@ -396,7 +403,13 @@ pub fn characterize<S: TraceSource>(src: &mut S) -> TraceProfile {
         } else {
             pages_issued as f64 / records as f64
         },
-        mean_interarrival: SimDuration::from_nanos(mean_gap.round() as u64),
+        mean_interarrival: SimDuration::from_nanos(if gap_count == 0 {
+            0
+        } else {
+            // Round-to-nearest integer mean; a u64 can't overflow since
+            // the mean of u64 gaps is itself ≤ u64::MAX.
+            ((gap_total + gap_count as u128 / 2) / gap_count as u128) as u64
+        }),
         interarrival_cv: cv,
         span,
     }
@@ -405,7 +418,7 @@ pub fn characterize<S: TraceSource>(src: &mut S) -> TraceProfile {
 /// Least-squares fit of `ln(count) = c - theta * ln(rank)` over the
 /// popularity ranking. Returns 0 for degenerate inputs; clamped to
 /// `[0, 3]` (real traces rarely exceed theta ≈ 1.2).
-fn fit_zipf_theta(freq: &HashMap<u64, u64>) -> f64 {
+fn fit_zipf_theta(freq: &BTreeMap<u64, u64>) -> f64 {
     if freq.len() < 2 {
         return 0.0;
     }

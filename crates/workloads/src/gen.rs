@@ -411,7 +411,7 @@ mod tests {
     fn zipf_gen_concentrates_accesses() {
         let mut g = ZipfGen::new(Region::whole(), 20_000, 0.99, ZipfKind::Writes);
         let ios = drain(&mut g, 20_000);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for io in &ios {
             *counts.entry(io.lpn).or_insert(0u64) += 1;
         }

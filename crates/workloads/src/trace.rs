@@ -116,9 +116,16 @@ pub enum ReplayMode {
 /// wrap it in a [`crate::blktrace::ChunkedSource`] for chunked prefetch),
 /// split into per-page IOs, and folded into the thread's address space
 /// (`page % logical_pages`), which for a tenant thread is its namespace.
+/// Fixed-point denominator for the integer time-warp division:
+/// ~1e-6 relative precision, a power of two so integer and dyadic
+/// warp factors (1, 2, 4, 100.0, …) divide exactly.
+const WARP_SCALE: u64 = 1 << 20;
+
 pub struct ReplayThread<S> {
     src: S,
     mode: ReplayMode,
+    /// `warp * WARP_SCALE`, rounded once at construction.
+    warp_fp: u64,
     pending: Option<BlkRecord>,
     outstanding: u64,
     submitted: u64,
@@ -147,9 +154,16 @@ impl<S: TraceSource> ReplayThread<S> {
             warp.is_finite() && warp > 0.0,
             "time-warp factor must be positive"
         );
+        // One-time quantization of the configured warp factor; every
+        // per-record arrival below is computed in integer nanoseconds
+        // against this fixed-point value, so the replayed timeline is
+        // exact and platform-independent (R3 discipline).
+        // lint:allow(R3) one-time fixed-point quantization of a config knob at construction, not per-event time math
+        let warp_fp = ((warp * WARP_SCALE as f64).round() as u64).max(1);
         ReplayThread {
             src,
             mode,
+            warp_fp,
             pending: None,
             outstanding: 0,
             submitted: 0,
@@ -171,18 +185,20 @@ impl<S: TraceSource> ReplayThread<S> {
         self.submitted
     }
 
-    fn warp(&self) -> f64 {
-        match self.mode {
-            ReplayMode::OpenLoop { warp } | ReplayMode::ClosedLoop { warp } => warp,
-        }
+    /// `ns / warp` in integer arithmetic: round-to-nearest against the
+    /// fixed-point factor, saturating instead of wrapping when a
+    /// slow-down warp (< 1) would push past the `u64` horizon.
+    fn warp_ns(&self, ns: u64) -> u64 {
+        let num = ns as u128 * WARP_SCALE as u128 + self.warp_fp as u128 / 2;
+        (num / self.warp_fp as u128).min(u64::MAX as u128) as u64
     }
 
     fn warped_instant(&self, at: SimTime) -> SimTime {
-        SimTime::from_nanos((at.as_nanos() as f64 / self.warp()).round() as u64)
+        SimTime::from_nanos(self.warp_ns(at.as_nanos()))
     }
 
     fn warped_gap(&self, gap: SimDuration) -> SimDuration {
-        SimDuration::from_nanos((gap.as_nanos() as f64 / self.warp()).round() as u64)
+        SimDuration::from_nanos(self.warp_ns(gap.as_nanos()))
     }
 
     fn submit_record(&mut self, ctx: &mut ThreadCtx, rec: BlkRecord) {

@@ -1,12 +1,12 @@
 //! Property-based tests: the full controller against a simple model.
 //!
-//! The model is a `HashMap<lpn, version>`: every write bumps a version,
+//! The model is a `BTreeMap<lpn, version>`: every write bumps a version,
 //! trims remove the entry. After any op sequence the controller's
 //! authoritative mapping must agree with the model on *which* pages are
 //! mapped, all invariants must hold, and no IO may be lost.
 
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eagletree::prelude::*;
 use eagletree::controller::{Controller, RequestId, SsdRequest};
@@ -95,7 +95,7 @@ proptest! {
         };
         let mut h = Harness::new(cfg);
         let logical = h.ctrl.logical_pages();
-        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         let mut in_window = 0u32;
         for op in &ops {
             match op {
